@@ -1,0 +1,307 @@
+//! Complex-valued dense linear algebra for AC (small-signal frequency
+//! domain) analysis.
+//!
+//! Self-contained on purpose: `si-analog` carries no dependency on the DSP
+//! crate, so it defines the minimal complex scalar ([`C64`]) and an LU
+//! solver ([`CMatrix::solve`]) the AC and noise analyses need.
+
+use crate::AnalogError;
+
+/// A complex number for AC analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// A purely real value.
+    #[must_use]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// A purely imaginary value (`j·im`) — the `jωC` stamp.
+    #[must_use]
+    pub const fn imag(im: f64) -> Self {
+        C64 { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase in radians.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Reciprocal `1/z`.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::SubAssign for C64 {
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+// Division by reciprocal is the standard complex-division formulation.
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl std::ops::Div for C64 {
+    type Output = C64;
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl std::ops::Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+/// A dense complex matrix with in-place LU solve.
+#[derive(Debug, Clone)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// An `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        CMatrix {
+            n,
+            data: vec![C64::ZERO; n * n],
+        }
+    }
+
+    /// The dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `value` to entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn stamp(&mut self, i: usize, j: usize, value: C64) {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range");
+        self.data[i * self.n + j] += value;
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> C64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting (destroys a copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] if a pivot vanishes, or
+    /// [`AnalogError::InvalidParameter`] on a length mismatch.
+    pub fn solve(&self, b: &[C64]) -> Result<Vec<C64>, AnalogError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(AnalogError::InvalidParameter {
+                name: "b",
+                constraint: "vector length must equal matrix dimension",
+            });
+        }
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let idx = |i: usize, j: usize| i * n + j;
+        for k in 0..n {
+            // Partial pivot on magnitude.
+            let mut p = k;
+            let mut mag = a[idx(k, k)].abs();
+            for i in (k + 1)..n {
+                let m = a[idx(i, k)].abs();
+                if m > mag {
+                    mag = m;
+                    p = i;
+                }
+            }
+            if mag < 1e-300 || !mag.is_finite() {
+                return Err(AnalogError::SingularMatrix { row: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(idx(k, j), idx(p, j));
+                }
+                x.swap(k, p);
+            }
+            let pivot = a[idx(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[idx(i, k)] / pivot;
+                if factor.abs() == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let akj = a[idx(k, j)];
+                    a[idx(i, j)] = a[idx(i, j)] - factor * akj;
+                }
+                x[i] = x[i] - factor * x[k];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= a[idx(i, j)] * x[j];
+            }
+            x[i] = acc / a[idx(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert!(close(a + b, C64::new(4.0, 1.0)));
+        assert!(close(a * b, C64::new(5.0, 5.0)));
+        assert!(close(a / b * b, a));
+        assert!(close(a.conj().conj(), a));
+        assert!((C64::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+        assert!(close(-a + a, C64::ZERO));
+        assert!(close(C64::imag(2.0) * C64::imag(3.0), C64::real(-6.0)));
+    }
+
+    #[test]
+    fn identity_solve() {
+        let mut m = CMatrix::zeros(3);
+        for i in 0..3 {
+            m.stamp(i, i, C64::ONE);
+        }
+        let b = vec![C64::new(1.0, 1.0), C64::new(2.0, -1.0), C64::real(3.0)];
+        let x = m.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&b) {
+            assert!(close(*u, *v));
+        }
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // [1+j, 2; 0, 3j] x = [3+j, 6j] → x = [?, 2]; row0: (1+j)x0 + 4 = 3+j
+        // → x0 = (−1+j)/(1+j) = j·... compute residual instead.
+        let mut m = CMatrix::zeros(2);
+        m.stamp(0, 0, C64::new(1.0, 1.0));
+        m.stamp(0, 1, C64::real(2.0));
+        m.stamp(1, 1, C64::imag(3.0));
+        let b = vec![C64::new(3.0, 1.0), C64::imag(6.0)];
+        let x = m.solve(&b).unwrap();
+        // Residual check.
+        let r0 = m.get(0, 0) * x[0] + m.get(0, 1) * x[1] - b[0];
+        let r1 = m.get(1, 1) * x[1] - b[1];
+        assert!(r0.abs() < 1e-12 && r1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut m = CMatrix::zeros(2);
+        m.stamp(0, 1, C64::ONE);
+        m.stamp(1, 0, C64::ONE);
+        let x = m.solve(&[C64::real(2.0), C64::real(5.0)]).unwrap();
+        assert!(close(x[0], C64::real(5.0)));
+        assert!(close(x[1], C64::real(2.0)));
+    }
+
+    #[test]
+    fn singular_is_reported() {
+        let m = CMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[C64::ONE, C64::ONE]),
+            Err(AnalogError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let m = CMatrix::zeros(2);
+        assert!(m.solve(&[C64::ONE]).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! DC operating-point analysis: damped Newton–Raphson with gmin stepping.
+//!
+//! The solver iterates the MNA system linearized at the current guess,
+//! limiting per-iteration node-voltage moves (square-law devices diverge
+//! under full Newton steps from a cold start). If plain Newton fails, gmin
+//! stepping retries from a heavily-conducting circuit and relaxes the added
+//! conductance decade by decade — enough robustness for the tens-of-devices
+//! cells this workspace simulates.
+
+use crate::mna::{assemble, Solution, StampContext};
+use crate::netlist::Circuit;
+use crate::units::Volts;
+use crate::AnalogError;
+
+/// Configuration for the Newton operating-point solver.
+///
+/// ```
+/// use si_analog::dc::DcSolver;
+///
+/// let solver = DcSolver::new().with_max_iterations(200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcSolver {
+    max_iterations: usize,
+    vtol: f64,
+    max_step: f64,
+    gmin: f64,
+    phi1_high: bool,
+    phi2_high: bool,
+    initial: Option<Vec<f64>>,
+}
+
+impl Default for DcSolver {
+    fn default() -> Self {
+        DcSolver::new()
+    }
+}
+
+impl DcSolver {
+    /// A solver with typical settings: 100 iterations, 1 µV tolerance,
+    /// 0.5 V damping limit, 1 pS gmin, φ1 closed.
+    #[must_use]
+    pub fn new() -> Self {
+        DcSolver {
+            max_iterations: 100,
+            vtol: 1e-6,
+            max_step: 0.5,
+            gmin: 1e-12,
+            phi1_high: true,
+            phi2_high: false,
+            initial: None,
+        }
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the convergence tolerance on node-voltage updates, in volts.
+    #[must_use]
+    pub fn with_tolerance(mut self, vtol: f64) -> Self {
+        self.vtol = vtol;
+        self
+    }
+
+    /// Sets the DC clock-phase state seen by φ1/φ2 switches.
+    #[must_use]
+    pub fn with_phases(mut self, phi1_high: bool, phi2_high: bool) -> Self {
+        self.phi1_high = phi1_high;
+        self.phi2_high = phi2_high;
+        self
+    }
+
+    /// Supplies an initial guess for all node voltages (index 0 = ground,
+    /// which must be 0).
+    #[must_use]
+    pub fn with_initial_guess(mut self, node_voltages: Vec<f64>) -> Self {
+        self.initial = Some(node_voltages);
+        self
+    }
+
+    /// Solves for the operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::NoConvergence`] if Newton and gmin stepping
+    /// both fail, [`AnalogError::SingularMatrix`] for structurally singular
+    /// circuits, or parameter errors from assembly.
+    pub fn solve(&self, circuit: &Circuit) -> Result<Solution, AnalogError> {
+        let start = match &self.initial {
+            Some(guess) => {
+                if guess.len() != circuit.node_count() {
+                    return Err(AnalogError::InvalidParameter {
+                        name: "initial",
+                        constraint: "guess length must equal circuit node count",
+                    });
+                }
+                guess.clone()
+            }
+            None => vec![0.0; circuit.node_count()],
+        };
+
+        // Plain Newton first.
+        match self.newton(circuit, &start, self.gmin) {
+            Ok(sol) => return Ok(sol),
+            Err(AnalogError::NoConvergence { .. }) | Err(AnalogError::SingularMatrix { .. }) => {}
+            Err(e) => return Err(e),
+        }
+
+        // gmin stepping: converge an easy (leaky) circuit, then tighten.
+        let mut guess = start;
+        let mut gmin = 1e-2;
+        let mut last_err = AnalogError::NoConvergence {
+            iterations: 0,
+            residual: f64::INFINITY,
+        };
+        while gmin >= self.gmin * 0.99 {
+            match self.newton(circuit, &guess, gmin) {
+                Ok(sol) => {
+                    guess = sol.node_voltages();
+                    if gmin <= self.gmin * 1.01 {
+                        return Ok(sol);
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+            gmin = (gmin / 10.0).max(self.gmin);
+            if gmin == self.gmin && matches!(last_err, AnalogError::NoConvergence { .. }) {
+                // One final attempt at the target gmin.
+                return self.newton(circuit, &guess, gmin);
+            }
+        }
+        Err(last_err)
+    }
+
+    fn newton(&self, circuit: &Circuit, start: &[f64], gmin: f64) -> Result<Solution, AnalogError> {
+        let n_nodes = circuit.node_count();
+        let mut voltages = start.to_vec();
+        let mut branches = vec![0.0; circuit.branch_count()];
+        let mut last_delta = f64::INFINITY;
+
+        for iter in 0..self.max_iterations {
+            let ctx = StampContext {
+                node_voltages: &voltages,
+                time: None,
+                clock: None,
+                phi1_high: self.phi1_high,
+                phi2_high: self.phi2_high,
+                gmin,
+                cap_step: None,
+            };
+            let sys = assemble(circuit, &ctx)?;
+            let x = sys.matrix.solve(&sys.rhs)?;
+
+            // Raw update and its magnitude.
+            let mut delta_max = 0.0f64;
+            for i in 0..(n_nodes - 1) {
+                delta_max = delta_max.max((x[i] - voltages[i + 1]).abs());
+            }
+            last_delta = delta_max;
+
+            // Damping: limit per-node move to max_step.
+            let alpha = if delta_max > self.max_step {
+                self.max_step / delta_max
+            } else {
+                1.0
+            };
+            for i in 0..(n_nodes - 1) {
+                let new_v = x[i];
+                voltages[i + 1] += alpha * (new_v - voltages[i + 1]);
+                if !voltages[i + 1].is_finite() {
+                    return Err(AnalogError::NoConvergence {
+                        iterations: iter + 1,
+                        residual: f64::INFINITY,
+                    });
+                }
+            }
+            for (k, b) in branches.iter_mut().enumerate() {
+                *b = x[n_nodes - 1 + k];
+            }
+
+            if delta_max < self.vtol {
+                let mut raw = voltages[1..].to_vec();
+                raw.extend_from_slice(&branches);
+                return Ok(Solution::new(raw, n_nodes));
+            }
+        }
+        Err(AnalogError::NoConvergence {
+            iterations: self.max_iterations,
+            residual: last_delta,
+        })
+    }
+}
+
+/// Sweeps the DC value of one current source and records an output quantity
+/// at each point, reusing each solution as the next initial guess.
+///
+/// `read` receives the converged solution for every sweep value; its returns
+/// are collected in order.
+///
+/// # Errors
+///
+/// Propagates solver errors; the sweep stops at the first failing point.
+pub fn sweep_current_source<T>(
+    circuit: &Circuit,
+    source_name: &str,
+    values: &[crate::units::Amps],
+    solver: &DcSolver,
+    mut read: impl FnMut(&Solution) -> T,
+) -> Result<Vec<T>, AnalogError> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut ckt = circuit.clone();
+    let mut guess: Option<Vec<f64>> = None;
+    for &value in values {
+        set_current_source(&mut ckt, source_name, value)?;
+        let mut s = solver.clone();
+        if let Some(g) = &guess {
+            s = s.with_initial_guess(g.clone());
+        }
+        let sol = s.solve(&ckt)?;
+        guess = Some(sol.node_voltages());
+        out.push(read(&sol));
+    }
+    Ok(out)
+}
+
+/// Replaces the DC value of a named current source in place.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::UnknownElement`] if the element is missing or not
+/// a current source.
+pub fn set_current_source(
+    circuit: &mut Circuit,
+    name: &str,
+    value: crate::units::Amps,
+) -> Result<(), AnalogError> {
+    circuit.update_current_source(name, crate::device::Waveform::Dc(value.0))
+}
+
+/// Measures the voltage difference between two nodes of a solution.
+#[must_use]
+pub fn differential_voltage(
+    sol: &Solution,
+    pos: crate::netlist::NodeId,
+    neg: crate::netlist::NodeId,
+) -> Volts {
+    sol.voltage(pos) - sol.voltage(neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::mos::MosParams;
+    use crate::netlist::MosTerminals;
+    use crate::units::{Amps, Ohms};
+
+    #[test]
+    fn linear_circuit_converges_in_one_step() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V", a, Circuit::GROUND, Volts(2.0))
+            .unwrap();
+        c.resistor("R", a, Circuit::GROUND, Ohms(1e3)).unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        assert!((sol.voltage(a).0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_connected_nmos_settles_at_vgs_for_bias() {
+        // Current source pushes 50 µA into a diode-connected NMOS.
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.current_source("Ib", Circuit::GROUND, d, Amps(50e-6))
+            .unwrap();
+        let m = MosParams::nmos_08um(20.0, 2.0).with_lambda(0.0);
+        c.mosfet(
+            "M1",
+            MosTerminals {
+                drain: d,
+                gate: d,
+                source: Circuit::GROUND,
+                bulk: Circuit::GROUND,
+            },
+            m,
+        )
+        .unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        let expected = m.vt0.0 + m.saturation_overdrive(Amps(50e-6)).0;
+        assert!(
+            (sol.voltage(d).0 - expected).abs() < 1e-4,
+            "vgs {} vs expected {expected}",
+            sol.voltage(d)
+        );
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_operating_point() {
+        // Vdd - R - drain, gate driven at fixed bias: check Id·R drop.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        let g = c.node("g");
+        c.voltage_source("Vdd", vdd, Circuit::GROUND, Volts(3.3))
+            .unwrap();
+        c.voltage_source("Vg", g, Circuit::GROUND, Volts(1.2))
+            .unwrap();
+        c.resistor("Rd", vdd, d, Ohms(10e3)).unwrap();
+        let m = MosParams::nmos_08um(10.0, 1.0).with_lambda(0.0);
+        c.mosfet(
+            "M1",
+            MosTerminals {
+                drain: d,
+                gate: g,
+                source: Circuit::GROUND,
+                bulk: Circuit::GROUND,
+            },
+            m,
+        )
+        .unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        // id = β/2 (1.2-0.8)² = 0.5e-3·0.16 = 80 µA ⇒ vd = 3.3 − 0.8 = 2.5 V.
+        let id = m.beta() / 2.0 * 0.4 * 0.4;
+        let expected = 3.3 - id * 10e3;
+        assert!(
+            (sol.voltage(d).0 - expected).abs() < 1e-3,
+            "vd {} vs expected {expected}",
+            sol.voltage(d)
+        );
+    }
+
+    #[test]
+    fn pmos_current_mirror_copies_current() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let ref_node = c.node("ref");
+        let out = c.node("out");
+        c.voltage_source("Vdd", vdd, Circuit::GROUND, Volts(3.3))
+            .unwrap();
+        // Reference branch pulls 20 µA out of the diode-connected PMOS.
+        c.current_source("Iref", ref_node, Circuit::GROUND, Amps(20e-6))
+            .unwrap();
+        let p = MosParams::pmos_08um(40.0, 2.0).with_lambda(0.0);
+        c.mosfet(
+            "Mp1",
+            MosTerminals {
+                drain: ref_node,
+                gate: ref_node,
+                source: vdd,
+                bulk: vdd,
+            },
+            p,
+        )
+        .unwrap();
+        c.mosfet(
+            "Mp2",
+            MosTerminals {
+                drain: out,
+                gate: ref_node,
+                source: vdd,
+                bulk: vdd,
+            },
+            p,
+        )
+        .unwrap();
+        // Output branch: ammeter into a 1 V hold keeps Mp2 saturated.
+        let sink = c.node("sink");
+        c.ammeter("Am", out, sink).unwrap();
+        c.voltage_source("Vh", sink, Circuit::GROUND, Volts(1.0))
+            .unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        let i_out = sol.branch_current(c.branch_of("Am").unwrap());
+        assert!(
+            (i_out.0 - 20e-6).abs() < 0.2e-6,
+            "mirror output {} A",
+            i_out.0
+        );
+    }
+
+    #[test]
+    fn no_convergence_is_reported_for_absurd_budget() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.current_source("I", Circuit::GROUND, d, Amps(1e-3))
+            .unwrap();
+        let m = MosParams::nmos_08um(10.0, 1.0);
+        c.mosfet(
+            "M1",
+            MosTerminals {
+                drain: d,
+                gate: d,
+                source: Circuit::GROUND,
+                bulk: Circuit::GROUND,
+            },
+            m,
+        )
+        .unwrap();
+        let r = DcSolver::new().with_max_iterations(1).solve(&c);
+        assert!(matches!(r, Err(AnalogError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn bad_initial_guess_length_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R", a, Circuit::GROUND, Ohms(1.0)).unwrap();
+        let r = DcSolver::new().with_initial_guess(vec![0.0]).solve(&c);
+        assert!(matches!(r, Err(AnalogError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn sweep_reuses_previous_solution() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.current_source("Ib", Circuit::GROUND, d, Amps(10e-6))
+            .unwrap();
+        let m = MosParams::nmos_08um(20.0, 2.0).with_lambda(0.0);
+        c.mosfet(
+            "M1",
+            MosTerminals {
+                drain: d,
+                gate: d,
+                source: Circuit::GROUND,
+                bulk: Circuit::GROUND,
+            },
+            m,
+        )
+        .unwrap();
+        let values: Vec<Amps> = (1..=5).map(|k| Amps(k as f64 * 10e-6)).collect();
+        let vgs = sweep_current_source(&c, "Ib", &values, &DcSolver::new(), |sol| sol.voltage(d).0)
+            .unwrap();
+        // Monotonically increasing vgs with current.
+        for w in vgs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Square-law check at the last point.
+        let expected = m.vt0.0 + m.saturation_overdrive(Amps(50e-6)).0;
+        assert!((vgs[4] - expected).abs() < 1e-3);
+    }
+}

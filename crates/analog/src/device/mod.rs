@@ -1,0 +1,19 @@
+//! Circuit element models.
+//!
+//! * [`mos`] — the level-1 (square-law) MOSFET with channel-length
+//!   modulation and body effect; the only nonlinear device the paper's
+//!   circuits need,
+//! * [`passive`] — resistors and capacitors,
+//! * [`source`] — independent current and voltage sources with DC, sine,
+//!   pulse and piecewise-linear waveforms,
+//! * [`switch`] — ideal clocked switches driven by a two-phase
+//!   non-overlapping clock, the sampling element of every SI circuit.
+
+pub mod mos;
+pub mod passive;
+pub mod source;
+pub mod switch;
+
+pub use mos::{MosEval, MosParams, MosPolarity, Region};
+pub use source::Waveform;
+pub use switch::{ClockPhase, TwoPhaseClock};

@@ -1,0 +1,137 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the circuit-simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// An element parameter was outside its valid domain.
+    InvalidElement {
+        /// Element name as given to the netlist.
+        element: String,
+        /// The violated constraint.
+        constraint: &'static str,
+    },
+    /// An element referenced a node id that the circuit does not contain.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the circuit.
+        node_count: usize,
+    },
+    /// Two elements were given the same name.
+    DuplicateElement {
+        /// The duplicated name.
+        element: String,
+    },
+    /// An element lookup by name failed.
+    UnknownElement {
+        /// The name that was not found.
+        element: String,
+    },
+    /// The Newton–Raphson iteration did not converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// The final residual norm in amperes.
+        residual: f64,
+    },
+    /// The MNA matrix was singular (circuit has a floating subcircuit or a
+    /// voltage-source loop).
+    SingularMatrix {
+        /// The pivot row at which factorization failed.
+        row: usize,
+    },
+    /// A simulation control parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The violated constraint.
+        constraint: &'static str,
+    },
+    /// The requested analysis needs at least one of something.
+    EmptyCircuit,
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::InvalidElement {
+                element,
+                constraint,
+            } => write!(f, "invalid element `{element}`: {constraint}"),
+            AnalogError::UnknownNode { node, node_count } => {
+                write!(f, "node {node} out of range for circuit with {node_count} nodes")
+            }
+            AnalogError::DuplicateElement { element } => {
+                write!(f, "element name `{element}` already used")
+            }
+            AnalogError::UnknownElement { element } => {
+                write!(f, "no element named `{element}`")
+            }
+            AnalogError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration failed to converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            AnalogError::SingularMatrix { row } => {
+                write!(f, "singular mna matrix at pivot row {row}")
+            }
+            AnalogError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            AnalogError::EmptyCircuit => write!(f, "circuit contains no nodes or elements"),
+        }
+    }
+}
+
+impl Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_lowercase_unterminated() {
+        let errors = [
+            AnalogError::InvalidElement {
+                element: "M1".into(),
+                constraint: "width must be positive",
+            },
+            AnalogError::UnknownNode {
+                node: 9,
+                node_count: 3,
+            },
+            AnalogError::DuplicateElement {
+                element: "R1".into(),
+            },
+            AnalogError::UnknownElement {
+                element: "Rx".into(),
+            },
+            AnalogError::NoConvergence {
+                iterations: 100,
+                residual: 1e-3,
+            },
+            AnalogError::SingularMatrix { row: 2 },
+            AnalogError::InvalidParameter {
+                name: "dt",
+                constraint: "must be positive",
+            },
+            AnalogError::EmptyCircuit,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalogError>();
+    }
+}

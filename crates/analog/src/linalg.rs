@@ -1,0 +1,352 @@
+//! Dense linear algebra for modified nodal analysis.
+//!
+//! The circuits in this workspace are small (tens of nodes), so a dense LU
+//! factorization with partial pivoting is simple, robust, and more than fast
+//! enough. Implemented from scratch — the workspace carries no external
+//! numerics dependency.
+
+use crate::AnalogError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// ```
+/// use si_analog::linalg::Matrix;
+///
+/// # fn main() -> Result<(), si_analog::AnalogError> {
+/// let mut a = Matrix::zeros(2, 2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 4.0;
+/// let x = a.solve(&[6.0, 8.0])?;
+/// assert_eq!(x, vec![3.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged row {i}");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets every entry back to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Adds `value` to entry `(i, j)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn stamp(&mut self, i: usize, j: usize, value: f64) {
+        self[(i, j)] += value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] on a dimension mismatch.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, AnalogError> {
+        if x.len() != self.cols {
+            return Err(AnalogError::InvalidParameter {
+                name: "x",
+                constraint: "vector length must equal matrix column count",
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect())
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting, without destroying
+    /// `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] if a pivot underflows, or
+    /// [`AnalogError::InvalidParameter`] on a dimension mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, AnalogError> {
+        let lu = Lu::factor(self.clone())?;
+        lu.solve(b)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Pivot magnitudes below this are treated as singular.
+    const PIVOT_EPS: f64 = 1e-300;
+
+    /// Factors `a` in place (consuming it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] when no usable pivot exists,
+    /// or [`AnalogError::InvalidParameter`] if `a` is not square.
+    pub fn factor(mut a: Matrix) -> Result<Self, AnalogError> {
+        if a.rows != a.cols {
+            return Err(AnalogError::InvalidParameter {
+                name: "a",
+                constraint: "matrix must be square",
+            });
+        }
+        let n = a.rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: find the largest |a[i][k]| for i >= k.
+            let mut pivot_row = k;
+            let mut pivot_mag = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = a[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < Self::PIVOT_EPS || !pivot_mag.is_finite() {
+                return Err(AnalogError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] -= factor * akj;
+                }
+            }
+        }
+        Ok(Lu { lu: a, perm })
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] on a dimension mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, AnalogError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(AnalogError::InvalidParameter {
+                name: "b",
+                constraint: "vector length must equal matrix dimension",
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(AnalogError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor(a),
+            Err(AnalogError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = Matrix::identity(3);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        // Deterministic pseudo-random fill.
+        let n = 20;
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant, well-conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve(&b).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reusing_factorization_matches_fresh_solve() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let lu = Lu::factor(a.clone()).unwrap();
+        for b in [[1.0, 0.0, 0.0], [0.0, 5.0, -2.0]] {
+            let x1 = lu.solve(&b).unwrap();
+            let x2 = a.solve(&b).unwrap();
+            for (u, v) in x1.iter().zip(&x2) {
+                assert!((u - v).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.stamp(0, 0, 1.5);
+        m.stamp(0, 0, 2.5);
+        assert_eq!(m[(0, 0)], 4.0);
+        m.clear();
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[1.0]]);
+    }
+}

@@ -1,0 +1,356 @@
+//! A SPICE-subset netlist parser.
+//!
+//! Lets circuits be written as plain text instead of builder calls:
+//!
+//! ```text
+//! * resistive divider with a clocked tap
+//! V1 in 0 3.3
+//! R1 in mid 1k
+//! R2 mid 0 2k
+//! C1 mid 0 1p
+//! I1 0 out 10u
+//! M1 out g 0 0 NMOS W=20u L=2u
+//! S1 out mid phi1
+//! ```
+//!
+//! Supported cards (first letter selects the element, case-insensitive):
+//!
+//! | Card | Syntax |
+//! |---|---|
+//! | `R` | `Rname a b value` |
+//! | `C` | `Cname a b value` |
+//! | `V` | `Vname pos neg value` *or* `Vname pos neg SIN offset amp freq` |
+//! | `I` | `Iname from to value` *or* `Iname from to SIN offset amp freq` |
+//! | `M` | `Mname d g s b NMOS|PMOS [W=..] [L=..]` |
+//! | `S` | `Sname a b phi1|phi2|on|off [ron] [roff]` |
+//!
+//! Values accept the usual engineering suffixes
+//! (`f p n u m k meg g t`). Node `0`, `gnd` and `ground` are ground.
+//! MOS devices use the crate's generic 0.8 µm models with the given
+//! geometry. Lines starting with `*` or `;` are comments; `.end` stops
+//! parsing.
+
+use crate::device::mos::MosParams;
+use crate::device::switch::{ClockPhase, Switch};
+use crate::device::Waveform;
+use crate::netlist::{Circuit, MosTerminals};
+use crate::units::{Amps, Farads, Ohms};
+use crate::AnalogError;
+
+/// Parses a netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`AnalogError::InvalidElement`] with the offending card's name
+/// for any malformed line, plus the usual netlist-construction errors.
+///
+/// ```
+/// use si_analog::parse::parse_netlist;
+/// use si_analog::dc::DcSolver;
+///
+/// # fn main() -> Result<(), si_analog::AnalogError> {
+/// let ckt = parse_netlist(
+///     "V1 in 0 3.0\n\
+///      R1 in mid 1k\n\
+///      R2 mid 0 2k\n",
+/// )?;
+/// let op = DcSolver::new().solve(&ckt)?;
+/// let mid = ckt.elements().len(); // circuit built; solve it
+/// # let _ = mid;
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_netlist(text: &str) -> Result<Circuit, AnalogError> {
+    let mut circuit = Circuit::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        // Strip inline `;` comments, then whitespace.
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if line.eq_ignore_ascii_case(".end") {
+            break;
+        }
+        parse_card(&mut circuit, line).map_err(|e| annotate(e, line_no + 1))?;
+    }
+    Ok(circuit)
+}
+
+fn annotate(e: AnalogError, line: usize) -> AnalogError {
+    match e {
+        AnalogError::InvalidElement {
+            element,
+            constraint,
+        } => AnalogError::InvalidElement {
+            element: format!("{element} (line {line})"),
+            constraint,
+        },
+        other => other,
+    }
+}
+
+fn parse_card(circuit: &mut Circuit, line: &str) -> Result<(), AnalogError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let name = tokens[0];
+    let bad = |constraint: &'static str| AnalogError::InvalidElement {
+        element: name.to_string(),
+        constraint,
+    };
+    let kind = name
+        .chars()
+        .next()
+        .ok_or_else(|| bad("empty card"))?
+        .to_ascii_uppercase();
+    match kind {
+        'R' => {
+            let [_, a, b, v] = tokens[..] else {
+                return Err(bad("resistor cards need: Rname a b value"));
+            };
+            let (na, nb) = (circuit.node(a), circuit.node(b));
+            circuit.resistor(
+                name,
+                na,
+                nb,
+                Ohms(parse_value(v).ok_or_else(|| bad("bad value"))?),
+            )?;
+        }
+        'C' => {
+            let [_, a, b, v] = tokens[..] else {
+                return Err(bad("capacitor cards need: Cname a b value"));
+            };
+            let (na, nb) = (circuit.node(a), circuit.node(b));
+            circuit.capacitor(
+                name,
+                na,
+                nb,
+                Farads(parse_value(v).ok_or_else(|| bad("bad value"))?),
+            )?;
+        }
+        'V' | 'I' => {
+            if tokens.len() < 4 {
+                return Err(bad("source cards need: name n1 n2 value|SIN o a f"));
+            }
+            let (n1, n2) = (circuit.node(tokens[1]), circuit.node(tokens[2]));
+            let waveform = if tokens[3].eq_ignore_ascii_case("sin") {
+                let [offset, amplitude, frequency] = tokens
+                    .get(4..7)
+                    .and_then(|t| {
+                        Some([parse_value(t[0])?, parse_value(t[1])?, parse_value(t[2])?])
+                    })
+                    .ok_or_else(|| bad("SIN needs: offset amplitude frequency"))?;
+                Waveform::Sine {
+                    offset,
+                    amplitude,
+                    frequency,
+                    phase: 0.0,
+                }
+            } else {
+                Waveform::Dc(parse_value(tokens[3]).ok_or_else(|| bad("bad value"))?)
+            };
+            if kind == 'V' {
+                circuit.voltage_source_wave(name, n1, n2, waveform)?;
+            } else {
+                circuit.current_source_wave(name, n1, n2, waveform)?;
+            }
+        }
+        'M' => {
+            if tokens.len() < 6 {
+                return Err(bad("mos cards need: Mname d g s b NMOS|PMOS [W=..] [L=..]"));
+            }
+            let terminals = MosTerminals {
+                drain: circuit.node(tokens[1]),
+                gate: circuit.node(tokens[2]),
+                source: circuit.node(tokens[3]),
+                bulk: circuit.node(tokens[4]),
+            };
+            let mut w_um = 10.0;
+            let mut l_um = 2.0;
+            for t in &tokens[6..] {
+                let lower = t.to_ascii_lowercase();
+                if let Some(v) = lower.strip_prefix("w=") {
+                    w_um = parse_value(v).ok_or_else(|| bad("bad W="))? * 1e6;
+                } else if let Some(v) = lower.strip_prefix("l=") {
+                    l_um = parse_value(v).ok_or_else(|| bad("bad L="))? * 1e6;
+                } else {
+                    return Err(bad("unknown mos parameter (only W= and L=)"));
+                }
+            }
+            let params = match tokens[5].to_ascii_uppercase().as_str() {
+                "NMOS" => MosParams::nmos_08um(w_um, l_um),
+                "PMOS" => MosParams::pmos_08um(w_um, l_um),
+                _ => return Err(bad("model must be NMOS or PMOS")),
+            };
+            circuit.mosfet(name, terminals, params)?;
+        }
+        'S' => {
+            if tokens.len() < 4 {
+                return Err(bad(
+                    "switch cards need: Sname a b phi1|phi2|on|off [ron] [roff]",
+                ));
+            }
+            let (na, nb) = (circuit.node(tokens[1]), circuit.node(tokens[2]));
+            let phase = match tokens[3].to_ascii_lowercase().as_str() {
+                "phi1" => ClockPhase::Phi1,
+                "phi2" => ClockPhase::Phi2,
+                "on" => ClockPhase::AlwaysOn,
+                "off" => ClockPhase::AlwaysOff,
+                _ => return Err(bad("switch phase must be phi1, phi2, on or off")),
+            };
+            let mut sw = Switch::on_phase(phase);
+            if let Some(r) = tokens.get(4) {
+                sw.ron = Ohms(parse_value(r).ok_or_else(|| bad("bad ron"))?);
+            }
+            if let Some(r) = tokens.get(5) {
+                sw.roff = Ohms(parse_value(r).ok_or_else(|| bad("bad roff"))?);
+            }
+            circuit.switch(name, na, nb, sw)?;
+        }
+        _ => return Err(bad("unknown card type (expected R, C, V, I, M or S)")),
+    }
+    Ok(())
+}
+
+/// Parses an engineering-notation value: `4.7k`, `10u`, `1meg`, `0.5`, …
+/// Returns `None` for malformed input.
+#[must_use]
+pub fn parse_value(token: &str) -> Option<f64> {
+    let lower = token.to_ascii_lowercase();
+    let (digits, multiplier) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else {
+        let (head, mult) = match lower.chars().last()? {
+            'f' => (&lower[..lower.len() - 1], 1e-15),
+            'p' => (&lower[..lower.len() - 1], 1e-12),
+            'n' => (&lower[..lower.len() - 1], 1e-9),
+            'u' => (&lower[..lower.len() - 1], 1e-6),
+            'm' => (&lower[..lower.len() - 1], 1e-3),
+            'k' => (&lower[..lower.len() - 1], 1e3),
+            'g' => (&lower[..lower.len() - 1], 1e9),
+            't' => (&lower[..lower.len() - 1], 1e12),
+            _ => (lower.as_str(), 1.0),
+        };
+        (head, mult)
+    };
+    let base: f64 = digits.parse().ok()?;
+    Some(base * multiplier)
+}
+
+/// Convenience: parse, then update a named DC current source — handy for
+/// text-defined testbenches driven from sweeps.
+///
+/// # Errors
+///
+/// Propagates parse and lookup errors.
+pub fn parse_with_drive(text: &str, source: &str, value: Amps) -> Result<Circuit, AnalogError> {
+    let mut circuit = parse_netlist(text)?;
+    crate::dc::set_current_source(&mut circuit, source, value)?;
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::DcSolver;
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("1k"), Some(1e3));
+        assert_eq!(parse_value("4.7u"), Some(4.7e-6));
+        assert_eq!(parse_value("1meg"), Some(1e6));
+        assert!((parse_value("2.2p").unwrap() - 2.2e-12).abs() < 1e-24);
+        assert_eq!(parse_value("10"), Some(10.0));
+        assert_eq!(parse_value("1e-3"), Some(1e-3));
+        assert_eq!(parse_value("3m"), Some(3e-3));
+        assert_eq!(parse_value("1f"), Some(1e-15));
+        assert_eq!(parse_value("abc"), None);
+        assert_eq!(parse_value(""), None);
+    }
+
+    #[test]
+    fn parses_and_solves_divider() {
+        let ckt = parse_netlist(
+            "* divider\n\
+             V1 in 0 3.3\n\
+             R1 in mid 1k\n\
+             R2 mid 0 2k\n\
+             .end\n\
+             R_ignored x 0 1k\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 3, ".end must stop parsing");
+        let op = DcSolver::new().solve(&ckt).unwrap();
+        let mut c2 = ckt.clone();
+        let mid = c2.node("mid");
+        assert!((op.voltage(mid).0 - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_mosfet_with_geometry() {
+        let ckt = parse_netlist(
+            "I1 0 d 50u\n\
+             M1 d d 0 0 NMOS W=20u L=2u\n",
+        )
+        .unwrap();
+        let op = DcSolver::new().solve(&ckt).unwrap();
+        let mut c2 = ckt.clone();
+        let d = c2.node("d");
+        // Diode-connected: VT + sqrt(2I/β) ≈ 0.8 + 0.316 ≈ 1.12 V.
+        let expected = 0.8 + (2.0f64 * 50e-6 / (100e-6 * 10.0)).sqrt();
+        assert!(
+            (op.voltage(d).0 - expected).abs() < 0.05,
+            "vgs {} vs {expected}",
+            op.voltage(d).0
+        );
+    }
+
+    #[test]
+    fn parses_switches_and_sin_sources() {
+        let ckt = parse_netlist(
+            "V1 a 0 SIN 0 1 1k\n\
+             S1 a b phi1 50 1e9\n\
+             R1 b 0 1k\n\
+             I1 0 b SIN 0 1u 2k\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 4);
+        assert_eq!(ckt.branch_count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_cards() {
+        assert!(parse_netlist("R1 a b").is_err());
+        assert!(parse_netlist("C1 a b xyz").is_err());
+        assert!(parse_netlist("Q1 a b c").is_err());
+        assert!(parse_netlist("M1 d g s b NFET").is_err());
+        assert!(parse_netlist("M1 d g s b NMOS Q=3").is_err());
+        assert!(parse_netlist("S1 a b phi9").is_err());
+        assert!(parse_netlist("V1 a 0 SIN 1 2").is_err());
+        // Error carries the line number.
+        let err = parse_netlist("R1 a 0 1k\nR2 a 0 oops").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let ckt = parse_netlist("R1 a 0 1k ; load\n; whole-line comment\nR2 a 0 1k\n").unwrap();
+        assert_eq!(ckt.elements().len(), 2);
+    }
+
+    #[test]
+    fn ground_aliases_work_in_text() {
+        let ckt = parse_netlist("V1 a gnd 1.0\nR1 a ground 1k\nR2 a 0 1k\n").unwrap();
+        let op = DcSolver::new().solve(&ckt).unwrap();
+        // Two 1k resistors to ground from 1 V → 2 mA through the source.
+        let i = op.branch_current(0);
+        assert!((i.0 + 2e-3).abs() < 1e-9, "i {}", i.0);
+    }
+
+    #[test]
+    fn parse_with_drive_updates_source() {
+        let ckt = parse_with_drive("I1 0 n 0\nR1 n 0 1k\n", "I1", Amps(1e-3)).unwrap();
+        let op = DcSolver::new().solve(&ckt).unwrap();
+        let mut c2 = ckt.clone();
+        let n = c2.node("n");
+        assert!((op.voltage(n).0 - 1.0).abs() < 1e-6);
+    }
+}

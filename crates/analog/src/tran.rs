@@ -1,0 +1,424 @@
+//! Transient analysis: fixed-step backward Euler with per-step Newton.
+//!
+//! Backward Euler is chosen over trapezoidal on purpose: switched circuits
+//! produce discontinuities at every clock edge and BE's strong damping
+//! avoids the trapezoidal ringing artifact. Steps are fixed-size; the caller
+//! picks a step small enough to resolve the clock phases (the helpers on
+//! [`TranResult`] read out values at phase midpoints, which is how a
+//! switched-current output is "sampled").
+
+use crate::device::switch::TwoPhaseClock;
+use crate::mna::{assemble, CapStep, Solution, StampContext};
+use crate::netlist::{Circuit, NodeId};
+use crate::units::{Amps, Seconds, Volts};
+use crate::AnalogError;
+
+/// Transient-analysis configuration.
+#[derive(Debug, Clone)]
+pub struct TranParams {
+    /// Total simulated time.
+    pub t_stop: Seconds,
+    /// Fixed time step.
+    pub dt: Seconds,
+    /// The two-phase clock driving the switches, if any.
+    pub clock: Option<TwoPhaseClock>,
+    /// Newton iteration budget per step.
+    pub max_iterations: usize,
+    /// Newton convergence tolerance on node voltages, in volts.
+    pub vtol: f64,
+    /// gmin added during every step.
+    pub gmin: f64,
+}
+
+impl TranParams {
+    /// Typical settings for a run of length `t_stop` with step `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] if the step or stop time is
+    /// not positive, or `dt > t_stop`.
+    pub fn new(t_stop: Seconds, dt: Seconds) -> Result<Self, AnalogError> {
+        if !(dt.0 > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "dt",
+                constraint: "time step must be positive",
+            });
+        }
+        if !(t_stop.0 > 0.0) || t_stop.0 < dt.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "t_stop",
+                constraint: "stop time must be positive and at least one step",
+            });
+        }
+        Ok(TranParams {
+            t_stop,
+            dt,
+            clock: None,
+            max_iterations: 50,
+            vtol: 1e-6,
+            gmin: 1e-12,
+        })
+    }
+
+    /// Attaches a switch clock, returning `self` for chaining.
+    #[must_use]
+    pub fn with_clock(mut self, clock: TwoPhaseClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+}
+
+/// The recorded waveforms of a transient run.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `node_voltages[step][node_index]`.
+    node_voltages: Vec<Vec<f64>>,
+    /// `branch_currents[step][branch]`.
+    branch_currents: Vec<Vec<f64>>,
+    clock: Option<TwoPhaseClock>,
+}
+
+impl TranResult {
+    /// The time axis in seconds.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of accepted time points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the run produced no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The waveform of one node's voltage.
+    #[must_use]
+    pub fn voltage_waveform(&self, node: NodeId) -> Vec<f64> {
+        self.node_voltages.iter().map(|v| v[node.index()]).collect()
+    }
+
+    /// The waveform of one voltage-source branch current.
+    #[must_use]
+    pub fn current_waveform(&self, branch: usize) -> Vec<f64> {
+        self.branch_currents.iter().map(|b| b[branch]).collect()
+    }
+
+    /// The index of the recorded point nearest to time `t`.
+    #[must_use]
+    pub fn index_at(&self, t: Seconds) -> usize {
+        match self.times.binary_search_by(|probe| probe.total_cmp(&t.0)) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i >= self.times.len() {
+                    self.times.len() - 1
+                } else if (self.times[i] - t.0).abs() < (self.times[i - 1] - t.0).abs() {
+                    i
+                } else {
+                    i - 1
+                }
+            }
+        }
+    }
+
+    /// The node voltage nearest to time `t`.
+    #[must_use]
+    pub fn voltage_at(&self, node: NodeId, t: Seconds) -> Volts {
+        Volts(self.node_voltages[self.index_at(t)][node.index()])
+    }
+
+    /// The branch current nearest to time `t`.
+    #[must_use]
+    pub fn current_at(&self, branch: usize, t: Seconds) -> Amps {
+        Amps(self.branch_currents[self.index_at(t)][branch])
+    }
+
+    /// Samples a branch current at the midpoint of every φ2 interval — how
+    /// a switched-current output held on φ2 is read. Returns one sample per
+    /// complete clock period in the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] if the run had no clock.
+    pub fn sample_phi2_currents(&self, branch: usize) -> Result<Vec<Amps>, AnalogError> {
+        let clock = self.clock.as_ref().ok_or(AnalogError::InvalidParameter {
+            name: "clock",
+            constraint: "run was not clocked",
+        })?;
+        let t_end = *self.times.last().unwrap_or(&0.0);
+        let periods = (t_end / clock.period().0).floor() as usize;
+        Ok((0..periods)
+            .map(|n| self.current_at(branch, clock.phi2_midpoint(n)))
+            .collect())
+    }
+}
+
+/// Runs a transient analysis.
+///
+/// The initial condition is the DC operating point with the clock state
+/// taken at `t = 0`.
+///
+/// # Errors
+///
+/// Propagates DC-solve errors for the initial point and Newton failures at
+/// any step (with the failing time reported through
+/// [`AnalogError::NoConvergence`]).
+pub fn run(circuit: &Circuit, params: &TranParams) -> Result<TranResult, AnalogError> {
+    // Initial DC with switches in their t = 0 state.
+    let (phi1_0, phi2_0) = match &params.clock {
+        Some(clk) => (
+            clk.is_high(crate::device::ClockPhase::Phi1, Seconds(0.0)),
+            clk.is_high(crate::device::ClockPhase::Phi2, Seconds(0.0)),
+        ),
+        None => (true, false),
+    };
+    let op = crate::dc::DcSolver::new()
+        .with_phases(phi1_0, phi2_0)
+        .solve(circuit)?;
+    run_from(circuit, params, op)
+}
+
+/// Runs a transient analysis from a supplied initial solution (e.g. the
+/// final state of a previous segment).
+///
+/// # Errors
+///
+/// Propagates Newton failures at any step.
+pub fn run_from(
+    circuit: &Circuit,
+    params: &TranParams,
+    initial: Solution,
+) -> Result<TranResult, AnalogError> {
+    let n_nodes = circuit.node_count();
+    let n_branches = circuit.branch_count();
+    let steps = (params.t_stop.0 / params.dt.0).round() as usize;
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut node_voltages = Vec::with_capacity(steps + 1);
+    let mut branch_currents = Vec::with_capacity(steps + 1);
+
+    let mut prev = initial.node_voltages();
+    times.push(0.0);
+    node_voltages.push(prev.clone());
+    branch_currents.push(
+        (0..n_branches)
+            .map(|k| initial.branch_current(k).0)
+            .collect(),
+    );
+
+    for step in 1..=steps {
+        let t = step as f64 * params.dt.0;
+        // Newton at this time point, warm-started from the previous step.
+        let mut guess = prev.clone();
+        let mut branches = vec![0.0; n_branches];
+        let mut converged = false;
+        let mut last_delta = f64::INFINITY;
+        for _ in 0..params.max_iterations {
+            let ctx = StampContext {
+                node_voltages: &guess,
+                time: Some(Seconds(t)),
+                clock: params.clock.as_ref(),
+                phi1_high: false,
+                phi2_high: false,
+                gmin: params.gmin,
+                cap_step: Some(CapStep {
+                    h: params.dt.0,
+                    prev_voltages: &prev,
+                }),
+            };
+            let sys = assemble(circuit, &ctx)?;
+            let x = sys.matrix.solve(&sys.rhs)?;
+            let mut delta_max = 0.0f64;
+            for i in 0..(n_nodes - 1) {
+                delta_max = delta_max.max((x[i] - guess[i + 1]).abs());
+            }
+            last_delta = delta_max;
+            // Damped update.
+            let alpha = if delta_max > 0.5 {
+                0.5 / delta_max
+            } else {
+                1.0
+            };
+            for i in 0..(n_nodes - 1) {
+                guess[i + 1] += alpha * (x[i] - guess[i + 1]);
+            }
+            for (k, b) in branches.iter_mut().enumerate() {
+                *b = x[n_nodes - 1 + k];
+            }
+            if delta_max < params.vtol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(AnalogError::NoConvergence {
+                iterations: params.max_iterations,
+                residual: last_delta,
+            });
+        }
+        times.push(t);
+        node_voltages.push(guess.clone());
+        branch_currents.push(branches);
+        prev = guess;
+    }
+
+    Ok(TranResult {
+        times,
+        node_voltages,
+        branch_currents,
+        clock: params.clock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::switch::{ClockPhase, Switch};
+    use crate::device::Waveform;
+    use crate::units::{Farads, Ohms};
+
+    #[test]
+    fn params_validate() {
+        assert!(TranParams::new(Seconds(1.0), Seconds(0.0)).is_err());
+        assert!(TranParams::new(Seconds(0.0), Seconds(1e-3)).is_err());
+        assert!(TranParams::new(Seconds(1e-4), Seconds(1e-3)).is_err());
+        assert!(TranParams::new(Seconds(1.0), Seconds(1e-3)).is_ok());
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic_solution() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        // Step from 0 to 1 V at t=0 through 1 kΩ into 1 µF: τ = 1 ms.
+        c.voltage_source_wave(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]),
+        )
+        .unwrap();
+        c.resistor("R1", a, b, Ohms(1e3)).unwrap();
+        c.capacitor("C1", b, Circuit::GROUND, Farads(1e-6)).unwrap();
+        let params = TranParams::new(Seconds(5e-3), Seconds(1e-6)).unwrap();
+        let result = run(&c, &params).unwrap();
+        for &t in &[0.5e-3, 1e-3, 3e-3] {
+            let v = result.voltage_at(b, Seconds(t)).0;
+            let expected = 1.0 - (-t / 1e-3f64).exp();
+            assert!(
+                (v - expected).abs() < 5e-3,
+                "at {t}: {v} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sine_source_propagates() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source_wave(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency: 1e3,
+                phase: 0.0,
+            },
+        )
+        .unwrap();
+        c.resistor("R1", a, Circuit::GROUND, Ohms(1e3)).unwrap();
+        let params = TranParams::new(Seconds(1e-3), Seconds(1e-6)).unwrap();
+        let result = run(&c, &params).unwrap();
+        let v = result.voltage_at(a, Seconds(0.25e-3)).0;
+        assert!((v - 1.0).abs() < 1e-3, "peak {v}");
+    }
+
+    #[test]
+    fn switched_capacitor_samples_and_holds() {
+        // A capacitor charged through a φ1 switch from a source, read out
+        // during φ2: classic sample-and-hold.
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        let cap = c.node("cap");
+        c.voltage_source("Vs", src, Circuit::GROUND, Volts(2.0))
+            .unwrap();
+        c.switch(
+            "S1",
+            src,
+            cap,
+            Switch {
+                ron: Ohms(100.0),
+                roff: Ohms(1e12),
+                phase: ClockPhase::Phi1,
+            },
+        )
+        .unwrap();
+        c.capacitor("Ch", cap, Circuit::GROUND, Farads(1e-12))
+            .unwrap();
+        let clock = TwoPhaseClock::new(Seconds(1e-6), 0.05).unwrap();
+        let params = TranParams::new(Seconds(3e-6), Seconds(2e-9))
+            .unwrap()
+            .with_clock(clock);
+        let result = run(&c, &params).unwrap();
+        // By mid-φ2 of period 0 the hold node should carry the sample.
+        let held = result.voltage_at(cap, clock.phi2_midpoint(0)).0;
+        assert!((held - 2.0).abs() < 1e-3, "held {held}");
+        // And it stays held across the next period boundary's dead time.
+        let held2 = result.voltage_at(cap, clock.phi2_midpoint(1)).0;
+        assert!((held2 - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phi2_sampling_helper() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, Volts(1.0))
+            .unwrap();
+        c.resistor("R1", a, Circuit::GROUND, Ohms(1e3)).unwrap();
+        let clock = TwoPhaseClock::new(Seconds(1e-6), 0.05).unwrap();
+        let params = TranParams::new(Seconds(4e-6), Seconds(1e-8))
+            .unwrap()
+            .with_clock(clock);
+        let result = run(&c, &params).unwrap();
+        let samples = result.sample_phi2_currents(0).unwrap();
+        assert_eq!(samples.len(), 4);
+        for s in samples {
+            assert!((s.0 + 1e-3).abs() < 1e-9, "sample {}", s.0);
+        }
+    }
+
+    #[test]
+    fn unclocked_run_rejects_phase_sampling() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, Volts(1.0))
+            .unwrap();
+        c.resistor("R1", a, Circuit::GROUND, Ohms(1e3)).unwrap();
+        let params = TranParams::new(Seconds(1e-6), Seconds(1e-8)).unwrap();
+        let result = run(&c, &params).unwrap();
+        assert!(result.sample_phi2_currents(0).is_err());
+    }
+
+    #[test]
+    fn index_at_clamps_to_range() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, Volts(1.0))
+            .unwrap();
+        c.resistor("R1", a, Circuit::GROUND, Ohms(1e3)).unwrap();
+        let params = TranParams::new(Seconds(1e-6), Seconds(1e-7)).unwrap();
+        let result = run(&c, &params).unwrap();
+        assert_eq!(result.index_at(Seconds(-1.0)), 0);
+        assert_eq!(result.index_at(Seconds(99.0)), result.len() - 1);
+    }
+}

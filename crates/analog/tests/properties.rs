@@ -1,0 +1,143 @@
+//! Property-based tests of the circuit-simulation substrate.
+
+use proptest::prelude::*;
+
+use si_analog::device::{MosParams, Waveform};
+use si_analog::linalg::Matrix;
+use si_analog::parse::{parse_netlist, parse_value};
+use si_analog::units::{Seconds, Volts};
+
+proptest! {
+    /// LU solve: A·x = b within tolerance for any diagonally dominant
+    /// system (the class MNA matrices with gmin belong to).
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        entries in prop::collection::vec(-1.0f64..1.0, 36),
+        rhs in prop::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = entries[i * n + j];
+            }
+            a[(i, i)] += 4.0;
+        }
+        let x = a.solve(&rhs).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&rhs) {
+            prop_assert!((ri - bi).abs() < 1e-9);
+        }
+    }
+
+    /// The MOS model's drain current is continuous in vgs and vds: small
+    /// input changes cause proportionally small current changes (no jumps
+    /// across region boundaries).
+    #[test]
+    fn mos_current_is_continuous(
+        vgs in 0.0f64..3.3,
+        vds in -3.3f64..3.3,
+        vbs in -1.0f64..0.0,
+    ) {
+        let m = MosParams::nmos_08um(20.0, 2.0);
+        let h = 1e-7;
+        let i0 = m.evaluate(Volts(vgs), Volts(vds), Volts(vbs)).id.0;
+        let i1 = m.evaluate(Volts(vgs + h), Volts(vds), Volts(vbs)).id.0;
+        let i2 = m.evaluate(Volts(vgs), Volts(vds + h), Volts(vbs)).id.0;
+        // β·V bounds the derivative scale for this geometry; the factor
+        // covers the worst-case swapped-terminal composite derivative
+        // (gm + gds + gmb). A true region-boundary discontinuity would be
+        // µA-class, far above this bound.
+        let bound = m.beta() * 100.0 * h;
+        prop_assert!((i1 - i0).abs() <= bound, "jump in vgs: {} A", (i1 - i0).abs());
+        prop_assert!((i2 - i0).abs() <= bound, "jump in vds: {} A", (i2 - i0).abs());
+    }
+
+    /// Drain/source symmetry: swapping the terminals negates the current
+    /// for any bias (with body tied to the original source).
+    #[test]
+    fn mos_is_drain_source_symmetric(
+        vg in 0.0f64..3.3,
+        vd in 0.0f64..3.3,
+        vs in 0.0f64..3.3,
+    ) {
+        let m = MosParams::nmos_08um(10.0, 1.0);
+        let vb = 0.0;
+        let fwd = m.evaluate(Volts(vg - vs), Volts(vd - vs), Volts(vb - vs)).id.0;
+        let rev = m.evaluate(Volts(vg - vd), Volts(vs - vd), Volts(vb - vd)).id.0;
+        prop_assert!(
+            (fwd + rev).abs() < 1e-9 * (1.0 + fwd.abs()),
+            "fwd {fwd} rev {rev}"
+        );
+    }
+
+    /// Saturation current never decreases with vgs (monotonicity).
+    #[test]
+    fn mos_current_monotone_in_vgs(v1 in 0.0f64..3.0, v2 in 0.0f64..3.0) {
+        let m = MosParams::nmos_08um(20.0, 2.0);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let i_lo = m.evaluate(Volts(lo), Volts(3.3), Volts(0.0)).id.0;
+        let i_hi = m.evaluate(Volts(hi), Volts(3.3), Volts(0.0)).id.0;
+        prop_assert!(i_hi >= i_lo - 1e-15);
+    }
+
+    /// PWL waveforms stay inside the convex hull of their points.
+    #[test]
+    fn pwl_is_bounded_by_its_points(
+        points in prop::collection::vec((0.0f64..1e-3, -5.0f64..5.0), 2..8),
+        t in -1e-3f64..2e-3,
+    ) {
+        let mut pts = points;
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let w = Waveform::Pwl(pts);
+        let v = w.value_at(Seconds(t));
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Sine waveforms are bounded by offset ± amplitude.
+    #[test]
+    fn sine_is_bounded(offset in -5.0f64..5.0, amplitude in 0.0f64..5.0, t in 0.0f64..1.0) {
+        let w = Waveform::Sine { offset, amplitude, frequency: 997.0, phase: 0.3 };
+        let v = w.value_at(Seconds(t));
+        prop_assert!(v >= offset - amplitude - 1e-12);
+        prop_assert!(v <= offset + amplitude + 1e-12);
+    }
+
+    /// Engineering-suffix parsing round-trips: formatting a value with a
+    /// suffix and re-parsing recovers it.
+    #[test]
+    fn parse_value_round_trips(mantissa in 0.001f64..999.0, suffix_idx in 0usize..8) {
+        let (suffix, mult) = [
+            ("f", 1e-15), ("p", 1e-12), ("n", 1e-9), ("u", 1e-6),
+            ("m", 1e-3), ("k", 1e3), ("meg", 1e6), ("g", 1e9),
+        ][suffix_idx];
+        let text = format!("{mantissa}{suffix}");
+        let parsed = parse_value(&text).expect("valid suffix");
+        let expected = mantissa * mult;
+        prop_assert!((parsed - expected).abs() / expected < 1e-12,
+            "{text} → {parsed} vs {expected}");
+    }
+
+    /// A generated ladder of resistors always parses and solves, and the
+    /// tap voltages are monotone down the ladder.
+    #[test]
+    fn generated_resistor_ladders_solve(stages in 1usize..8, r_k in 1.0f64..100.0) {
+        use si_analog::dc::DcSolver;
+        let mut text = String::from("V1 n0 0 3.3\n");
+        for k in 0..stages {
+            text.push_str(&format!("R{k} n{k} n{} {r_k}k\n", k + 1));
+        }
+        text.push_str(&format!("Rend n{stages} 0 {r_k}k\n"));
+        let ckt = parse_netlist(&text).unwrap();
+        let op = DcSolver::new().solve(&ckt).unwrap();
+        let mut c2 = ckt.clone();
+        let mut last = 3.3f64;
+        for k in 1..=stages {
+            let v = op.voltage(c2.node(&format!("n{k}"))).0;
+            prop_assert!(v < last + 1e-9 && v > 0.0, "tap {k}: {v} after {last}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Benchmark of the measurement substrate: FFT, windowing, periodogram and
+//! harmonic analysis at the paper's 64K record size (and smaller sizes for
+//! scaling). These kernels dominate the cost of every spectrum experiment
+//! (Figs. 5–7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use si_dsp::fft::FftPlan;
+use si_dsp::metrics::HarmonicAnalysis;
+use si_dsp::signal::SineWave;
+use si_dsp::spectrum::Spectrum;
+use si_dsp::window::Window;
+use si_dsp::Complex;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[4096usize, 65_536] {
+        let plan = FftPlan::new(n).unwrap();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf)).unwrap();
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectrum_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum");
+    let n = 65_536;
+    let samples: Vec<f64> = SineWave::coherent(1.0, 53, n).unwrap().take(n).collect();
+    group.bench_function("periodogram_blackman_64k", |b| {
+        b.iter(|| Spectrum::periodogram(black_box(&samples), Window::Blackman).unwrap())
+    });
+    let spec = Spectrum::periodogram(&samples, Window::Blackman).unwrap();
+    group.bench_function("harmonic_analysis_64k", |b| {
+        b.iter(|| HarmonicAnalysis::of(black_box(&spec), 5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_spectrum_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmark and ablation of the behavioral memory cells: class A vs
+//! class AB, ideal vs full error model, and the delay-line throughput that
+//! bounds every Table 1 experiment. The class-A/class-AB comparison is the
+//! design-choice ablation DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use si_core::blocks::DelayLine;
+use si_core::cell::{ClassACell, ClassAbCell, MemoryCell};
+use si_core::params::{ClassAParams, ClassAbParams};
+use si_core::Diff;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_cell");
+    let x = Diff::from_differential(5e-6);
+
+    let mut ideal_ab = ClassAbCell::new(&ClassAbParams::ideal(), 1).unwrap();
+    group.bench_function("class_ab_ideal", |b| {
+        b.iter(|| ideal_ab.process(black_box(x)))
+    });
+
+    let mut paper_ab = ClassAbCell::new(&ClassAbParams::paper_08um(), 1).unwrap();
+    group.bench_function("class_ab_paper_full_errors", |b| {
+        b.iter(|| paper_ab.process(black_box(x)))
+    });
+
+    let mut paper_a = ClassACell::new(&ClassAParams::paper_08um(), 1).unwrap();
+    group.bench_function("class_a_paper_full_errors", |b| {
+        b.iter(|| paper_a.process(black_box(x)))
+    });
+    group.finish();
+}
+
+fn bench_delay_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_line");
+    let input: Vec<Diff> = (0..4096)
+        .map(|k| Diff::from_differential(8e-6 * (k as f64 * 0.01).sin()))
+        .collect();
+
+    let mut line = DelayLine::class_ab(2, &ClassAbParams::paper_08um(), 1).unwrap();
+    group.bench_function("two_cell_4096_samples", |b| {
+        b.iter(|| line.process_block(black_box(&input)))
+    });
+
+    let mut line8 = DelayLine::class_ab(8, &ClassAbParams::paper_08um(), 1).unwrap();
+    group.bench_function("eight_cell_4096_samples", |b| {
+        b.iter(|| line8.process_block(black_box(&input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells, bench_delay_line);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmark and ablation of the ΔΣ modulators: ideal vs SI-circuit loop,
+//! chopper on vs off, and CMFF vs CMFB inside the loop — the per-sample
+//! cost that multiplies into every Fig. 5–7 run (64K samples per
+//! measurement, ×12 levels ×2 modulators for Fig. 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use si_core::Diff;
+use si_modulator::arch::SecondOrderTopology;
+use si_modulator::ideal::IdealModulator;
+use si_modulator::si::{ChopperSiModulator, CmChoice, SiModulator, SiModulatorConfig};
+use si_modulator::Modulator;
+
+fn run_block<M: Modulator>(m: &mut M, n: usize) -> i64 {
+    let mut acc = 0i64;
+    for k in 0..n {
+        let x = Diff::from_differential(3e-6 * (k as f64 * 0.005).sin());
+        acc += i64::from(m.step(x));
+    }
+    acc
+}
+
+fn bench_modulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modulator_4096_steps");
+    let n = 4096;
+
+    let mut ideal = IdealModulator::new(SecondOrderTopology::paper_scaled(), 6e-6).unwrap();
+    group.bench_function("ideal_reference", |b| {
+        b.iter(|| run_block(black_box(&mut ideal), n))
+    });
+
+    let mut plain = SiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+    group.bench_function("si_plain_cmff", |b| {
+        b.iter(|| run_block(black_box(&mut plain), n))
+    });
+
+    let mut cmfb_cfg = SiModulatorConfig::paper_08um();
+    cmfb_cfg.cm = CmChoice::Cmfb {
+        loop_gain: 0.5,
+        nonlinearity: 2e3,
+    };
+    let mut with_cmfb = SiModulator::new(cmfb_cfg).unwrap();
+    group.bench_function("si_plain_cmfb", |b| {
+        b.iter(|| run_block(black_box(&mut with_cmfb), n))
+    });
+
+    let mut chopper = ChopperSiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+    group.bench_function("si_chopper_cmff", |b| {
+        b.iter(|| run_block(black_box(&mut chopper), n))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modulators);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmark of the end-to-end experiment kernels: one complete Fig. 5
+//! style measurement (settle + record + FFT + analysis) at a reduced record
+//! size, and one Table 1 delay-line measurement. These are the units the
+//! full experiment binaries repeat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use si_bench::{measure_delay_line, DelayLineSetup};
+use si_modulator::measure::{measure, MeasurementConfig};
+use si_modulator::si::{SiModulator, SiModulatorConfig};
+
+fn bench_modulator_measurement(c: &mut Criterion) {
+    let mut cfg = MeasurementConfig::quick();
+    cfg.record_len = 8192;
+    cfg.settle = 256;
+    c.bench_function("fig5_measurement_8k", |b| {
+        b.iter(|| {
+            let mut m = SiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+            measure(black_box(&mut m), &cfg).unwrap()
+        })
+    });
+}
+
+fn bench_delay_line_measurement(c: &mut Criterion) {
+    let mut setup = DelayLineSetup::quick();
+    setup.record_len = 8192;
+    c.bench_function("table1_measurement_8k", |b| {
+        b.iter(|| measure_delay_line(black_box(&setup)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_modulator_measurement,
+    bench_delay_line_measurement
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Design-choice ablations — the sweeps behind the paper's choices, as
+//! called out in DESIGN.md §5:
+//!
+//! * **GGA gain sweep** — transmission error and delay-line accuracy vs the
+//!   grounded-gate amplifier's boost (the "virtual ground" knob),
+//! * **CMFF vs CMFB vs none inside the modulator** — SINAD cost of the
+//!   feedback baseline's nonlinearity,
+//! * **OSR sweep** — measured dynamic range against the white-noise
+//!   prediction (`+10·log10(OSR)`),
+//! * **loop-order sweep** — in-band SNR of orders 1–3 at the paper's rate,
+//!   locating the paper's 2nd-order choice on the textbook curve.
+//!
+//! Run: `cargo run --release -p si-bench --bin exp_ablation [--quick]`
+
+use si_bench::report::Report;
+use si_core::blocks::DelayLine;
+use si_core::params::ClassAbParams;
+use si_core::Diff;
+use si_modulator::measure::{measure, MeasurementConfig};
+use si_modulator::nthorder::NthOrderModulator;
+use si_modulator::si::{CmChoice, SiModulator, SiModulatorConfig};
+use si_modulator::sweep::sndr_sweep;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_ablation failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn delay_line_gain_error(gga_gain: f64) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut params = ClassAbParams::paper_08um();
+    params.gga_gain = gga_gain;
+    // Isolate the transmission-error mechanism: zero the other errors
+    // (noise, charge injection, branch mismatch) for this sweep.
+    params.noise_rms = 0.0;
+    params.charge_injection = si_core::params::ChargeInjection::none();
+    params.branch_mismatch = 0.0;
+    params.settling = si_core::params::Settling::ideal();
+    let mut line = DelayLine::class_ab(2, &params, 1)?;
+    line.process(Diff::from_differential(8e-6));
+    let y = line.process(Diff::ZERO);
+    Ok((y.dm() - 8e-6).abs() / 8e-6)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = MeasurementConfig::paper_fig5();
+    cfg.record_len = if quick { 16_384 } else { 65_536 };
+
+    // --- GGA gain sweep ----------------------------------------------------
+    let mut gga = Report::new("Ablation: GGA gain vs delay-line transmission error");
+    for gain in [1.0, 10.0, 50.0, 150.0, 500.0] {
+        let err = delay_line_gain_error(gain)?;
+        gga.row(
+            &format!("gain error at A_gga = {gain}"),
+            "ε ≈ 2·(g_out/g_m)/A_gga",
+            &format!("{:.4} %", err * 100.0),
+        );
+    }
+    gga.print();
+    println!();
+    let err_low = delay_line_gain_error(1.0)?;
+    let err_paper = delay_line_gain_error(150.0)?;
+    if err_low < 50.0 * err_paper {
+        return Err("GGA boost did not reduce transmission error as expected".into());
+    }
+
+    // --- Common-mode control inside the modulator ---------------------------
+    let mut cm_report = Report::new("Ablation: common-mode control in the Fig. 3(a) loop");
+    let mut sinads = Vec::new();
+    for (label, cm) in [
+        ("CMFF (paper)", CmChoice::Cmff { mismatch: 5e-3 }),
+        (
+            "CMFB (baseline)",
+            CmChoice::Cmfb {
+                loop_gain: 0.5,
+                nonlinearity: 2e3,
+            },
+        ),
+        ("no control", CmChoice::None),
+    ] {
+        let mut config = SiModulatorConfig::paper_08um();
+        config.cm = cm;
+        let mut m = SiModulator::new(config)?;
+        let meas = measure(&mut m, &cfg)?;
+        sinads.push(meas.sinad_db);
+        cm_report.row(
+            label,
+            "CMFF ≥ CMFB (no V↔I nonlinearity)",
+            &format!("SINAD {:.1} dB, THD {:.1} dB", meas.sinad_db, meas.thd_db),
+        );
+    }
+    cm_report.print();
+    println!();
+
+    // --- OSR sweep -----------------------------------------------------------
+    // DR is measured with the analysis band set by the OSR; prediction is
+    // the white-noise +10·log10(OSR) law from the 42 dB Nyquist base.
+    let mut osr_report = Report::new("Ablation: dynamic range vs OSR (white 33 nA noise)");
+    let levels = [-60.0, -40.0, -20.0, -10.0, -6.0];
+    for osr in [32.0, 64.0, 128.0, 256.0] {
+        let mut c = cfg;
+        c.band_hz = c.clock_hz / (2.0 * osr);
+        let result = sndr_sweep(
+            || SiModulator::new(SiModulatorConfig::paper_08um()),
+            &levels,
+            &c,
+        )?;
+        let predicted = si_core::noise::predicted_dynamic_range_db(
+            si_analog::units::Amps(6e-6),
+            si_analog::units::Amps(33e-9),
+            osr,
+        )?;
+        osr_report.row(
+            &format!("OSR {osr}"),
+            &format!("predicted {predicted:.1} dB"),
+            &format!("measured {:.1} dB", result.dynamic_range_db),
+        );
+    }
+    osr_report.print();
+    println!();
+
+    // --- Loop order ----------------------------------------------------------
+    let mut order_report = Report::new("Ablation: loop order at 30 kHz band (ideal loops)");
+    let mut order_snrs = Vec::new();
+    for order in 1..=3 {
+        let mut c = cfg;
+        c.band_hz = 30e3;
+        let mut m = NthOrderModulator::new(order, 6e-6)?;
+        let meas = measure(&mut m, &c)?;
+        order_snrs.push(meas.snr_db);
+        order_report.row(
+            &format!("order {order}"),
+            "SNR grows (L+0.5)·10·log10(OSR)-ish",
+            &format!("{:.1} dB", meas.snr_db),
+        );
+    }
+    order_report.print();
+
+    if order_snrs[1] < order_snrs[0] + 10.0 {
+        return Err("order-2 advantage over order-1 not demonstrated".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! E6 / Fig. 6 — power spectra of the chopper-stabilized SI ΔΣ modulator,
+//! before (a) and after (b) the output chopper multiplication.
+//!
+//! Paper: "In Fig. 6 (a) … it is clear that the signal has been moved to
+//! high frequencies. In Fig. 6 (b) … the signal is at the low frequencies."
+//! Measured THD −62 dB, SNR 58 dB in 10 kHz. Series are written to
+//! `target/experiments/fig6a_spectrum.tsv` and `fig6b_spectrum.tsv`.
+//!
+//! Run: `cargo run --release -p si-bench --bin exp_fig6 [--quick]`
+
+use si_bench::report::{decimate_for_plot, series_tsv, Report};
+use si_dsp::power_db;
+use si_modulator::measure::{measure_chopper_taps, MeasurementConfig};
+use si_modulator::si::{ChopperSiModulator, SiModulatorConfig};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_fig6 failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = MeasurementConfig::paper_fig5();
+    if quick {
+        cfg.record_len = 16_384;
+    }
+
+    let mut modulator = ChopperSiModulator::new(SiModulatorConfig::paper_08um())?;
+    let (before, after) = measure_chopper_taps(&mut modulator, &cfg)?;
+
+    // Where the tone sits in each tap.
+    let cycles = si_dsp::signal::coherent_cycles(cfg.signal_hz, cfg.clock_hz, cfg.record_len);
+    let image_bin = cfg.record_len / 2 - cycles;
+    let before_low = power_db(before.spectrum.tone_power(cycles) / 0.5);
+    let before_high = power_db(before.spectrum.tone_power(image_bin) / 0.5);
+    let after_low = power_db(after.spectrum.tone_power(cycles) / 0.5);
+    let after_high = power_db(after.spectrum.tone_power(image_bin) / 0.5);
+
+    let mut t = Report::new("Fig. 6 — chopper-stabilized modulator spectra");
+    t.row(
+        "(a) tone at baseband bin",
+        "absent (moved to high freq.)",
+        &format!("{before_low:.1} dBFS"),
+    );
+    t.row(
+        "(a) tone at fs/2 − f image",
+        "−6 dBFS (the moved signal)",
+        &format!("{before_high:.1} dBFS"),
+    );
+    t.row(
+        "(b) tone at baseband bin",
+        "−6 dBFS (restored)",
+        &format!("{after_low:.1} dBFS"),
+    );
+    t.row(
+        "(b) tone at fs/2 − f image",
+        "absent",
+        &format!("{after_high:.1} dBFS"),
+    );
+    t.row("(b) THD", "−62 dB", &format!("{:.1} dB", after.thd_db));
+    t.row(
+        "(b) SNR (10 kHz band)",
+        "58 dB",
+        &format!("{:.1} dB", after.snr_db),
+    );
+    t.print();
+
+    let out_dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(out_dir)?;
+    for (name, meas) in [("fig6a", &before), ("fig6b", &after)] {
+        let db = meas.spectrum_dbfs();
+        let points = decimate_for_plot(&db, 2048);
+        let xs: Vec<f64> = points
+            .iter()
+            .map(|&(bin, _)| meas.spectrum.bin_frequency(bin, cfg.clock_hz))
+            .collect();
+        let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+        let path = out_dir.join(format!("{name}_spectrum.tsv"));
+        std::fs::write(
+            &path,
+            series_tsv(&format!("Fig. 6 {name}: dBFS vs Hz"), &xs, &ys),
+        )?;
+        println!("spectrum series written to {}", path.display());
+        let chart = si_bench::plot::Chart {
+            title: format!(
+                "Fig. 6 ({}) — chopper-stabilized modulator spectrum",
+                if name == "fig6a" {
+                    "a: before output chopper"
+                } else {
+                    "b: after output chopper"
+                }
+            ),
+            x_label: "frequency (Hz)".into(),
+            y_label: "level (dBFS)".into(),
+            x_scale: si_bench::plot::Scale::Log,
+            series: vec![si_bench::plot::Series {
+                label: format!("SNR {:.1} dB in 10 kHz", meas.snr_db),
+                points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+            }],
+        };
+        if let Some(svg) = chart.render_svg() {
+            let svg_path = out_dir.join(format!("{name}_spectrum.svg"));
+            std::fs::write(&svg_path, svg)?;
+            println!("figure rendered to {}", svg_path.display());
+        }
+    }
+
+    // The pre-chop baseband is not empty — slewing in the mirrored
+    // integrators leaves residual low-frequency content, as does the
+    // "input interface" noise in the paper's own Fig. 6(a). Require a
+    // clear (> 15 dB) dominance of the translated tone.
+    if before_high < before_low + 15.0 {
+        return Err("pre-chop signal not translated to high frequency".into());
+    }
+    if after_low < after_high + 15.0 {
+        return Err("post-chop signal not restored to baseband".into());
+    }
+    if !(50.0..=66.0).contains(&after.snr_db) {
+        return Err(format!("SNR {:.1} dB outside the 58 dB class", after.snr_db).into());
+    }
+    Ok(())
+}

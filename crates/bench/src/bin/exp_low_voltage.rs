@@ -1,0 +1,109 @@
+//! Low-voltage design-space exploration — the direction the paper's own
+//! follow-up work took (ref. \[15\]: "a 1.2-V 0.8-mW switched-current
+//! oversampling A/D converter").
+//!
+//! Sweeps the supply voltage, asks the Eqs. (1)–(2) headroom model what
+//! modulation index survives (with the threshold voltages scaled as a
+//! low-VT process option would), sizes the quiescent current for a fixed
+//! peak signal, and reports the resulting power — reproducing the trend
+//! that lower supplies with lower-VT devices cut power at equal function.
+//!
+//! Run: `cargo run --release -p si-bench --bin exp_low_voltage`
+
+use si_analog::headroom::HeadroomBudget;
+use si_analog::units::{Amps, Volts};
+use si_bench::report::Report;
+use si_core::power::SystemPower;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_low_voltage failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// A headroom budget with thresholds scaled by `k` (process option) and
+/// overdrives scaled mildly with them.
+fn scaled_budget(k: f64) -> HeadroomBudget {
+    let base = HeadroomBudget::paper_08um();
+    HeadroomBudget {
+        vt_mp: base.vt_mp * k,
+        vt_mn: base.vt_mn * k,
+        vov_memory: base.vov_memory * k.max(0.6),
+        vov_tp: base.vov_tp * k.max(0.6),
+        vov_tg: base.vov_tg * k.max(0.6),
+        vov_tc: base.vov_tc * k.max(0.6),
+        vov_tn: base.vov_tn * k.max(0.6),
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let i_peak = Amps(6e-6); // the modulator full scale
+
+    let mut t = Report::new("Low-voltage design space (fixed 6 µA peak signal)");
+    let mut found_1v2 = false;
+    for (vdd, vt_scale) in [
+        (3.3, 1.0),
+        (2.4, 0.8),
+        (1.8, 0.55),
+        (1.2, 0.4), // low-VT option, the ref. [15] regime
+    ] {
+        let budget = scaled_budget(vt_scale);
+        let mi = budget.max_modulation_index(Volts(vdd))?;
+        if mi <= 0.0 {
+            t.row(
+                &format!("Vdd = {vdd} V, VT×{vt_scale}"),
+                "infeasible below the threshold stack",
+                "no operating point",
+            );
+            continue;
+        }
+        // Size the quiescent current for the required peak.
+        let iq = Amps(i_peak.0 / mi.min(3.0)); // keep mi ≤ 3 for linearity
+        let gga = Amps(iq.0 * 2.0);
+        let cells = SystemPower::new(Volts(vdd))?
+            .with_class_ab_cells(4, iq, gga)
+            .with_cmff_stages(2, gga)
+            .with_quantizer(Amps(40e-6 * vdd / 3.3))
+            .with_dacs(2, Amps(i_peak.0 / 2.0 * 10.0));
+        let p = cells.total_power();
+        t.row(
+            &format!("Vdd = {vdd} V, VT×{vt_scale}"),
+            "power falls with supply ([15]: 1.2 V → 0.8 mW)",
+            &format!(
+                "max mi {mi:.1}, IQ {:.1} µA → {:.2} mW",
+                iq.0 * 1e6,
+                p.0 * 1e3
+            ),
+        );
+        if (vdd - 1.2).abs() < 1e-9 {
+            found_1v2 = true;
+            if !(0.2e-3..2.0e-3).contains(&p.0) {
+                return Err(format!(
+                    "1.2 V design point power {:.2} mW outside the ref. [15] 0.8 mW class",
+                    p.0 * 1e3
+                )
+                .into());
+            }
+        }
+    }
+    t.print();
+    println!();
+
+    // The class-A comparison at each supply: bias must cover the peak.
+    let mut cmp = Report::new("Class A vs class AB power at 6 µA peak (cells only)");
+    for mi in [1.0, 2.0, 3.0] {
+        let ratio = si_core::power::class_a_over_ab_power_ratio(i_peak, mi, Amps(2e-6))?;
+        cmp.row(
+            &format!("modulation index {mi}"),
+            "class AB wins for mi > 1",
+            &format!("P_A / P_AB = {ratio:.2}"),
+        );
+    }
+    cmp.print();
+
+    if !found_1v2 {
+        return Err("1.2 V design point was not feasible — headroom model regressed".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! E3 / Eq. 3 — verify that both modulator topologies realize
+//! `Y(z) = z⁻²·X(z) + (1 − z⁻¹)²·E(z)`.
+//!
+//! Three independent checks:
+//! 1. algebraic: the loop-derived STF/NTF equals the paper's equation,
+//! 2. time-domain: the simulated loop with an injected error impulse
+//!    follows the NTF impulse response sample by sample,
+//! 3. spectral: the 1-bit modulator's noise floor rises at 40 dB/decade,
+//!    and the chopper-stabilized loop shows the same shaping after output
+//!    chopping.
+//!
+//! Run: `cargo run --release -p si-bench --bin exp_ntf`
+
+use si_bench::report::Report;
+use si_core::Diff;
+use si_dsp::signal::SineWave;
+use si_dsp::spectrum::Spectrum;
+use si_dsp::window::Window;
+use si_dsp::zdomain::LinearModel;
+use si_modulator::arch::SecondOrderTopology;
+use si_modulator::ideal::IdealModulator;
+use si_modulator::si::{ChopperSiModulator, SiModulatorConfig};
+use si_modulator::Modulator;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_ntf failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn noise_slope_db_per_decade(spectrum: &Spectrum, n: usize) -> f64 {
+    // Average noise power around two frequencies a decade apart, in bins
+    // chosen inside the shaped region but away from the tone.
+    let f1 = n / 512; // fs/512
+    let f2 = n / 52; // ≈ fs/51 (one decade up)
+    let avg = |center: usize| {
+        let lo = center.saturating_sub(center / 4).max(1);
+        let hi = (center + center / 4).min(spectrum.len() - 1);
+        let p: f64 = spectrum.powers()[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64;
+        10.0 * p.log10()
+    };
+    avg(f2) - avg(f1)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Algebra --------------------------------------------------------
+    let topo = SecondOrderTopology::eq3_unit();
+    let model = topo.linear_model()?;
+    let target = LinearModel::paper_second_order();
+    let stf_ok = model.stf.approx_eq(&target.stf, 1e-9);
+    let ntf_ok = model.ntf.approx_eq(&target.ntf, 1e-9);
+
+    let mut algebra = Report::new("Eq. (3) — algebraic check (unit coefficients)");
+    algebra.row("STF", "z⁻²", if stf_ok { "z⁻² ✓" } else { "MISMATCH" });
+    algebra.row(
+        "NTF",
+        "(1 − z⁻¹)²",
+        if ntf_ok {
+            "(1 − z⁻¹)² ✓"
+        } else {
+            "MISMATCH"
+        },
+    );
+    algebra.row(
+        "NTF at Nyquist",
+        "+12 dB (|1−z⁻¹|² = 4)",
+        &format!("{:+.2} dB", model.ntf.magnitude_db(0.5)?),
+    );
+    algebra.print();
+    println!();
+
+    // --- 2. Time domain ----------------------------------------------------
+    let mut m = IdealModulator::new(topo, 1.0)?;
+    let expected = target.ntf.impulse_response(12);
+    let mut worst = 0.0f64;
+    for (k, &want) in expected.iter().enumerate() {
+        let e = if k == 0 { 1.0 } else { 0.0 };
+        let y = m.step_linear(0.0, e);
+        worst = worst.max((y - want).abs());
+    }
+    let mut time = Report::new("Eq. (3) — injected-error impulse response");
+    time.row(
+        "max |sim − NTF| over 12 samples",
+        "0",
+        &format!("{worst:.2e}"),
+    );
+    time.print();
+    println!();
+
+    // --- 3. Spectral -------------------------------------------------------
+    let n = 65_536;
+    let record = |bits: Vec<i8>| -> Result<Spectrum, Box<dyn std::error::Error>> {
+        let s: Vec<f64> = bits.iter().map(|&b| f64::from(b)).collect();
+        Ok(Spectrum::periodogram(&s, Window::Hann)?)
+    };
+    // Plain 1-bit loop.
+    let mut plain = IdealModulator::new(SecondOrderTopology::paper_scaled(), 1.0)?;
+    let mut stim = SineWave::coherent(0.5, 53, n)?;
+    let bits: Vec<i8> = (0..n)
+        .map(|_| plain.step(Diff::from_differential(stim.next().unwrap_or(0.0))))
+        .collect();
+    let spec = record(bits)?;
+    let slope = noise_slope_db_per_decade(&spec, n);
+
+    // Chopper loop, post-output-chopper bits.
+    let mut chop = ChopperSiModulator::new(SiModulatorConfig::ideal(1.0))?;
+    let mut stim = SineWave::coherent(0.5, 53, n)?;
+    let bits: Vec<i8> = (0..n)
+        .map(|_| chop.step(Diff::from_differential(stim.next().unwrap_or(0.0))))
+        .collect();
+    let chop_spec = record(bits)?;
+    let chop_slope = noise_slope_db_per_decade(&chop_spec, n);
+
+    let mut spectral = Report::new("Noise-shaping slope from 64K 1-bit spectra");
+    spectral.row(
+        "plain modulator (Fig. 3a)",
+        "≈ 40 dB/decade",
+        &format!("{slope:.1} dB/decade"),
+    );
+    spectral.row(
+        "chopper modulator (Fig. 3b, after chop)",
+        "≈ 40 dB/decade",
+        &format!("{chop_slope:.1} dB/decade"),
+    );
+    spectral.print();
+
+    if !stf_ok || !ntf_ok || worst > 1e-9 {
+        return Err("linear Eq. (3) verification failed".into());
+    }
+    if (slope - 40.0).abs() > 8.0 || (chop_slope - 40.0).abs() > 8.0 {
+        return Err(format!(
+            "noise-shaping slope off: plain {slope:.1}, chopper {chop_slope:.1} dB/decade"
+        )
+        .into());
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! E4 / Table 1 — the delay-line performance summary.
+//!
+//! Reproduces every row of Table 1 that has a simulation-side equivalent:
+//! supply voltage and power from the itemized budget, sampling frequency
+//! from the setup, THD at the 5 kHz / 8 µA stimulus, SNR in the 2.5 MHz
+//! band (quoted by §V at 16 µA against the 33 nA noise floor), plus the
+//! noise-budget prediction itself.
+//!
+//! Run: `cargo run --release -p si-bench --bin exp_table1 [--quick]`
+
+use si_analog::units::Amps;
+use si_bench::report::Report;
+use si_bench::{measure_delay_line, DelayLineSetup};
+use si_core::noise::{snr_db, NoiseBudget};
+use si_core::power::SystemPower;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_table1 failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let mut thd_setup = DelayLineSetup::paper_table1();
+    if quick {
+        thd_setup.record_len = 16_384;
+    }
+    let thd_run = measure_delay_line(&thd_setup)?;
+
+    let mut snr_setup = thd_setup;
+    snr_setup.amplitude = 16e-6;
+    let snr_run = measure_delay_line(&snr_setup)?;
+
+    let budget = NoiseBudget::paper_08um();
+    let predicted_noise = budget.cascade_noise(2)?;
+    let predicted_snr = snr_db(Amps(16e-6), predicted_noise);
+    let power = SystemPower::paper_delay_line()?;
+
+    let mut t = Report::new("Table 1 — delay line");
+    t.row(
+        "process",
+        "0.8 µm single-poly CMOS",
+        "level-1 model of same",
+    );
+    t.row("chip area", "0.06 mm²", "n/a (simulated)");
+    t.row(
+        "power supply voltage",
+        "3.3 V",
+        &format!(
+            "{:.1} V (headroom-feasible, see exp_cell)",
+            power.supply().0
+        ),
+    );
+    t.row(
+        "power dissipation",
+        "0.7 mW",
+        &format!("{:.2} mW (itemized budget)", power.total_power().0 * 1e3),
+    );
+    t.row(
+        "sampling frequency",
+        "5 MHz",
+        &format!("{:.0} MHz", thd_setup.clock_hz / 1e6),
+    );
+    t.row(
+        "THD (5 kHz, 8 µA)",
+        "−50 dB",
+        &format!("{:.1} dB", thd_run.thd_db),
+    );
+    t.row(
+        "SNR (bandwidth 2.5 MHz)",
+        "50 dB",
+        &format!("{:.1} dB at 16 µA", snr_run.snr_db),
+    );
+    t.row(
+        "calculated noise floor",
+        "33 nA rms",
+        &format!("{:.1} nA rms", predicted_noise.0 * 1e9),
+    );
+    t.row(
+        "predicted SNR from budget",
+        "≈ 54 dB (paper's rounding)",
+        &format!("{predicted_snr:.1} dB"),
+    );
+    t.print();
+
+    // Sanity gates so CI catches regressions of the reproduction.
+    if !(-58.0..=-44.0).contains(&thd_run.thd_db) {
+        return Err(format!("THD {:.1} dB outside the −50 dB class", thd_run.thd_db).into());
+    }
+    if !(45.0..=57.0).contains(&snr_run.snr_db) {
+        return Err(format!("SNR {:.1} dB outside the 50 dB class", snr_run.snr_db).into());
+    }
+    if (power.total_power().0 * 1e3 - 0.7).abs() > 0.15 {
+        return Err("power budget drifted from Table 1".into());
+    }
+    Ok(())
+}

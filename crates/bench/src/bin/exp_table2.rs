@@ -1,0 +1,109 @@
+//! E8 / Table 2 — performance summary of both SI ΔΣ modulators.
+//!
+//! Rebuilds every Table 2 row: supply, power (itemized budget), clock
+//! frequency, OSR, signal bandwidth, 0-dB level and the measured dynamic
+//! range from a level sweep, for both the plain and the chopper-stabilized
+//! modulator.
+//!
+//! Run: `cargo run --release -p si-bench --bin exp_table2 [--quick]`
+
+use si_bench::report::Report;
+use si_core::power::SystemPower;
+use si_modulator::measure::MeasurementConfig;
+use si_modulator::si::{ChopperSiModulator, SiModulator, SiModulatorConfig};
+use si_modulator::sweep::{fig7_levels, sndr_sweep};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_table2 failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = MeasurementConfig::paper_fig5();
+    cfg.record_len = if quick { 16_384 } else { 65_536 };
+
+    let base = SiModulatorConfig::paper_08um();
+    let levels = fig7_levels();
+    let plain = sndr_sweep(|| SiModulator::new(base), &levels, &cfg)?;
+    let chopped = sndr_sweep(|| ChopperSiModulator::new(base), &levels, &cfg)?;
+
+    let power = SystemPower::paper_modulator()?;
+    let osr = 128.0;
+    let band = cfg.clock_hz / (2.0 * osr);
+
+    let mut t = Report::new("Table 2 — SI ΔΣ modulators (chopper-stabilized / plain)");
+    t.row(
+        "process",
+        "0.8 µm single-poly CMOS",
+        "level-1 model of same",
+    );
+    t.row("chip area", "0.26 mm² / 0.24 mm²", "n/a (simulated)");
+    t.row(
+        "supply voltage",
+        "3.3 V / 3.3 V",
+        &format!("{:.1} V", power.supply().0),
+    );
+    t.row(
+        "power dissipation",
+        "3.2 mW / 3.2 mW",
+        &format!(
+            "{:.2} mW (itemized budget, both)",
+            power.total_power().0 * 1e3
+        ),
+    );
+    t.row(
+        "clock frequency",
+        "2.45 MHz",
+        &format!("{:.2} MHz", cfg.clock_hz / 1e6),
+    );
+    t.row("OSR", "128 / 128", &format!("{osr:.0}"));
+    t.row(
+        "signal bandwidth",
+        "9.6 kHz / 9.6 kHz",
+        &format!("{:.1} kHz (fclk / 2·OSR)", band / 1e3),
+    );
+    t.row(
+        "0-dB level",
+        "6 µA / 6 µA",
+        &format!("{:.0} µA", base.full_scale * 1e6),
+    );
+    t.row(
+        "dynamic range",
+        "10.5 bits / 10.5 bits",
+        &format!(
+            "chopper {:.1} bits / plain {:.1} bits",
+            chopped.dynamic_range_bits(),
+            plain.dynamic_range_bits()
+        ),
+    );
+    t.print();
+
+    println!("\npower budget breakdown:");
+    for item in power.items() {
+        println!("  {:<22} {:7.1} µA", item.label, item.current.0 * 1e6);
+    }
+    println!(
+        "  {:<22} {:7.1} µA  → {:.2} mW at {:.1} V",
+        "total",
+        power.total_current().0 * 1e6,
+        power.total_power().0 * 1e3,
+        power.supply().0
+    );
+
+    for (name, r) in [("plain", &plain), ("chopper", &chopped)] {
+        if !(9.0..=12.0).contains(&r.dynamic_range_bits()) {
+            return Err(format!(
+                "{name} dynamic range {:.1} bits outside the 10.5-bit class",
+                r.dynamic_range_bits()
+            )
+            .into());
+        }
+    }
+    if (power.total_power().0 * 1e3 - 3.2).abs() > 0.5 {
+        return Err("modulator power budget drifted from Table 2".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,273 @@
+//! Minimal self-contained SVG line charts, so the `exp_fig*` binaries can
+//! regenerate the paper's figures as image files, not just TSV series.
+//!
+//! No styling framework, no dependency: axes, ticks, polylines and a
+//! legend on a fixed canvas. Good enough to eyeball Fig. 5's shaped noise
+//! or Fig. 7's SNDR curves next to the paper.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; non-finite points are skipped.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (requires positive coordinates).
+    Log,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title printed above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 840.0;
+const HEIGHT: f64 = 520.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#7f7f7f",
+];
+
+impl Chart {
+    /// Renders the chart as an SVG document.
+    ///
+    /// Returns `None` when no finite data point exists to set the axes.
+    #[must_use]
+    pub fn render_svg(&self) -> Option<String> {
+        let tx = |x: f64| -> Option<f64> {
+            match self.x_scale {
+                Scale::Linear => Some(x),
+                Scale::Log => (x > 0.0).then(|| x.log10()),
+            }
+        };
+        // Data bounds.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if let Some(xv) = tx(x) {
+                    if xv.is_finite() && y.is_finite() {
+                        xs.push(xv);
+                        ys.push(y);
+                    }
+                }
+            }
+        }
+        if xs.is_empty() {
+            return None;
+        }
+        let (x0, x1) = min_max(&xs);
+        let (mut y0, mut y1) = min_max(&ys);
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 1.0;
+            y1 += 1.0;
+        }
+        let pad = 0.05 * (y1 - y0);
+        let (y0, y1) = (y0 - pad, y1 + pad);
+        let px =
+            |xv: f64| MARGIN_L + (xv - x0) / (x1 - x0).max(1e-300) * (WIDTH - MARGIN_L - MARGIN_R);
+        let py =
+            |yv: f64| HEIGHT - MARGIN_B - (yv - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        );
+        // Axes box.
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            WIDTH - MARGIN_L - MARGIN_R,
+            HEIGHT - MARGIN_T - MARGIN_B
+        );
+        // Ticks: 6 on each axis.
+        for k in 0..=5 {
+            let f = k as f64 / 5.0;
+            let xv = x0 + f * (x1 - x0);
+            let yv = y0 + f * (y1 - y0);
+            let xpix = px(xv);
+            let ypix = py(yv);
+            let x_text = match self.x_scale {
+                Scale::Linear => format_tick(xv),
+                Scale::Log => format_tick(10f64.powf(xv)),
+            };
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{xpix}" y1="{}" x2="{xpix}" y2="{}" stroke="#333"/><text x="{xpix}" y="{}" font-size="11" text-anchor="middle">{x_text}</text>"##,
+                HEIGHT - MARGIN_B,
+                HEIGHT - MARGIN_B + 5.0,
+                HEIGHT - MARGIN_B + 18.0
+            );
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{}" y1="{ypix}" x2="{MARGIN_L}" y2="{ypix}" stroke="#333"/><text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"##,
+                MARGIN_L - 5.0,
+                MARGIN_L - 8.0,
+                ypix + 4.0,
+                format_tick(yv)
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+            HEIGHT - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            let mut path = String::new();
+            for &(x, y) in &s.points {
+                if let Some(xv) = tx(x) {
+                    if xv.is_finite() && y.is_finite() {
+                        let _ = write!(path, "{:.1},{:.1} ", px(xv), py(y.clamp(y0, y1)));
+                    }
+                }
+            }
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="1.5"/>"#
+            );
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 + 18.0 * si as f64;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/><text x="{}" y="{}" font-size="12">{}</text>"#,
+                MARGIN_L + 10.0,
+                MARGIN_L + 40.0,
+                MARGIN_L + 46.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+        }
+        let _ = writeln!(svg, "</svg>");
+        Some(svg)
+    }
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 || (a > 0.0 && a < 1e-2) {
+        format!("{v:.1e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart_with(points: Vec<(f64, f64)>, x_scale: Scale) -> Chart {
+        Chart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale,
+            series: vec![Series {
+                label: "s".into(),
+                points,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_linear_chart() {
+        let svg = chart_with(vec![(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)], Scale::Linear)
+            .render_svg()
+            .unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn log_scale_skips_non_positive_points() {
+        let svg = chart_with(vec![(0.0, 1.0), (10.0, 2.0), (100.0, 3.0)], Scale::Log)
+            .render_svg()
+            .unwrap();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn empty_data_yields_none() {
+        assert!(chart_with(vec![], Scale::Linear).render_svg().is_none());
+        assert!(chart_with(vec![(0.0, 1.0)], Scale::Log)
+            .render_svg()
+            .is_none());
+    }
+
+    #[test]
+    fn flat_series_is_padded_not_degenerate() {
+        let svg = chart_with(vec![(0.0, 5.0), (1.0, 5.0)], Scale::Linear)
+            .render_svg()
+            .unwrap();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let mut c = chart_with(vec![(0.0, 1.0), (1.0, 1.0)], Scale::Linear);
+        c.title = "a < b & c".into();
+        let svg = c.render_svg().unwrap();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

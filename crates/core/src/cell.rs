@@ -1,0 +1,388 @@
+//! Behavioral memory cells.
+//!
+//! An SI memory cell is a half-period track-and-hold for current: it
+//! acquires its input during φ1 and reproduces (the negative of) it during
+//! φ2. At the sample level a cell is therefore a unit of storage that is
+//! written once per clock period; cascading two cells gives one full period
+//! of delay with the sign restored.
+//!
+//! [`ClassACell`] is the classic second-generation cell (the baseline the
+//! paper improves); [`ClassAbCell`] is the paper's Fig. 1 cell. Both apply
+//! their error mechanisms in acquisition order: settling/slew on the step
+//! from the previously held value, then transmission (conductance-ratio)
+//! error, then signal-dependent charge injection at switch turn-off, then
+//! thermal noise, with a per-branch gain mismatch drawn once per cell.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{ClassAParams, ClassAbParams};
+use crate::sample::Diff;
+use crate::SiError;
+
+/// A clocked current memory: write on φ1, read the held (inverted) value on
+/// φ2.
+///
+/// `process` models one full clock period: it stores `input` and returns
+/// the value the cell drives into the next stage during the same period's
+/// φ2 — the previous sample's role is only through settling memory, because
+/// a second-generation cell re-acquires every period.
+pub trait MemoryCell {
+    /// Acquires `input` and returns the held output for this period
+    /// (inverted, as a current mirror reproduces the gate voltage as a
+    /// sunk current).
+    fn process(&mut self, input: Diff) -> Diff;
+
+    /// Resets all internal state (held values and settling memory).
+    fn reset(&mut self);
+}
+
+/// Gaussian sampler shared by the cells (Box–Muller over a seeded RNG).
+#[derive(Debug, Clone)]
+struct NoiseSource {
+    rng: StdRng,
+    cached: Option<f64>,
+}
+
+impl NoiseSource {
+    fn new(seed: u64) -> Self {
+        NoiseSource {
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
+    }
+
+    fn sample(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        let u1: f64 = self.rng.gen_range(1e-300..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Draws the fixed per-branch gain mismatch for a cell.
+fn draw_mismatch(seed: u64, sigma: f64) -> (f64, f64) {
+    let mut n = NoiseSource::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    (1.0 + sigma * n.sample(), 1.0 + sigma * n.sample())
+}
+
+/// The second-generation class-A SI memory cell (baseline).
+///
+/// ```
+/// use si_core::cell::{ClassACell, MemoryCell};
+/// use si_core::params::ClassAParams;
+/// use si_core::Diff;
+///
+/// # fn main() -> Result<(), si_core::SiError> {
+/// let mut cell = ClassACell::new(&ClassAParams::ideal(), 1)?;
+/// let y = cell.process(Diff::from_differential(5e-6));
+/// assert!((y.dm() + 5e-6).abs() < 1e-15); // inverted, ideal
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassACell {
+    params: ClassAParams,
+    held: Diff,
+    noise: NoiseSource,
+    gain_pos: f64,
+    gain_neg: f64,
+}
+
+impl ClassACell {
+    /// Builds a cell; `seed` makes its noise and mismatch deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiError::InvalidParameter`] for invalid parameters.
+    pub fn new(params: &ClassAParams, seed: u64) -> Result<Self, SiError> {
+        params.validate()?;
+        let (gain_pos, gain_neg) = draw_mismatch(seed, params.branch_mismatch);
+        Ok(ClassACell {
+            params: *params,
+            held: Diff::ZERO,
+            noise: NoiseSource::new(seed),
+            gain_pos,
+            gain_neg,
+        })
+    }
+
+    /// The parameters this cell runs with.
+    #[must_use]
+    pub fn params(&self) -> &ClassAParams {
+        &self.params
+    }
+
+    fn acquire_branch(&mut self, prev: f64, target: f64, gain: f64) -> f64 {
+        let p = &self.params;
+        // Class A hard clip: the memory transistor cannot sink less than
+        // zero total current, so the signal cannot go below −bias. (The
+        // complementary limit is the bias source saturating at +bias.)
+        let clipped = target.clamp(-p.bias, p.bias);
+        let settled = p.settling.acquire(prev, clipped);
+        let transmitted = settled * (1.0 - p.gain_error) * gain;
+        let injected = transmitted + p.charge_injection.error(settled);
+        injected + p.noise_rms * self.noise.sample()
+    }
+}
+
+impl MemoryCell for ClassACell {
+    fn process(&mut self, input: Diff) -> Diff {
+        let prev = self.held;
+        let (gp, gn) = (self.gain_pos, self.gain_neg);
+        let pos = self.acquire_branch(prev.pos, input.pos, gp);
+        let neg = self.acquire_branch(prev.neg, input.neg, gn);
+        self.held = Diff::new(pos, neg);
+        -self.held
+    }
+
+    fn reset(&mut self) {
+        self.held = Diff::ZERO;
+    }
+}
+
+/// The paper's fully differential class-AB memory cell with grounded-gate
+/// amplifiers (Fig. 1).
+///
+/// ```
+/// use si_core::cell::{ClassAbCell, MemoryCell};
+/// use si_core::params::ClassAbParams;
+/// use si_core::Diff;
+///
+/// # fn main() -> Result<(), si_core::SiError> {
+/// let mut cell = ClassAbCell::new(&ClassAbParams::ideal(), 1)?;
+/// // Class AB handles signal currents well beyond its 10 µA quiescent.
+/// let y = cell.process(Diff::from_differential(25e-6));
+/// assert!((y.dm() + 25e-6).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassAbCell {
+    params: ClassAbParams,
+    held: Diff,
+    noise: NoiseSource,
+    gain_pos: f64,
+    gain_neg: f64,
+}
+
+impl ClassAbCell {
+    /// Builds a cell; `seed` makes its noise and mismatch deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiError::InvalidParameter`] for invalid parameters.
+    pub fn new(params: &ClassAbParams, seed: u64) -> Result<Self, SiError> {
+        params.validate()?;
+        let (gain_pos, gain_neg) = draw_mismatch(seed, params.branch_mismatch);
+        Ok(ClassAbCell {
+            params: *params,
+            held: Diff::ZERO,
+            noise: NoiseSource::new(seed),
+            gain_pos,
+            gain_neg,
+        })
+    }
+
+    /// The parameters this cell runs with.
+    #[must_use]
+    pub fn params(&self) -> &ClassAbParams {
+        &self.params
+    }
+
+    fn acquire_branch(&mut self, prev: f64, target: f64, gain: f64) -> f64 {
+        let p = &self.params;
+        let clip = p.clip_level();
+        let clipped = target.clamp(-clip, clip);
+        let settled = p.settling.acquire(prev, clipped);
+        let transmitted = settled * (1.0 - p.effective_gain_error()) * gain;
+        let injected = transmitted + p.charge_injection.error(settled);
+        injected + p.noise_rms * self.noise.sample()
+    }
+}
+
+impl MemoryCell for ClassAbCell {
+    fn process(&mut self, input: Diff) -> Diff {
+        let prev = self.held;
+        let (gp, gn) = (self.gain_pos, self.gain_neg);
+        let pos = self.acquire_branch(prev.pos, input.pos, gp);
+        let neg = self.acquire_branch(prev.neg, input.neg, gn);
+        self.held = Diff::new(pos, neg);
+        -self.held
+    }
+
+    fn reset(&mut self) {
+        self.held = Diff::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_class_a_inverts_exactly() {
+        let mut c = ClassACell::new(&ClassAParams::ideal(), 3).unwrap();
+        for dm in [1e-6, -4e-6, 0.0, 9e-6] {
+            let y = c.process(Diff::from_differential(dm));
+            assert!((y.dm() + dm).abs() < 1e-18);
+            assert!(y.cm().abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn class_a_clips_at_bias() {
+        let p = ClassAParams::ideal_with_bias(10e-6);
+        let mut c = ClassACell::new(&p, 3).unwrap();
+        let y = c.process(Diff::from_differential(15e-6));
+        // Each branch clamps at ±10 µA, so dm clamps at 10 µA.
+        assert!((y.dm() + 10e-6).abs() < 1e-15, "dm {}", y.dm());
+    }
+
+    #[test]
+    fn class_ab_handles_signals_beyond_quiescent() {
+        let mut c = ClassAbCell::new(&ClassAbParams::ideal(), 3).unwrap();
+        let y = c.process(Diff::from_differential(25e-6));
+        assert!((y.dm() + 25e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn class_ab_clips_at_modulation_limit() {
+        let mut p = ClassAbParams::ideal();
+        p.max_modulation_index = 3.0; // clip at 30 µA with IQ = 10 µA
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let y = c.process(Diff::from_differential(50e-6));
+        assert!((y.dm() + 30e-6).abs() < 1e-15, "dm {}", y.dm());
+    }
+
+    #[test]
+    fn transmission_error_scales_output() {
+        let mut p = ClassAbParams::ideal();
+        p.raw_gain_error = 0.01;
+        p.gga_gain = 1.0;
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let y = c.process(Diff::from_differential(10e-6));
+        assert!((y.dm() + 10e-6 * 0.99).abs() < 1e-15);
+        // With GGA boost of 100 the error shrinks 100×.
+        p.gga_gain = 100.0;
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let y = c.process(Diff::from_differential(10e-6));
+        assert!((y.dm() + 10e-6 * (1.0 - 1e-4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn charge_injection_constant_lands_in_common_mode() {
+        let mut p = ClassAbParams::ideal();
+        p.charge_injection.constant = 100e-9;
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let y = c.process(Diff::from_differential(5e-6));
+        assert!((y.dm() + 5e-6).abs() < 1e-15, "constant leaked into dm");
+        assert!((y.cm() + 100e-9).abs() < 1e-18, "cm {}", y.cm());
+    }
+
+    #[test]
+    fn cubic_injection_creates_odd_distortion_in_dm() {
+        let mut p = ClassAbParams::ideal();
+        p.charge_injection.cubic = 1e8;
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let a = 8e-6;
+        let y = c.process(Diff::from_differential(a));
+        // dm error = c3·a³ (odd symmetry survives differentially).
+        let err = -(y.dm() + a);
+        assert!((err - 1e8 * a * a * a).abs() < 1e-15, "err {err}");
+    }
+
+    #[test]
+    fn quadratic_injection_cancels_differentially() {
+        let mut p = ClassAbParams::ideal();
+        p.charge_injection.quadratic = 1e3;
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let a = 8e-6;
+        let y = c.process(Diff::from_differential(a));
+        assert!((y.dm() + a).abs() < 1e-16, "even-order leaked into dm");
+        assert!(y.cm().abs() > 0.0, "quadratic should appear as cm");
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_calibrated() {
+        let mut p = ClassAbParams::ideal();
+        p.noise_rms = 33e-9;
+        let mut c1 = ClassAbCell::new(&p, 42).unwrap();
+        let mut c2 = ClassAbCell::new(&p, 42).unwrap();
+        let n = 50_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let y1 = c1.process(Diff::ZERO);
+            let y2 = c2.process(Diff::ZERO);
+            assert_eq!(y1, y2);
+            sum_sq += y1.pos * y1.pos;
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        assert!((rms - 33e-9).abs() / 33e-9 < 0.02, "branch rms {rms}");
+    }
+
+    #[test]
+    fn mismatch_converts_cm_to_dm() {
+        let mut p = ClassAbParams::ideal();
+        p.branch_mismatch = 0.01;
+        let mut c = ClassAbCell::new(&p, 7).unwrap();
+        let y = c.process(Diff::from_common(10e-6));
+        assert!(y.dm().abs() > 1e-9, "mismatch should leak cm into dm");
+    }
+
+    #[test]
+    fn slewing_limits_acquisition() {
+        let mut p = ClassAbParams::ideal();
+        p.settling = crate::params::Settling {
+            time_constants: 10.0,
+            slew_limit: 5e-6,
+        };
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let y = c.process(Diff::from_differential(20e-6));
+        // First sample can only move 5 µA from zero.
+        assert!((y.dm() + 5e-6).abs() < 1e-12, "dm {}", y.dm());
+        // Repeated application converges toward the target.
+        let mut last = y;
+        for _ in 0..10 {
+            last = c.process(Diff::from_differential(20e-6));
+        }
+        assert!((last.dm() + 20e-6).abs() < 1e-9, "dm {}", last.dm());
+    }
+
+    #[test]
+    fn reset_clears_settling_memory() {
+        let mut p = ClassAbParams::ideal();
+        p.settling = crate::params::Settling {
+            time_constants: 2.0,
+            slew_limit: f64::INFINITY,
+        };
+        let mut c = ClassAbCell::new(&p, 3).unwrap();
+        let first = c.process(Diff::from_differential(10e-6));
+        c.process(Diff::from_differential(10e-6));
+        c.reset();
+        let after_reset = c.process(Diff::from_differential(10e-6));
+        assert_eq!(first, after_reset);
+    }
+
+    #[test]
+    fn invalid_params_rejected_at_construction() {
+        let mut p = ClassAbParams::ideal();
+        p.noise_rms = f64::NAN;
+        assert!(ClassAbCell::new(&p, 1).is_err());
+        let mut p = ClassAParams::ideal();
+        p.gain_error = -0.1;
+        assert!(ClassACell::new(&p, 1).is_err());
+    }
+
+    #[test]
+    fn cells_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ClassACell>();
+        assert_send::<ClassAbCell>();
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the switched-current library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SiError {
+    /// A configuration parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The violated constraint.
+        constraint: &'static str,
+    },
+    /// A structural size (cell count, tap count, …) was invalid.
+    InvalidSize {
+        /// What was being sized.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+}
+
+impl fmt::Display for SiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            SiError::InvalidSize { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+        }
+    }
+}
+
+impl Error for SiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_well_formed() {
+        let errors = [
+            SiError::InvalidParameter {
+                name: "gain",
+                constraint: "must be finite",
+            },
+            SiError::InvalidSize {
+                what: "cell count",
+                value: 0,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SiError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! Behavioral switched-current (SI) circuit library — the paper's primary
+//! contribution.
+//!
+//! "Low-Voltage Low-Power Switched-Current Circuits and Systems" (Tan &
+//! Eriksson, DATE 1995) contributes a fully differential **class-AB SI
+//! memory cell** whose input conductance is boosted by grounded-gate
+//! amplifiers, and a **common-mode feedforward (CMFF)** technique that
+//! replaces common-mode feedback. This crate models both at the
+//! sampled-data level, with every non-ideality the paper's measurements
+//! expose as an explicit parameter:
+//!
+//! * [`sample`] — differential current samples,
+//! * [`params`] — memory-cell parameter sets (transmission error, charge
+//!   injection, settling/slewing, thermal noise, mismatch),
+//! * [`cell`] — class-A and class-AB memory cells behind the
+//!   [`cell::MemoryCell`] trait,
+//! * [`cm`] — common-mode feedforward and the feedback baseline,
+//! * [`blocks`] — delay lines, SI integrators and differentiators,
+//! * [`quantizer`] — the current comparator and 1-bit feedback DAC used by
+//!   the ΔΣ modulators,
+//! * [`noise`] — the thermal-noise budget that reproduces the paper's
+//!   33 nA rms figure and its SNR/dynamic-range predictions,
+//! * [`power`] — supply-voltage feasibility (Eqs. 1–2, via [`si_analog`])
+//!   and power-dissipation estimates for Tables 1–2.
+//!
+//! # Example
+//!
+//! Run the paper's delay line (two cascaded class-AB cells):
+//!
+//! ```
+//! use si_core::blocks::DelayLine;
+//! use si_core::params::ClassAbParams;
+//! use si_core::sample::Diff;
+//!
+//! # fn main() -> Result<(), si_core::SiError> {
+//! let mut line = DelayLine::class_ab(2, &ClassAbParams::ideal(), 7)?;
+//! let y0 = line.process(Diff::from_differential(1e-6));
+//! let y1 = line.process(Diff::from_differential(2e-6));
+//! let y2 = line.process(Diff::from_differential(3e-6));
+//! // Two half-delay cells = one full period of delay, sign restored.
+//! assert!(y0.dm().abs() < 1e-18);
+//! assert!((y1.dm() - 1e-6).abs() < 1e-12);
+//! assert!((y2.dm() - 2e-6).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// Validation sites deliberately use `!(x > 0.0)`-style negated
+// comparisons: unlike `x <= 0.0`, they reject NaN as well.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+pub mod blocks;
+pub mod cell;
+pub mod cm;
+pub mod filters;
+pub mod firstgen;
+pub mod noise;
+pub mod params;
+pub mod power;
+pub mod quantizer;
+pub mod sample;
+
+mod error;
+
+pub use error::SiError;
+pub use sample::Diff;

@@ -1,0 +1,225 @@
+//! The current quantizer and 1-bit feedback DAC of the ΔΣ modulators.
+//!
+//! The paper's modulators use the low-input-impedance current comparator of
+//! Träff \[20\] as the quantizer and switched current sources as the
+//! converters (DACs). Behaviorally the quantizer is a sign decision on the
+//! differential current with an input-referred offset and hysteresis; the
+//! DAC returns ±full-scale differential currents with a level mismatch
+//! knob.
+
+use crate::sample::Diff;
+use crate::SiError;
+
+/// A clocked current comparator producing ±1 decisions.
+///
+/// ```
+/// use si_core::quantizer::CurrentQuantizer;
+/// use si_core::Diff;
+///
+/// # fn main() -> Result<(), si_core::SiError> {
+/// let mut q = CurrentQuantizer::ideal();
+/// assert_eq!(q.quantize(Diff::from_differential(1e-9)), 1);
+/// assert_eq!(q.quantize(Diff::from_differential(-1e-9)), -1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurrentQuantizer {
+    offset: f64,
+    hysteresis: f64,
+    last: i8,
+}
+
+impl CurrentQuantizer {
+    /// An offset-free comparator without hysteresis.
+    #[must_use]
+    pub fn ideal() -> Self {
+        CurrentQuantizer {
+            offset: 0.0,
+            hysteresis: 0.0,
+            last: 1,
+        }
+    }
+
+    /// A comparator with input-referred `offset` (amperes) and symmetric
+    /// `hysteresis` (amperes, half-width of the dead band).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiError::InvalidParameter`] for non-finite offset or
+    /// negative hysteresis.
+    pub fn new(offset: f64, hysteresis: f64) -> Result<Self, SiError> {
+        if !offset.is_finite() {
+            return Err(SiError::InvalidParameter {
+                name: "offset",
+                constraint: "offset must be finite",
+            });
+        }
+        if !(hysteresis >= 0.0) || !hysteresis.is_finite() {
+            return Err(SiError::InvalidParameter {
+                name: "hysteresis",
+                constraint: "hysteresis must be non-negative and finite",
+            });
+        }
+        Ok(CurrentQuantizer {
+            offset,
+            hysteresis,
+            last: 1,
+        })
+    }
+
+    /// Quantizes one differential sample to ±1.
+    pub fn quantize(&mut self, input: Diff) -> i8 {
+        let x = input.dm() - self.offset;
+        let threshold = self.hysteresis * f64::from(-self.last);
+        // `>=` so an exactly-zero input decides +1, matching the ideal
+        // reference modulator's sign convention.
+        self.last = if x >= threshold { 1 } else { -1 };
+        self.last
+    }
+
+    /// Resets the hysteresis memory.
+    pub fn reset(&mut self) {
+        self.last = 1;
+    }
+}
+
+/// The 1-bit current-steering feedback DAC.
+///
+/// Produces `±level` differentially; `level_mismatch` skews the positive
+/// and negative levels (`+level·(1+δ)` vs `−level·(1−δ)`), which in a
+/// 1-bit converter appears as gain/offset error rather than nonlinearity.
+#[derive(Debug, Clone, Copy)]
+pub struct OneBitDac {
+    level: f64,
+    mismatch: f64,
+}
+
+impl OneBitDac {
+    /// A DAC with full-scale `level` amperes and no mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiError::InvalidParameter`] for a non-positive level.
+    pub fn new(level: f64) -> Result<Self, SiError> {
+        OneBitDac::with_mismatch(level, 0.0)
+    }
+
+    /// A DAC with the given relative level mismatch `δ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiError::InvalidParameter`] for a non-positive level or a
+    /// mismatch outside `(−0.5, 0.5)`.
+    pub fn with_mismatch(level: f64, mismatch: f64) -> Result<Self, SiError> {
+        if !(level > 0.0) || !level.is_finite() {
+            return Err(SiError::InvalidParameter {
+                name: "level",
+                constraint: "dac level must be positive and finite",
+            });
+        }
+        if !(-0.5..0.5).contains(&mismatch) {
+            return Err(SiError::InvalidParameter {
+                name: "mismatch",
+                constraint: "level mismatch must lie in (−0.5, 0.5)",
+            });
+        }
+        Ok(OneBitDac { level, mismatch })
+    }
+
+    /// The nominal full-scale level in amperes.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Converts a ±1 decision to the differential feedback current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not ±1.
+    #[must_use]
+    pub fn convert(&self, bit: i8) -> Diff {
+        match bit {
+            1 => Diff::from_differential(self.level * (1.0 + self.mismatch)),
+            -1 => Diff::from_differential(-self.level * (1.0 - self.mismatch)),
+            other => panic!("dac input must be ±1, got {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_quantizer_is_sign() {
+        let mut q = CurrentQuantizer::ideal();
+        assert_eq!(q.quantize(Diff::from_differential(5e-6)), 1);
+        assert_eq!(q.quantize(Diff::from_differential(-5e-6)), -1);
+        assert_eq!(q.quantize(Diff::from_differential(1e-15)), 1);
+    }
+
+    #[test]
+    fn offset_shifts_decision_point() {
+        let mut q = CurrentQuantizer::new(1e-6, 0.0).unwrap();
+        assert_eq!(q.quantize(Diff::from_differential(0.5e-6)), -1);
+        assert_eq!(q.quantize(Diff::from_differential(1.5e-6)), 1);
+    }
+
+    #[test]
+    fn hysteresis_sticks_to_previous_decision() {
+        let mut q = CurrentQuantizer::new(0.0, 1e-6).unwrap();
+        assert_eq!(q.quantize(Diff::from_differential(2e-6)), 1);
+        // Inside the dead band: keeps the previous +1 decision.
+        assert_eq!(q.quantize(Diff::from_differential(-0.5e-6)), 1);
+        // Beyond the band: flips.
+        assert_eq!(q.quantize(Diff::from_differential(-2e-6)), -1);
+        // Inside the band again: now sticks to −1.
+        assert_eq!(q.quantize(Diff::from_differential(0.5e-6)), -1);
+    }
+
+    #[test]
+    fn quantizer_reset() {
+        let mut q = CurrentQuantizer::new(0.0, 1e-6).unwrap();
+        q.quantize(Diff::from_differential(-5e-6));
+        q.reset();
+        // After reset the hysteresis memory is +1 again.
+        assert_eq!(q.quantize(Diff::from_differential(-0.5e-6)), 1);
+    }
+
+    #[test]
+    fn quantizer_rejects_bad_parameters() {
+        assert!(CurrentQuantizer::new(f64::NAN, 0.0).is_err());
+        assert!(CurrentQuantizer::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn dac_levels() {
+        let dac = OneBitDac::new(6e-6).unwrap();
+        assert_eq!(dac.convert(1).dm(), 6e-6);
+        assert_eq!(dac.convert(-1).dm(), -6e-6);
+        assert_eq!(dac.level(), 6e-6);
+    }
+
+    #[test]
+    fn dac_mismatch_skews_levels() {
+        let dac = OneBitDac::with_mismatch(6e-6, 0.01).unwrap();
+        assert!((dac.convert(1).dm() - 6.06e-6).abs() < 1e-18);
+        assert!((dac.convert(-1).dm() + 5.94e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "dac input must be ±1")]
+    fn dac_panics_on_invalid_bit() {
+        let dac = OneBitDac::new(1e-6).unwrap();
+        let _ = dac.convert(0);
+    }
+
+    #[test]
+    fn dac_rejects_bad_parameters() {
+        assert!(OneBitDac::new(0.0).is_err());
+        assert!(OneBitDac::new(-1e-6).is_err());
+        assert!(OneBitDac::with_mismatch(1e-6, 0.6).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Differential current samples.
+//!
+//! Fully differential SI circuits carry a signal on two wires:
+//! `i⁺ = I_bias + i_d + i_cm` and `i⁻ = I_bias − i_d + i_cm`. [`Diff`] holds
+//! the two *signal* currents (bias removed) in amperes; the differential
+//! mode `i_d` carries information, the common mode `i_cm` is the nuisance
+//! the paper's CMFF removes.
+//!
+//! Fields are plain `f64` amperes (not the `si_analog` unit newtypes): a
+//! sample is consumed millions of times per simulated second in tight DSP
+//! loops, and the unit is fixed by this type's own documentation and its
+//! constructors.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// One fully differential current sample, signal components only, in
+/// amperes.
+///
+/// ```
+/// use si_core::Diff;
+///
+/// let s = Diff::new(3e-6, -1e-6);
+/// assert!((s.dm() - 2e-6).abs() < 1e-20);
+/// assert!((s.cm() - 1e-6).abs() < 1e-20);
+/// let back = Diff::from_modes(s.dm(), s.cm());
+/// assert!((back.pos - s.pos).abs() < 1e-20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Diff {
+    /// Signal current on the positive wire, amperes.
+    pub pos: f64,
+    /// Signal current on the negative wire, amperes.
+    pub neg: f64,
+}
+
+impl Diff {
+    /// The zero sample.
+    pub const ZERO: Diff = Diff { pos: 0.0, neg: 0.0 };
+
+    /// A sample from the two wire currents.
+    #[must_use]
+    pub const fn new(pos: f64, neg: f64) -> Self {
+        Diff { pos, neg }
+    }
+
+    /// A purely differential sample: `pos = +dm`, `neg = −dm`.
+    #[must_use]
+    pub const fn from_differential(dm: f64) -> Self {
+        Diff { pos: dm, neg: -dm }
+    }
+
+    /// A purely common-mode sample: both wires carry `cm`.
+    #[must_use]
+    pub const fn from_common(cm: f64) -> Self {
+        Diff { pos: cm, neg: cm }
+    }
+
+    /// A sample from its differential and common-mode components.
+    #[must_use]
+    pub fn from_modes(dm: f64, cm: f64) -> Self {
+        Diff {
+            pos: cm + dm,
+            neg: cm - dm,
+        }
+    }
+
+    /// The differential mode `(pos − neg) / 2`.
+    #[must_use]
+    pub fn dm(&self) -> f64 {
+        0.5 * (self.pos - self.neg)
+    }
+
+    /// The common mode `(pos + neg) / 2`.
+    #[must_use]
+    pub fn cm(&self) -> f64 {
+        0.5 * (self.pos + self.neg)
+    }
+
+    /// Swaps the two wires — exactly what a chopper switch does when its
+    /// control sequence is −1.
+    #[must_use]
+    pub fn swapped(self) -> Diff {
+        Diff {
+            pos: self.neg,
+            neg: self.pos,
+        }
+    }
+
+    /// Multiplies the sample by ±1 via wire swapping: `+1` passes through,
+    /// `−1` swaps (chopper modulation is lossless wire routing, not an
+    /// analog multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sign` is not `+1` or `−1`.
+    #[must_use]
+    pub fn chopped(self, sign: i8) -> Diff {
+        match sign {
+            1 => self,
+            -1 => self.swapped(),
+            other => panic!("chopper sign must be ±1, got {other}"),
+        }
+    }
+
+    /// Whether both wires are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.pos.is_finite() && self.neg.is_finite()
+    }
+}
+
+impl Add for Diff {
+    type Output = Diff;
+    fn add(self, rhs: Diff) -> Diff {
+        Diff {
+            pos: self.pos + rhs.pos,
+            neg: self.neg + rhs.neg,
+        }
+    }
+}
+
+impl AddAssign for Diff {
+    fn add_assign(&mut self, rhs: Diff) {
+        self.pos += rhs.pos;
+        self.neg += rhs.neg;
+    }
+}
+
+impl Sub for Diff {
+    type Output = Diff;
+    fn sub(self, rhs: Diff) -> Diff {
+        Diff {
+            pos: self.pos - rhs.pos,
+            neg: self.neg - rhs.neg,
+        }
+    }
+}
+
+impl Neg for Diff {
+    type Output = Diff;
+    fn neg(self) -> Diff {
+        Diff {
+            pos: -self.pos,
+            neg: -self.neg,
+        }
+    }
+}
+
+impl Mul<f64> for Diff {
+    type Output = Diff;
+    fn mul(self, k: f64) -> Diff {
+        Diff {
+            pos: self.pos * k,
+            neg: self.neg * k,
+        }
+    }
+}
+
+impl Mul<Diff> for f64 {
+    type Output = Diff;
+    fn mul(self, s: Diff) -> Diff {
+        s * self
+    }
+}
+
+impl Sum for Diff {
+    fn sum<I: Iterator<Item = Diff>>(iter: I) -> Diff {
+        iter.fold(Diff::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_decomposition_round_trips() {
+        let s = Diff::new(5e-6, 1e-6);
+        assert!((s.dm() - 2e-6).abs() < 1e-20);
+        assert!((s.cm() - 3e-6).abs() < 1e-20);
+        let rt = Diff::from_modes(s.dm(), s.cm());
+        assert!((rt.pos - s.pos).abs() < 1e-20 && (rt.neg - s.neg).abs() < 1e-20);
+    }
+
+    #[test]
+    fn pure_constructors() {
+        let d = Diff::from_differential(4e-6);
+        assert_eq!(d.dm(), 4e-6);
+        assert_eq!(d.cm(), 0.0);
+        let c = Diff::from_common(2e-6);
+        assert_eq!(c.dm(), 0.0);
+        assert_eq!(c.cm(), 2e-6);
+    }
+
+    #[test]
+    fn swapping_negates_dm_and_keeps_cm() {
+        let s = Diff::new(3e-6, 1e-6);
+        let w = s.swapped();
+        assert_eq!(w.dm(), -s.dm());
+        assert_eq!(w.cm(), s.cm());
+        assert_eq!(w.swapped(), s);
+    }
+
+    #[test]
+    fn chopping() {
+        let s = Diff::new(3e-6, 1e-6);
+        assert_eq!(s.chopped(1), s);
+        assert_eq!(s.chopped(-1), s.swapped());
+    }
+
+    #[test]
+    #[should_panic(expected = "chopper sign must be ±1")]
+    fn invalid_chop_sign_panics() {
+        let _ = Diff::ZERO.chopped(0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Diff::new(1.0, 2.0);
+        let b = Diff::new(0.5, -1.0);
+        assert_eq!(a + b, Diff::new(1.5, 1.0));
+        assert_eq!(a - b, Diff::new(0.5, 3.0));
+        assert_eq!(-a, Diff::new(-1.0, -2.0));
+        assert_eq!(a * 2.0, Diff::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        let mut acc = Diff::ZERO;
+        acc += a;
+        assert_eq!(acc, a);
+        let total: Diff = [a, b].into_iter().sum();
+        assert_eq!(total, a + b);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Diff::new(1.0, 2.0).is_finite());
+        assert!(!Diff::new(f64::NAN, 0.0).is_finite());
+        assert!(!Diff::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the switched-current library's invariants.
+
+use proptest::prelude::*;
+
+use si_core::blocks::DelayLine;
+use si_core::cell::{ClassAbCell, MemoryCell};
+use si_core::cm::{Cmff, CommonModeControl};
+use si_core::params::{ClassAbParams, Settling};
+use si_core::Diff;
+
+proptest! {
+    /// Differential/common-mode decomposition round-trips for any sample.
+    #[test]
+    fn diff_mode_decomposition_round_trips(pos in -1e-3f64..1e-3, neg in -1e-3f64..1e-3) {
+        let s = Diff::new(pos, neg);
+        let back = Diff::from_modes(s.dm(), s.cm());
+        prop_assert!((back.pos - pos).abs() < 1e-18);
+        prop_assert!((back.neg - neg).abs() < 1e-18);
+    }
+
+    /// Chopping twice is the identity; chopping negates dm and keeps cm.
+    #[test]
+    fn chop_is_an_involution(pos in -1e-3f64..1e-3, neg in -1e-3f64..1e-3) {
+        let s = Diff::new(pos, neg);
+        prop_assert_eq!(s.chopped(-1).chopped(-1), s);
+        prop_assert!((s.chopped(-1).dm() + s.dm()).abs() < 1e-18);
+        prop_assert!((s.chopped(-1).cm() - s.cm()).abs() < 1e-18);
+    }
+
+    /// The settled value always lies between the previous value and the
+    /// target (no overshoot) for any settling parameters.
+    #[test]
+    fn settling_never_overshoots(
+        prev in -1e-4f64..1e-4,
+        target in -1e-4f64..1e-4,
+        tcs in 0.1f64..30.0,
+        slew_exp in -7.0f64..-3.0,
+    ) {
+        let s = Settling { time_constants: tcs, slew_limit: 10f64.powf(slew_exp) };
+        let got = s.acquire(prev, target);
+        let (lo, hi) = if prev <= target { (prev, target) } else { (target, prev) };
+        prop_assert!(got >= lo - 1e-18 && got <= hi + 1e-18,
+            "acquire({prev}, {target}) = {got} outside [{lo}, {hi}]");
+    }
+
+    /// An ideal class-AB cell is exactly linear: process(a+b) at matched
+    /// state equals process(a) + process(b) (superposition).
+    #[test]
+    fn ideal_cell_is_linear(a in -1e-5f64..1e-5, b in -1e-5f64..1e-5, k in -3.0f64..3.0) {
+        let params = ClassAbParams::ideal();
+        let mut c1 = ClassAbCell::new(&params, 1).unwrap();
+        let mut c2 = ClassAbCell::new(&params, 1).unwrap();
+        let y_sum = c1.process(Diff::from_differential(a + k * b));
+        let ya = c2.process(Diff::from_differential(a));
+        c2.reset();
+        let yb = c2.process(Diff::from_differential(b));
+        prop_assert!((y_sum.dm() - (ya.dm() + k * yb.dm())).abs() < 1e-16);
+    }
+
+    /// The cell's output is always bounded by the clip level, whatever the
+    /// input.
+    #[test]
+    fn cell_output_respects_clip(x in -1e-3f64..1e-3, mi in 0.5f64..5.0) {
+        let mut params = ClassAbParams::ideal();
+        params.max_modulation_index = mi;
+        let clip = params.clip_level();
+        let mut cell = ClassAbCell::new(&params, 1).unwrap();
+        let y = cell.process(Diff::from_differential(x));
+        prop_assert!(y.pos.abs() <= clip + 1e-18);
+        prop_assert!(y.neg.abs() <= clip + 1e-18);
+    }
+
+    /// A perfectly matched CMFF removes all common mode and leaves the
+    /// differential untouched, for any input.
+    #[test]
+    fn perfect_cmff_splits_modes(dm in -1e-4f64..1e-4, cm in -1e-4f64..1e-4) {
+        let mut cmff = Cmff::new(0.0).unwrap();
+        let y = cmff.process(Diff::from_modes(dm, cm));
+        prop_assert!((y.dm() - dm).abs() < 1e-18);
+        prop_assert!(y.cm().abs() < 1e-18);
+    }
+
+    /// An ideal delay line of any even length delays by exactly
+    /// `cells/2` samples.
+    #[test]
+    fn delay_line_delay_equals_half_cell_count(
+        pairs in 1usize..5,
+        values in prop::collection::vec(-1e-5f64..1e-5, 16),
+    ) {
+        let cells = pairs * 2;
+        let mut line = DelayLine::class_ab(cells, &ClassAbParams::ideal(), 1).unwrap();
+        let out: Vec<f64> = values
+            .iter()
+            .map(|&v| line.process(Diff::from_differential(v)).dm())
+            .collect();
+        for k in 0..values.len() {
+            let expected = if k < pairs { 0.0 } else { values[k - pairs] };
+            prop_assert!((out[k] - expected).abs() < 1e-16,
+                "k={k}: {} vs {expected}", out[k]);
+        }
+    }
+
+    /// Noise determinism: two cells with the same seed produce identical
+    /// outputs for identical inputs.
+    #[test]
+    fn same_seed_same_noise(seed in 0u64..1000, x in -1e-5f64..1e-5) {
+        let mut params = ClassAbParams::ideal();
+        params.noise_rms = 50e-9;
+        let mut c1 = ClassAbCell::new(&params, seed).unwrap();
+        let mut c2 = ClassAbCell::new(&params, seed).unwrap();
+        for _ in 0..8 {
+            let input = Diff::from_differential(x);
+            prop_assert_eq!(c1.process(input), c2.process(input));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the signal-processing substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The FFT length was not a power of two (or was zero).
+    FftLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// A function received an empty input where at least one sample is needed.
+    EmptyInput,
+    /// Two buffers that must match in length did not.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The requested signal bin does not exist in the spectrum.
+    BinOutOfRange {
+        /// Requested bin index.
+        bin: usize,
+        /// Number of bins available.
+        len: usize,
+    },
+    /// A rational transfer function had a zero leading denominator
+    /// coefficient, making it ill-defined.
+    DegenerateTransferFunction,
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::FftLength { len } => {
+                write!(f, "fft length {len} is not a nonzero power of two")
+            }
+            DspError::EmptyInput => write!(f, "input is empty"),
+            DspError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            DspError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            DspError::BinOutOfRange { bin, len } => {
+                write!(f, "bin {bin} out of range for spectrum of {len} bins")
+            }
+            DspError::DegenerateTransferFunction => {
+                write!(
+                    f,
+                    "transfer function denominator has zero leading coefficient"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            DspError::FftLength { len: 3 },
+            DspError::EmptyInput,
+            DspError::LengthMismatch {
+                expected: 4,
+                actual: 5,
+            },
+            DspError::InvalidParameter {
+                name: "osr",
+                constraint: "must be positive",
+            },
+            DspError::BinOutOfRange { bin: 9, len: 4 },
+            DspError::DegenerateTransferFunction,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Signal-processing and measurement substrate for the switched-current
+//! reproduction.
+//!
+//! The paper ("Low-Voltage Low-Power Switched-Current Circuits and Systems",
+//! DATE 1995) evaluates its circuits with a spectrum analyzer: 64K-point FFTs
+//! with a Blackman window, from which THD, SNR and dynamic range are read.
+//! This crate implements that measurement chain from scratch:
+//!
+//! * [`complex`] — a minimal complex-number type,
+//! * [`fft`] — an iterative radix-2 FFT and real-signal helpers,
+//! * [`window`] — Blackman and friends, with coherent/noise gains,
+//! * [`spectrum`] — windowed periodograms in dB,
+//! * [`metrics`] — SNR / THD / SINAD / SFDR / ENOB / dynamic range,
+//! * [`signal`] — coherent sine generators, Gaussian and 1/f noise,
+//! * [`filter`] — FIR and CIC (sinc^k) decimation filters,
+//! * [`zdomain`] — rational z-domain transfer functions (NTF/STF analysis).
+//!
+//! # Example
+//!
+//! Measure the SNR of a noisy sine exactly the way the paper does:
+//!
+//! ```
+//! use si_dsp::signal::SineWave;
+//! use si_dsp::spectrum::Spectrum;
+//! use si_dsp::window::Window;
+//! use si_dsp::metrics::HarmonicAnalysis;
+//!
+//! # fn main() -> Result<(), si_dsp::DspError> {
+//! let n = 4096;
+//! let sine = SineWave::coherent(1.0, 127, n)?; // 127 cycles in 4096 samples
+//! let samples: Vec<f64> = sine.take(n).collect();
+//! let spectrum = Spectrum::periodogram(&samples, Window::Blackman)?;
+//! let analysis = HarmonicAnalysis::of(&spectrum, 5)?;
+//! assert!(analysis.snr_db() > 100.0); // noiseless input
+//! # Ok(())
+//! # }
+//! ```
+
+// Validation sites deliberately use `!(x > 0.0)`-style negated
+// comparisons: unlike `x <= 0.0`, they reject NaN as well.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+pub mod complex;
+pub mod fft;
+pub mod filter;
+pub mod metrics;
+pub mod signal;
+pub mod spectrum;
+pub mod welch;
+pub mod window;
+pub mod zdomain;
+
+mod error;
+
+pub use complex::Complex;
+pub use error::DspError;
+
+/// Convert a power ratio to decibels (`10·log10`).
+///
+/// Returns negative infinity for a zero or negative ratio, which keeps
+/// spectrum plots well-defined when a bin holds exactly zero power.
+///
+/// ```
+/// assert_eq!(si_dsp::power_db(100.0), 20.0);
+/// assert!(si_dsp::power_db(0.0).is_infinite());
+/// ```
+#[must_use]
+pub fn power_db(ratio: f64) -> f64 {
+    if ratio > 0.0 {
+        10.0 * ratio.log10()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Convert an amplitude ratio to decibels (`20·log10`).
+///
+/// ```
+/// assert_eq!(si_dsp::amplitude_db(10.0), 20.0);
+/// ```
+#[must_use]
+pub fn amplitude_db(ratio: f64) -> f64 {
+    if ratio > 0.0 {
+        20.0 * ratio.log10()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Convert decibels back to a power ratio.
+///
+/// ```
+/// assert!((si_dsp::db_to_power(20.0) - 100.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn db_to_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert decibels back to an amplitude ratio.
+///
+/// ```
+/// assert!((si_dsp::db_to_amplitude(20.0) - 10.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trips() {
+        for &x in &[1e-6, 0.5, 1.0, 3.7, 1e9] {
+            assert!((db_to_power(power_db(x)) - x).abs() / x < 1e-12);
+            assert!((db_to_amplitude(amplitude_db(x)) - x).abs() / x < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_of_zero_is_neg_infinity() {
+        assert_eq!(power_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(amplitude_db(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn amplitude_db_is_twice_power_db() {
+        for &x in &[0.1, 2.0, 42.0] {
+            assert!((amplitude_db(x) - 2.0 * power_db(x)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Welch-averaged spectra and the Goertzel single-bin detector.
+//!
+//! The paper's Fig. 5–7 measurements use single long records; [`welch`]
+//! provides the variance-reduced alternative (segmented, overlapped,
+//! averaged periodograms) for noise-floor work, and [`goertzel_power`]
+//! evaluates one DFT bin in O(N) without an FFT — the cheap detector the
+//! sweep harness uses when only the tone bin matters.
+
+use crate::spectrum::Spectrum;
+use crate::window::Window;
+use crate::DspError;
+
+/// Welch's method: split `signal` into `segments` half-overlapping pieces
+/// (each a power of two), window each, and average the periodograms.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if fewer than one segment fits or
+/// `segments` is zero, plus periodogram errors.
+pub fn welch(signal: &[f64], segments: usize, window: Window) -> Result<Spectrum, DspError> {
+    if segments == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "segments",
+            constraint: "segment count must be positive",
+        });
+    }
+    // With 50 % overlap, `segments` pieces of length L cover
+    // (segments + 1)·L/2 samples; choose the largest power-of-two L.
+    let max_len = 2 * signal.len() / (segments + 1);
+    let seg_len = max_len.next_power_of_two() / 2;
+    // `next_power_of_two` of an exact power returns it unchanged; halve
+    // only when it overshot.
+    let seg_len = if seg_len.max(1) > max_len {
+        seg_len / 2
+    } else if max_len.is_power_of_two() {
+        max_len
+    } else {
+        seg_len
+    };
+    if seg_len < 2 {
+        return Err(DspError::InvalidParameter {
+            name: "segments",
+            constraint: "too many segments for the signal length",
+        });
+    }
+    let hop = seg_len / 2;
+    let mut spectra = Vec::with_capacity(segments);
+    for k in 0..segments {
+        let start = k * hop;
+        let end = start + seg_len;
+        if end > signal.len() {
+            break;
+        }
+        spectra.push(Spectrum::periodogram(&signal[start..end], window)?);
+    }
+    if spectra.is_empty() {
+        return Err(DspError::InvalidParameter {
+            name: "segments",
+            constraint: "no complete segment fits the signal",
+        });
+    }
+    Spectrum::average(&spectra)
+}
+
+/// Goertzel algorithm: the power of DFT bin `k` of an `n`-point transform
+/// of `signal` (which must have at least `n` samples; extra samples are
+/// ignored). Normalized like [`Spectrum::periodogram`] with a rectangular
+/// window: a coherent unit sine at bin `k` yields `0.5`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for `n == 0`, `n > signal.len()`
+/// or `k > n/2`.
+pub fn goertzel_power(signal: &[f64], n: usize, k: usize) -> Result<f64, DspError> {
+    if n == 0 || n > signal.len() {
+        return Err(DspError::InvalidParameter {
+            name: "n",
+            constraint: "transform length must be in 1..=signal.len()",
+        });
+    }
+    if k > n / 2 {
+        return Err(DspError::InvalidParameter {
+            name: "k",
+            constraint: "bin must not exceed nyquist (n/2)",
+        });
+    }
+    let omega = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+    let coeff = 2.0 * omega.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in &signal[..n] {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    // |X[k]|² = power; single-sided normalization as in Spectrum.
+    let two_sided = power / (n as f64 * n as f64);
+    let scale = if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
+        1.0
+    } else {
+        2.0
+    };
+    Ok(two_sided * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{GaussianNoise, SineWave};
+
+    #[test]
+    fn welch_validates() {
+        let s = vec![0.0; 64];
+        assert!(welch(&s, 0, Window::Hann).is_err());
+        assert!(welch(&s, 1000, Window::Hann).is_err());
+        assert!(welch(&s, 2, Window::Hann).is_ok());
+    }
+
+    #[test]
+    fn welch_reduces_noise_floor_variance() {
+        let n = 1 << 14;
+        let noise: Vec<f64> = GaussianNoise::new(1.0, 5).take(n).collect();
+        let single = Spectrum::periodogram(&noise, Window::Hann).unwrap();
+        let averaged = welch(&noise, 15, Window::Hann).unwrap();
+        let rel_var = |s: &Spectrum| {
+            let p = &s.powers()[1..s.len() - 1];
+            let m = p.iter().sum::<f64>() / p.len() as f64;
+            p.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / p.len() as f64 / (m * m)
+        };
+        let (v1, v2) = (rel_var(&single), rel_var(&averaged));
+        assert!(
+            v2 < v1 / 3.0,
+            "welch variance {v2} not much below single-record {v1}"
+        );
+    }
+
+    #[test]
+    fn welch_total_noise_power_is_calibrated() {
+        let n = 1 << 14;
+        let sigma = 0.05;
+        let noise: Vec<f64> = GaussianNoise::new(sigma, 9).take(n).collect();
+        let spec = welch(&noise, 7, Window::Blackman).unwrap();
+        let total = spec.band_power_excluding(1.0, 0.0, 0.5, &[]);
+        assert!(
+            (total - sigma * sigma).abs() / (sigma * sigma) < 0.15,
+            "total {total} vs σ² {}",
+            sigma * sigma
+        );
+    }
+
+    #[test]
+    fn goertzel_matches_fft_bin() {
+        let n = 1024;
+        let amp = 0.8;
+        let samples: Vec<f64> = SineWave::coherent(amp, 37, n).unwrap().take(n).collect();
+        let p = goertzel_power(&samples, n, 37).unwrap();
+        assert!((p - amp * amp / 2.0).abs() < 1e-9, "goertzel {p}");
+        // Compare against the full periodogram.
+        let spec = Spectrum::periodogram(&samples, Window::Rectangular).unwrap();
+        assert!((p - spec.power(37).unwrap()).abs() < 1e-12);
+        // An empty bin reads ~0.
+        let off = goertzel_power(&samples, n, 100).unwrap();
+        assert!(off < 1e-12);
+    }
+
+    #[test]
+    fn goertzel_dc_and_nyquist_normalization() {
+        let n = 256;
+        let dc = vec![0.3; n];
+        assert!((goertzel_power(&dc, n, 0).unwrap() - 0.09).abs() < 1e-12);
+        let nyq: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!((goertzel_power(&nyq, n, n / 2).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goertzel_validates() {
+        let s = vec![0.0; 16];
+        assert!(goertzel_power(&s, 0, 0).is_err());
+        assert!(goertzel_power(&s, 32, 0).is_err());
+        assert!(goertzel_power(&s, 16, 9).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Second-order loop topology and its linear analysis.
+//!
+//! The loop of Fig. 3(a):
+//!
+//! ```text
+//! x ──(+)── g1·I(z) ──(+)── g2·I(z) ── Q ──┬── y
+//!     −fb1·DAC ↑          −fb2·DAC ↑       │
+//!     └────────┴──────────────────────── y ┘
+//! ```
+//!
+//! with delaying integrators `I(z) = z⁻¹/(1 − z⁻¹)` ("there is delay in
+//! both integrators … to decouple settling chain"). Replacing the quantizer
+//! by an additive error `e` and solving gives
+//!
+//! ```text
+//! D(z) = 1 + (g2·fb2 − 2)·z⁻¹ + (1 − g2·fb2 + g1·g2·fb1)·z⁻²
+//! Y = g1·g2·z⁻² / D · X + (1 − z⁻¹)² / D · E
+//! ```
+//!
+//! so Eq. (3) holds exactly (with unit quantizer gain) when
+//! `g2·fb2 = 2` and `g1·g2·fb1 = 1`.
+
+use si_dsp::zdomain::{LinearModel, Polynomial, TransferFunction};
+
+use crate::ModulatorError;
+
+/// Coefficient set of the second-order loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondOrderTopology {
+    /// First integrator gain.
+    pub g1: f64,
+    /// Second integrator gain.
+    pub g2: f64,
+    /// DAC feedback weight into the first summer.
+    pub fb1: f64,
+    /// DAC feedback weight into the second summer.
+    pub fb2: f64,
+}
+
+impl SecondOrderTopology {
+    /// The unit coefficient set that realizes Eq. (3) exactly under a
+    /// unit-gain linear quantizer: `g1 = g2 = fb1 = 1`, `fb2 = 2`.
+    #[must_use]
+    pub fn eq3_unit() -> Self {
+        SecondOrderTopology {
+            g1: 1.0,
+            g2: 1.0,
+            fb1: 1.0,
+            fb2: 2.0,
+        }
+    }
+
+    /// The swing-scaled coefficients used for the 1-bit hardware ("scaling
+    /// is performed to have optimum signal swing"): the classic 0.5/0.5
+    /// choice that keeps both integrator states within roughly twice the
+    /// full-scale input.
+    #[must_use]
+    pub fn paper_scaled() -> Self {
+        SecondOrderTopology {
+            g1: 0.5,
+            g2: 0.5,
+            fb1: 1.0,
+            fb2: 1.0,
+        }
+    }
+
+    /// Validates the coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModulatorError::InvalidParameter`] for non-finite or
+    /// non-positive gains.
+    pub fn validate(&self) -> Result<(), ModulatorError> {
+        for (name, v) in [
+            ("g1", self.g1),
+            ("g2", self.g2),
+            ("fb1", self.fb1),
+            ("fb2", self.fb2),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(ModulatorError::InvalidParameter {
+                    name: match name {
+                        "g1" => "g1",
+                        "g2" => "g2",
+                        "fb1" => "fb1",
+                        _ => "fb2",
+                    },
+                    constraint: "topology coefficients must be positive and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this coefficient set satisfies the Eq. (3) conditions
+    /// (`g2·fb2 = 2`, `g1·g2·fb1 = 1`) within `tol`.
+    #[must_use]
+    pub fn realizes_eq3(&self, tol: f64) -> bool {
+        (self.g2 * self.fb2 - 2.0).abs() <= tol && (self.g1 * self.g2 * self.fb1 - 1.0).abs() <= tol
+    }
+
+    /// The linear model (STF and NTF) assuming unit quantizer gain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates degenerate-transfer-function errors (cannot happen for
+    /// validated coefficients).
+    pub fn linear_model(&self) -> Result<LinearModel, ModulatorError> {
+        self.validate()?;
+        // D(z) as derived in the module docs.
+        let d = Polynomial::new(vec![
+            1.0,
+            self.g2 * self.fb2 - 2.0,
+            1.0 - self.g2 * self.fb2 + self.g1 * self.g2 * self.fb1,
+        ]);
+        let stf = TransferFunction::new(
+            Polynomial::new(vec![0.0, 0.0, self.g1 * self.g2]),
+            d.clone(),
+        )
+        .map_err(ModulatorError::Dsp)?;
+        let ntf = TransferFunction::new(Polynomial::new(vec![1.0, -2.0, 1.0]), d)
+            .map_err(ModulatorError::Dsp)?;
+        Ok(LinearModel { stf, ntf })
+    }
+}
+
+impl Default for SecondOrderTopology {
+    fn default() -> Self {
+        SecondOrderTopology::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_unit_satisfies_conditions() {
+        assert!(SecondOrderTopology::eq3_unit().realizes_eq3(1e-12));
+        assert!(!SecondOrderTopology::paper_scaled().realizes_eq3(1e-12));
+    }
+
+    #[test]
+    fn eq3_unit_linear_model_matches_paper_equation() {
+        let model = SecondOrderTopology::eq3_unit().linear_model().unwrap();
+        let target = LinearModel::paper_second_order();
+        assert!(model.stf.approx_eq(&target.stf, 1e-12));
+        assert!(model.ntf.approx_eq(&target.ntf, 1e-12));
+    }
+
+    #[test]
+    fn scaled_ntf_still_has_double_zero_at_dc() {
+        let model = SecondOrderTopology::paper_scaled().linear_model().unwrap();
+        // 40 dB/decade slope at low frequency regardless of scaling.
+        let g1 = model.ntf.magnitude_db(1e-4).unwrap();
+        let g2 = model.ntf.magnitude_db(1e-3).unwrap();
+        assert!((g2 - g1 - 40.0).abs() < 0.2, "slope {}", g2 - g1);
+    }
+
+    #[test]
+    fn scaled_loop_is_stable() {
+        // The impulse response of the scaled NTF must decay (poles inside
+        // the unit circle).
+        let model = SecondOrderTopology::paper_scaled().linear_model().unwrap();
+        let ir = model.ntf.impulse_response(200);
+        let tail: f64 = ir[150..].iter().map(|x| x.abs()).sum();
+        assert!(tail < 1e-6, "tail energy {tail}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_coefficients() {
+        let mut t = SecondOrderTopology::eq3_unit();
+        t.g1 = 0.0;
+        assert!(t.validate().is_err());
+        t = SecondOrderTopology::eq3_unit();
+        t.fb2 = f64::NAN;
+        assert!(t.validate().is_err());
+        assert!(SecondOrderTopology::default().validate().is_ok());
+    }
+}

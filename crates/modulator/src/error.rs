@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use si_core::SiError;
+use si_dsp::DspError;
+
+/// Errors returned by the modulator crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModulatorError {
+    /// A configuration parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The violated constraint.
+        constraint: &'static str,
+    },
+    /// An error from the switched-current library.
+    Cell(SiError),
+    /// An error from the signal-processing substrate.
+    Dsp(DspError),
+}
+
+impl fmt::Display for ModulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModulatorError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            ModulatorError::Cell(e) => write!(f, "switched-current error: {e}"),
+            ModulatorError::Dsp(e) => write!(f, "signal-processing error: {e}"),
+        }
+    }
+}
+
+impl Error for ModulatorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModulatorError::Cell(e) => Some(e),
+            ModulatorError::Dsp(e) => Some(e),
+            ModulatorError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<SiError> for ModulatorError {
+    fn from(e: SiError) -> Self {
+        ModulatorError::Cell(e)
+    }
+}
+
+impl From<DspError> for ModulatorError {
+    fn from(e: DspError) -> Self {
+        ModulatorError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModulatorError::from(SiError::InvalidSize {
+            what: "cells",
+            value: 1,
+        });
+        assert!(e.to_string().contains("switched-current"));
+        assert!(e.source().is_some());
+        let e = ModulatorError::from(DspError::EmptyInput);
+        assert!(e.to_string().contains("signal-processing"));
+        let e = ModulatorError::InvalidParameter {
+            name: "osr",
+            constraint: "must be a power of two",
+        };
+        assert!(e.source().is_none());
+        assert!(!e.to_string().ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModulatorError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the ΔΣ modulators.
+
+use proptest::prelude::*;
+
+use si_core::Diff;
+use si_modulator::arch::SecondOrderTopology;
+use si_modulator::chopper::chop_bits;
+use si_modulator::ideal::IdealModulator;
+use si_modulator::mash::Mash21;
+use si_modulator::si::{ChopperSiModulator, SiModulator, SiModulatorConfig};
+use si_modulator::Modulator;
+
+proptest! {
+    /// Bit density tracks any in-range DC input (the defining ΔΣ property),
+    /// for the ideal loop.
+    #[test]
+    fn ideal_bit_density_tracks_dc(level in -0.6f64..0.6) {
+        let mut m = IdealModulator::new(SecondOrderTopology::paper_scaled(), 1.0).unwrap();
+        let n = 8000;
+        let mean: f64 = (0..n).map(|_| f64::from(m.step_value(level))).sum::<f64>() / n as f64;
+        prop_assert!((mean - level).abs() < 0.03, "level {level}, density {mean}");
+    }
+
+    /// Chopping a bitstream twice restores it, for any bits.
+    #[test]
+    fn chop_bits_is_involutive(bits in prop::collection::vec(prop::bool::ANY, 0..64)) {
+        let bits: Vec<i8> = bits.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        prop_assert_eq!(chop_bits(&chop_bits(&bits)), bits);
+    }
+
+    /// The ideal-cell SI modulator and the chopper-stabilized SI modulator
+    /// emit identical bitstreams on any in-range stimulus (the structural
+    /// equivalence that makes Fig. 3(b) realize the same converter).
+    #[test]
+    fn chopper_equivalence_holds_for_random_inputs(
+        seed_vals in prop::collection::vec(-0.7f64..0.7, 64),
+    ) {
+        let fs = 6e-6;
+        let mut plain = SiModulator::new(SiModulatorConfig::ideal(fs)).unwrap();
+        let mut chop = ChopperSiModulator::new(SiModulatorConfig::ideal(fs)).unwrap();
+        for (k, &v) in seed_vals.iter().enumerate() {
+            let x = Diff::from_differential(v * fs);
+            prop_assert_eq!(plain.step(x), chop.step(x), "diverged at {}", k);
+        }
+    }
+
+    /// Modulator output bits are always exactly ±1, whatever the input —
+    /// even absurd overloads.
+    #[test]
+    fn bits_are_always_valid(x in -1e-3f64..1e-3) {
+        let mut m = SiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+        for _ in 0..32 {
+            let b = m.step(Diff::from_differential(x));
+            prop_assert!(b == 1 || b == -1);
+        }
+    }
+
+    /// Integrator states of the ideal loop stay bounded for any in-range
+    /// input sequence (stability property of the scaled topology).
+    #[test]
+    fn ideal_states_bounded_for_in_range_inputs(
+        inputs in prop::collection::vec(-0.8f64..0.8, 256),
+    ) {
+        let mut m = IdealModulator::new(SecondOrderTopology::paper_scaled(), 1.0).unwrap();
+        for &x in &inputs {
+            m.step_value(x);
+            let (v1, v2) = m.states();
+            prop_assert!(v1.abs() < 6.0 && v2.abs() < 8.0, "states ({v1}, {v2})");
+        }
+    }
+
+    /// The MASH cascade tracks any in-range DC input, and its multi-level
+    /// output stays bounded.
+    #[test]
+    fn mash_tracks_dc_and_stays_bounded(level in -0.6f64..0.6) {
+        let mut m = Mash21::new(1.0, 0.0).unwrap();
+        let n = 6000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let y = m.step_value(level);
+            prop_assert!(y.abs() <= 1.0 + 16.0 + 1e-9, "output {y} out of range");
+            sum += y;
+        }
+        let mean = sum / n as f64;
+        prop_assert!((mean - level).abs() < 0.05, "level {level}, mean {mean}");
+    }
+
+    /// The linear (injected-error) path is exactly linear: scaling the
+    /// error scales the output contribution.
+    #[test]
+    fn linear_path_superposition(e in -2.0f64..2.0, k in 0.1f64..3.0) {
+        let topo = SecondOrderTopology::eq3_unit();
+        let run = |scale: f64| -> Vec<f64> {
+            let mut m = IdealModulator::new(topo, 1.0).unwrap();
+            (0..12)
+                .map(|n| m.step_linear(0.0, if n == 0 { scale } else { 0.0 }))
+                .collect()
+        };
+        let base = run(e);
+        let scaled = run(e * k);
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((s - b * k).abs() < 1e-9 * (1.0 + s.abs()));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: build the paper's delay line, feed it a sine, measure SNR
+//! and THD — the whole measurement chain in thirty lines.
+//!
+//! Run: `cargo run --release -p si-bench --example quickstart`
+
+use si_core::blocks::DelayLine;
+use si_core::params::ClassAbParams;
+use si_core::Diff;
+use si_dsp::metrics::HarmonicAnalysis;
+use si_dsp::signal::SineWave;
+use si_dsp::spectrum::Spectrum;
+use si_dsp::window::Window;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two cascaded class-AB memory cells = one clock period of delay,
+    // with the paper's 0.8 µm non-idealities (33 nA noise, charge
+    // injection, GGA slew limit).
+    let mut line = DelayLine::class_ab(2, &ClassAbParams::paper_08um(), 42)?;
+
+    // A coherent 8 µA sine: 64 cycles in a 65536-sample record.
+    let n = 65_536;
+    let stimulus = SineWave::coherent(8e-6, 65, n)?;
+    let output: Vec<f64> = stimulus
+        .take(n)
+        .map(|x| line.process(Diff::from_differential(x)).dm() / 8e-6)
+        .collect();
+
+    // Measure exactly the way the paper does: Blackman-windowed FFT.
+    let spectrum = Spectrum::periodogram(&output, Window::Blackman)?;
+    let analysis = HarmonicAnalysis::of(&spectrum, 5)?;
+
+    println!("delay line at 8 µA input:");
+    println!("  THD  = {:6.1} dB   (paper: −50 dB)", analysis.thd_db());
+    println!("  SNR  = {:6.1} dB", analysis.snr_db());
+    println!("  SINAD= {:6.1} dB", analysis.sinad_db());
+    Ok(())
+}

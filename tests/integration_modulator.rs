@@ -1,0 +1,124 @@
+//! System-level modulator integration tests: the SI loops against the
+//! ideal loop, the chopper equivalence, and the decimation cross-check
+//! (spectral SNDR vs CIC-decimated waveform quality).
+
+use si_core::Diff;
+use si_dsp::filter::CicDecimator;
+use si_dsp::metrics::HarmonicAnalysis;
+use si_dsp::signal::SineWave;
+use si_dsp::spectrum::Spectrum;
+use si_dsp::window::Window;
+use si_modulator::arch::SecondOrderTopology;
+use si_modulator::ideal::IdealModulator;
+use si_modulator::measure::{measure, MeasurementConfig};
+use si_modulator::si::{ChopperSiModulator, SiModulator, SiModulatorConfig};
+use si_modulator::Modulator;
+
+/// With ideal cells, the SI modulator must produce *exactly* the same
+/// bitstream as the floating-point reference — the SI realization is the
+/// same difference equations.
+#[test]
+fn ideal_si_modulator_equals_reference_bit_for_bit() {
+    let fs = 6e-6;
+    let mut si = SiModulator::new(SiModulatorConfig::ideal(fs)).unwrap();
+    let mut reference = IdealModulator::new(SecondOrderTopology::paper_scaled(), fs).unwrap();
+    let n = 4096;
+    let mut stim = SineWave::coherent(0.5 * fs, 53, n).unwrap();
+    for k in 0..n {
+        let x = stim.next().unwrap();
+        let a = si.step(Diff::from_differential(x));
+        let b = reference.step(Diff::from_differential(x));
+        assert_eq!(a, b, "bitstreams diverge at sample {k}");
+    }
+}
+
+/// With ideal cells, chop → chopper-loop → chop must equal the plain loop
+/// bit for bit (the mirrored-integrator equivalence at system level).
+#[test]
+fn chopper_loop_is_equivalent_to_plain_loop_when_ideal() {
+    let fs = 6e-6;
+    let mut plain = SiModulator::new(SiModulatorConfig::ideal(fs)).unwrap();
+    let mut chopped = ChopperSiModulator::new(SiModulatorConfig::ideal(fs)).unwrap();
+    let n = 4096;
+    let mut stim = SineWave::coherent(0.4 * fs, 53, n).unwrap();
+    for k in 0..n {
+        let x = stim.next().unwrap();
+        let a = plain.step(Diff::from_differential(x));
+        let b = chopped.step(Diff::from_differential(x));
+        assert_eq!(a, b, "bitstreams diverge at sample {k}");
+    }
+}
+
+/// The spectral in-band SINAD and the SINAD of the CIC-decimated waveform
+/// must agree: two independent measurement paths over the same bits.
+#[test]
+fn spectral_and_decimated_sndr_agree() {
+    let n = 65_536;
+    let osr = 128;
+    let mut m = SiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+    let cycles = 53; // ≈ 2 kHz at 2.45 MHz in a 64K record
+    let mut stim = SineWave::coherent(3e-6, cycles, n).unwrap();
+    let bits: Vec<f64> = (0..n)
+        .map(|_| f64::from(m.step(Diff::from_differential(stim.next().unwrap()))))
+        .collect();
+
+    // Path 1: spectral analysis of the raw bits in a 10 kHz band.
+    let spec = Spectrum::periodogram(&bits, Window::Blackman).unwrap();
+    let spectral =
+        HarmonicAnalysis::in_band(&spec, 5, 2.45e6, si_dsp::metrics::BandLimits::up_to(10e3))
+            .unwrap()
+            .sinad_db();
+
+    // Path 2: decimate with a sinc³ CIC to baseband and analyze there.
+    // The full 512-sample low-rate record keeps the tone coherent
+    // (53 cycles in 512 samples); the Blackman window suppresses the CIC
+    // startup transient at the record edge.
+    let mut cic = CicDecimator::new(3, osr).unwrap();
+    let low_rate = cic.process_block(&bits);
+    assert_eq!(low_rate.len(), n / osr);
+    let spec2 = Spectrum::periodogram(&low_rate, Window::Blackman).unwrap();
+    let decimated = HarmonicAnalysis::of(&spec2, 3).unwrap().sinad_db();
+
+    assert!(
+        (spectral - decimated).abs() < 6.0,
+        "spectral {spectral:.1} dB vs decimated {decimated:.1} dB"
+    );
+    assert!(spectral > 45.0, "spectral sinad {spectral}");
+}
+
+/// A full paper-point measurement must reproduce the Fig. 5 headline class
+/// even at reduced record length.
+#[test]
+fn fig5_headline_metrics_hold_at_16k() {
+    let cfg = MeasurementConfig::quick();
+    let mut m = SiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+    let meas = measure(&mut m, &cfg).unwrap();
+    assert!(
+        (50.0..=66.0).contains(&meas.snr_db),
+        "snr {} dB (paper 58 dB)",
+        meas.snr_db
+    );
+    assert!(
+        (-70.0..=-50.0).contains(&meas.thd_db),
+        "thd {} dB (paper −61 dB)",
+        meas.thd_db
+    );
+}
+
+/// The chopper modulator's post-chop measurement must match the plain
+/// modulator's within a few dB under white noise — the paper's negative
+/// result at the single-point level.
+#[test]
+fn chopper_gives_no_white_noise_advantage_at_minus_6_db() {
+    let cfg = MeasurementConfig::quick();
+    let mut plain = SiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+    let mut chop = ChopperSiModulator::new(SiModulatorConfig::paper_08um()).unwrap();
+    let a = measure(&mut plain, &cfg).unwrap();
+    let b = measure(&mut chop, &cfg).unwrap();
+    assert!(
+        (a.sinad_db - b.sinad_db).abs() < 5.0,
+        "plain {:.1} dB vs chopper {:.1} dB",
+        a.sinad_db,
+        b.sinad_db
+    );
+}

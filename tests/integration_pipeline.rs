@@ -1,0 +1,131 @@
+//! Cross-crate pipeline tests: signal generation (`si-dsp`) through the
+//! switched-current blocks (`si-core`) back into the measurement chain,
+//! and the analytic noise budget (`si-core`/`si-analog`) against the noise
+//! actually measured out of the simulated delay line.
+
+use si_core::blocks::{DelayLine, Differentiator, Integrator};
+use si_core::noise::NoiseBudget;
+use si_core::params::ClassAbParams;
+use si_core::Diff;
+use si_dsp::metrics::HarmonicAnalysis;
+use si_dsp::signal::SineWave;
+use si_dsp::spectrum::Spectrum;
+use si_dsp::window::Window;
+
+/// A noiseless delay line must be transparent to the measurement chain:
+/// the output spectrum of a delayed sine equals the input's.
+#[test]
+fn ideal_delay_line_is_transparent_to_measurement() {
+    let n = 8192;
+    let mut line = DelayLine::class_ab(2, &ClassAbParams::ideal(), 1).unwrap();
+    let input: Vec<f64> = SineWave::coherent(5e-6, 129, n).unwrap().take(n).collect();
+    let output: Vec<f64> = input
+        .iter()
+        .map(|&x| line.process(Diff::from_differential(x)).dm())
+        .collect();
+    let spec_in = Spectrum::periodogram(&input, Window::Blackman).unwrap();
+    let spec_out = Spectrum::periodogram(&output, Window::Blackman).unwrap();
+    let a_in = HarmonicAnalysis::of(&spec_in, 5).unwrap();
+    let a_out = HarmonicAnalysis::of(&spec_out, 5).unwrap();
+    assert_eq!(a_in.fundamental_bin(), a_out.fundamental_bin());
+    // A single-sample delay loses no power; only edge effects differ.
+    let ratio = a_out.signal_power() / a_in.signal_power();
+    assert!((ratio - 1.0).abs() < 1e-3, "power ratio {ratio}");
+}
+
+/// The measured output noise of the noisy delay line must match the
+/// analytic budget that reproduces the paper's 33 nA.
+#[test]
+fn measured_delay_line_noise_matches_budget() {
+    let mut params = ClassAbParams::paper_08um();
+    // Disable deterministic error terms; keep only noise.
+    params.charge_injection = si_core::params::ChargeInjection::none();
+    params.raw_gain_error = 0.0;
+    params.branch_mismatch = 0.0;
+    let mut line = DelayLine::class_ab(2, &params, 3).unwrap();
+    let n = 200_000;
+    let mut sum_sq = 0.0;
+    for _ in 0..n {
+        let y = line.process(Diff::ZERO);
+        sum_sq += y.dm() * y.dm();
+    }
+    let measured = (sum_sq / n as f64).sqrt();
+    let budget = NoiseBudget::paper_08um().cascade_noise(2).unwrap();
+    assert!(
+        (measured - budget.0).abs() / budget.0 < 0.05,
+        "measured {measured} vs budget {}",
+        budget.0
+    );
+    // And both sit at the paper's 33 nA.
+    assert!((budget.0 - 33e-9).abs() < 2.5e-9);
+}
+
+/// The SI integrator must track its recurrence over a long random drive,
+/// not just on impulses.
+#[test]
+fn integrator_tracks_z_domain_model_on_random_drive() {
+    let mut int = Integrator::class_ab(0.5, &ClassAbParams::ideal(), 1).unwrap();
+    // Direct-form reference of H(z) = 0.5·z⁻¹/(1−z⁻¹).
+    let mut acc = 0.0;
+    let mut seed = 0x12345u64;
+    for _ in 0..500 {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let x = ((seed % 1000) as f64 / 1000.0 - 0.5) * 1e-6;
+        let y_block = int.process(Diff::from_differential(x)).dm();
+        let y_ref = acc;
+        acc += 0.5 * x;
+        assert!((y_block - y_ref).abs() < 1e-15, "{y_block} vs {y_ref}");
+    }
+}
+
+/// Differentiator then integrator (delaying forms) must reconstruct the
+/// input up to the structural delay: D(z)·I(z) = z⁻².
+#[test]
+fn differentiator_integrator_cascade_is_pure_delay() {
+    let mut d = Differentiator::class_ab(1.0, &ClassAbParams::ideal(), 1).unwrap();
+    let mut i = Integrator::class_ab(1.0, &ClassAbParams::ideal(), 2).unwrap();
+    let n = 64;
+    let input: Vec<f64> = (0..n).map(|k| ((k * 37 + 11) % 17) as f64 * 1e-7).collect();
+    let mut out = Vec::with_capacity(n);
+    for &x in &input {
+        let v = d.process(Diff::from_differential(x));
+        out.push(i.process(v).dm());
+    }
+    for k in 2..n {
+        assert!(
+            (out[k] - input[k - 2]).abs() < 1e-12,
+            "sample {k}: {} vs {}",
+            out[k],
+            input[k - 2]
+        );
+    }
+}
+
+/// Window choice must not change measured SNR (calibration invariance):
+/// the same noisy delay-line output analyzed with different windows gives
+/// the same answer within a fraction of a dB.
+#[test]
+fn snr_is_window_invariant() {
+    let mut params = ClassAbParams::ideal();
+    params.noise_rms = 50e-9;
+    let mut line = DelayLine::class_ab(2, &params, 9).unwrap();
+    let n = 65_536;
+    let samples: Vec<f64> = SineWave::coherent(8e-6, 1001, n)
+        .unwrap()
+        .take(n)
+        .map(|x| line.process(Diff::from_differential(x)).dm())
+        .collect();
+    let mut snrs = Vec::new();
+    for w in [Window::Hann, Window::Blackman, Window::BlackmanHarris] {
+        let spec = Spectrum::periodogram(&samples, w).unwrap();
+        snrs.push(HarmonicAnalysis::of(&spec, 5).unwrap().snr_db());
+    }
+    for pair in snrs.windows(2) {
+        assert!(
+            (pair[0] - pair[1]).abs() < 0.3,
+            "window-dependent snr: {snrs:?}"
+        );
+    }
+}
