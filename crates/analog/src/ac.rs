@@ -11,6 +11,7 @@
 //! falls out of [`AcAnalysis::response`] on the Fig. 1 netlist.
 
 use crate::complexmat::{CMatrix, C64};
+use crate::engine::{Analysis, EngineWorkspace};
 use crate::mna::Solution;
 use crate::netlist::{Circuit, ElementKind, NodeId};
 use crate::units::Volts;
@@ -82,20 +83,23 @@ impl Default for AcAnalysis {
 
 impl AcAnalysis {
     /// Assembles the complex MNA matrix at angular frequency `omega`,
-    /// linearized at `op`. Returns the matrix only — the RHS depends on the
-    /// stimulus.
-    pub(crate) fn assemble(
+    /// linearized at `op`, into a caller-held matrix (resized and zeroed in
+    /// place — no allocation when the capacity suffices). Fills the matrix
+    /// only — the RHS depends on the stimulus.
+    pub(crate) fn assemble_into(
         &self,
         circuit: &Circuit,
         op_voltages: &[f64],
         omega: f64,
-    ) -> Result<CMatrix, AnalogError> {
+        a: &mut CMatrix,
+    ) -> Result<(), AnalogError> {
         let dim = circuit.mna_dimension();
         if dim == 0 {
             return Err(AnalogError::EmptyCircuit);
         }
         let n_nodes = circuit.node_count();
-        let mut a = CMatrix::zeros(dim);
+        a.resize_zeroed(dim);
+        let a = &mut *a;
         let row = |n: NodeId| -> Option<usize> {
             if n.is_ground() {
                 None
@@ -125,14 +129,14 @@ impl AcAnalysis {
                     b: nb,
                     device,
                 } => {
-                    stamp_adm(&mut a, *na, *nb, C64::real(device.conductance().0));
+                    stamp_adm(a, *na, *nb, C64::real(device.conductance().0));
                 }
                 ElementKind::Capacitor {
                     a: na,
                     b: nb,
                     device,
                 } => {
-                    stamp_adm(&mut a, *na, *nb, C64::imag(omega * device.c.0));
+                    stamp_adm(a, *na, *nb, C64::imag(omega * device.c.0));
                 }
                 ElementKind::Switch {
                     a: na,
@@ -146,7 +150,7 @@ impl AcAnalysis {
                         crate::device::ClockPhase::AlwaysOff => false,
                     };
                     let r = if on { device.ron } else { device.roff };
-                    stamp_adm(&mut a, *na, *nb, C64::real(1.0 / r.0));
+                    stamp_adm(a, *na, *nb, C64::real(1.0 / r.0));
                 }
                 ElementKind::CurrentSource { .. } => {
                     // Independent sources are zeroed in AC (stimulus comes
@@ -199,14 +203,9 @@ impl AcAnalysis {
                     }
                     if self.include_device_caps {
                         let cgs = params.cgs();
+                        stamp_adm(a, terminals.gate, terminals.source, C64::imag(omega * cgs));
                         stamp_adm(
-                            &mut a,
-                            terminals.gate,
-                            terminals.source,
-                            C64::imag(omega * cgs),
-                        );
-                        stamp_adm(
-                            &mut a,
+                            a,
                             terminals.gate,
                             terminals.drain,
                             C64::imag(omega * cgs / 5.0),
@@ -218,7 +217,7 @@ impl AcAnalysis {
         for i in 0..(n_nodes - 1) {
             a.stamp(i, i, C64::real(self.gmin));
         }
-        Ok(a)
+        Ok(())
     }
 
     fn rhs(&self, circuit: &Circuit, stimulus: &AcStimulus) -> Result<Vec<C64>, AnalogError> {
@@ -272,6 +271,26 @@ impl AcAnalysis {
         probe: &AcProbe,
         freqs_hz: &[f64],
     ) -> Result<Vec<C64>, AnalogError> {
+        let mut ws = EngineWorkspace::new();
+        self.response_with(circuit, op, stimulus, probe, freqs_hz, &mut ws)
+    }
+
+    /// Workspace-reusing variant of [`AcAnalysis::response`]: the complex
+    /// matrix, permutation, and solution buffers live in `ws` and are
+    /// reassembled in place at every frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AcAnalysis::response`].
+    pub fn response_with(
+        &self,
+        circuit: &Circuit,
+        op: &Solution,
+        stimulus: &AcStimulus,
+        probe: &AcProbe,
+        freqs_hz: &[f64],
+        ws: &mut EngineWorkspace,
+    ) -> Result<Vec<C64>, AnalogError> {
         let voltages = op.node_voltages();
         let b = self.rhs(circuit, stimulus)?;
         let mut out = Vec::with_capacity(freqs_hz.len());
@@ -283,11 +302,47 @@ impl AcAnalysis {
                 });
             }
             let omega = 2.0 * std::f64::consts::PI * f;
-            let a = self.assemble(circuit, &voltages, omega)?;
-            let x = a.solve(&b)?;
-            out.push(self.read(circuit, probe, &x)?);
+            self.assemble_into(circuit, &voltages, omega, &mut ws.cmatrix)?;
+            ws.cmatrix.factor_in_place(&mut ws.cperm)?;
+            ws.cmatrix.lu_solve_into(&ws.cperm, &b, &mut ws.cx)?;
+            out.push(self.read(circuit, probe, &ws.cx)?);
         }
         Ok(out)
+    }
+}
+
+/// [`Analysis`] job: a full AC frequency response (stimulus, probe, and
+/// frequency grid bundled with the analysis options and operating point).
+#[derive(Debug, Clone)]
+pub struct AcSweep<'a> {
+    /// Analysis options (phases, gmin, device caps).
+    pub analysis: AcAnalysis,
+    /// The operating point to linearize at.
+    pub op: &'a Solution,
+    /// Where the unit stimulus is applied.
+    pub stimulus: AcStimulus,
+    /// What is read out.
+    pub probe: AcProbe,
+    /// The frequency grid in hertz.
+    pub freqs_hz: Vec<f64>,
+}
+
+impl Analysis for AcSweep<'_> {
+    type Output = Vec<C64>;
+
+    fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Vec<C64>, AnalogError> {
+        self.analysis.response_with(
+            circuit,
+            self.op,
+            &self.stimulus,
+            &self.probe,
+            &self.freqs_hz,
+            ws,
+        )
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::ac::{AcAnalysis, AcProbe};
 use crate::complexmat::C64;
+use crate::engine::{Analysis, EngineWorkspace};
 use crate::mna::Solution;
 use crate::netlist::{Circuit, ElementKind, NodeId};
 use crate::units::Volts;
@@ -135,6 +136,29 @@ impl NoiseAnalysis {
         f_hi: f64,
         points: usize,
     ) -> Result<NoiseResult, AnalogError> {
+        let mut ws = EngineWorkspace::new();
+        self.output_noise_with(circuit, op, probe, f_lo, f_hi, points, &mut ws)
+    }
+
+    /// Workspace-reusing variant of [`NoiseAnalysis::output_noise`]. The
+    /// complex system is assembled and factored once per frequency (not
+    /// once per source, as the allocating path used to) and every source's
+    /// injection reuses the held factors and right-hand-side buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NoiseAnalysis::output_noise`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn output_noise_with(
+        &self,
+        circuit: &Circuit,
+        op: &Solution,
+        probe: &AcProbe,
+        f_lo: f64,
+        f_hi: f64,
+        points: usize,
+        ws: &mut EngineWorkspace,
+    ) -> Result<NoiseResult, AnalogError> {
         let freqs = crate::ac::log_frequencies(f_lo, f_hi, points)?;
         let voltages = op.node_voltages();
         let sources = self.collect_sources(circuit, &voltages);
@@ -146,16 +170,20 @@ impl NoiseAnalysis {
 
         for (fi, &f) in freqs.iter().enumerate() {
             let omega = 2.0 * std::f64::consts::PI * f;
-            let a = self.ac.assemble(circuit, &voltages, omega)?;
+            self.ac
+                .assemble_into(circuit, &voltages, omega, &mut ws.cmatrix)?;
+            ws.cmatrix.factor_in_place(&mut ws.cperm)?;
             for (si, src) in sources.iter().enumerate() {
-                let mut b = vec![C64::ZERO; dim];
+                ws.crhs.clear();
+                ws.crhs.resize(dim, C64::ZERO);
                 if !src.to.is_ground() {
-                    b[src.to.index() - 1] += C64::ONE;
+                    ws.crhs[src.to.index() - 1] += C64::ONE;
                 }
                 if !src.from.is_ground() {
-                    b[src.from.index() - 1] -= C64::ONE;
+                    ws.crhs[src.from.index() - 1] -= C64::ONE;
                 }
-                let x = a.solve(&b)?;
+                ws.cmatrix.lu_solve_into(&ws.cperm, &ws.crhs, &mut ws.cx)?;
+                let x = &ws.cx;
                 let h = match probe {
                     AcProbe::NodeVoltage(node) => {
                         if node.is_ground() {
@@ -197,6 +225,44 @@ impl NoiseAnalysis {
             total_rms,
             contributors,
         })
+    }
+}
+
+/// [`Analysis`] job: an integrated output-noise measurement (probe and
+/// frequency span bundled with the analysis options and operating point).
+#[derive(Debug, Clone)]
+pub struct NoiseJob<'a> {
+    /// Noise-analysis options.
+    pub analysis: NoiseAnalysis,
+    /// The operating point to linearize at.
+    pub op: &'a Solution,
+    /// What is read out.
+    pub probe: AcProbe,
+    /// Lower integration bound in hertz.
+    pub f_lo: f64,
+    /// Upper integration bound in hertz.
+    pub f_hi: f64,
+    /// Number of log-spaced grid points.
+    pub points: usize,
+}
+
+impl Analysis for NoiseJob<'_> {
+    type Output = NoiseResult;
+
+    fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<NoiseResult, AnalogError> {
+        self.analysis.output_noise_with(
+            circuit,
+            self.op,
+            &self.probe,
+            self.f_lo,
+            self.f_hi,
+            self.points,
+            ws,
+        )
     }
 }
 

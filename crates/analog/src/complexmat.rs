@@ -168,22 +168,27 @@ impl CMatrix {
         self.data[i * self.n + j]
     }
 
-    /// Solves `A·x = b` by LU with partial pivoting (destroys a copy).
+    /// Reshapes to an `n × n` zero matrix, keeping the allocation when the
+    /// capacity suffices.
+    pub fn resize_zeroed(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, C64::ZERO);
+    }
+
+    /// Overwrites `self` with its LU factorization (partial pivoting on
+    /// magnitude), recording the row permutation in `perm`. `L` (unit
+    /// diagonal, strictly below) stores the elimination factors; `U` sits
+    /// on and above the diagonal.
     ///
     /// # Errors
     ///
-    /// Returns [`AnalogError::SingularMatrix`] if a pivot vanishes, or
-    /// [`AnalogError::InvalidParameter`] on a length mismatch.
-    pub fn solve(&self, b: &[C64]) -> Result<Vec<C64>, AnalogError> {
+    /// Returns [`AnalogError::SingularMatrix`] if a pivot vanishes.
+    pub fn factor_in_place(&mut self, perm: &mut Vec<usize>) -> Result<(), AnalogError> {
         let n = self.n;
-        if b.len() != n {
-            return Err(AnalogError::InvalidParameter {
-                name: "b",
-                constraint: "vector length must equal matrix dimension",
-            });
-        }
-        let mut a = self.data.clone();
-        let mut x = b.to_vec();
+        perm.clear();
+        perm.extend(0..n);
+        let a = &mut self.data;
         let idx = |i: usize, j: usize| i * n + j;
         for k in 0..n {
             // Partial pivot on magnitude.
@@ -203,17 +208,56 @@ impl CMatrix {
                 for j in 0..n {
                     a.swap(idx(k, j), idx(p, j));
                 }
-                x.swap(k, p);
+                perm.swap(k, p);
             }
             let pivot = a[idx(k, k)];
             for i in (k + 1)..n {
                 let factor = a[idx(i, k)] / pivot;
+                a[idx(i, k)] = factor;
                 if factor.abs() == 0.0 {
                     continue;
                 }
                 for j in (k + 1)..n {
                     let akj = a[idx(k, j)];
                     a[idx(i, j)] = a[idx(i, j)] - factor * akj;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `L·U·x = P·b` given factors from
+    /// [`CMatrix::factor_in_place`], writing into a caller-held vector.
+    /// The forward pass applies the elimination column by column — the
+    /// exact operation order of the one-shot [`CMatrix::solve`], so the
+    /// split path is bit-identical to the combined one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] on a length mismatch.
+    pub fn lu_solve_into(
+        &self,
+        perm: &[usize],
+        b: &[C64],
+        x: &mut Vec<C64>,
+    ) -> Result<(), AnalogError> {
+        let n = self.n;
+        if b.len() != n || perm.len() != n {
+            return Err(AnalogError::InvalidParameter {
+                name: "b",
+                constraint: "vector length must equal matrix dimension",
+            });
+        }
+        let a = &self.data;
+        let idx = |i: usize, j: usize| i * n + j;
+        x.clear();
+        x.extend(perm.iter().map(|&p| b[p]));
+        // Forward substitution, column-major.
+        for k in 0..n {
+            for i in (k + 1)..n {
+                let factor = a[idx(i, k)];
+                if factor.abs() == 0.0 {
+                    continue;
                 }
                 x[i] = x[i] - factor * x[k];
             }
@@ -226,6 +270,27 @@ impl CMatrix {
             }
             x[i] = acc / a[idx(i, i)];
         }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting (destroys a copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] if a pivot vanishes, or
+    /// [`AnalogError::InvalidParameter`] on a length mismatch.
+    pub fn solve(&self, b: &[C64]) -> Result<Vec<C64>, AnalogError> {
+        if b.len() != self.n {
+            return Err(AnalogError::InvalidParameter {
+                name: "b",
+                constraint: "vector length must equal matrix dimension",
+            });
+        }
+        let mut lu = self.clone();
+        let mut perm = Vec::new();
+        lu.factor_in_place(&mut perm)?;
+        let mut x = Vec::with_capacity(self.n);
+        lu.lu_solve_into(&perm, b, &mut x)?;
         Ok(x)
     }
 }
@@ -288,6 +353,43 @@ mod tests {
         let x = m.solve(&[C64::real(2.0), C64::real(5.0)]).unwrap();
         assert!(close(x[0], C64::real(5.0)));
         assert!(close(x[1], C64::real(2.0)));
+    }
+
+    #[test]
+    fn factored_path_is_bit_identical_to_one_shot_solve() {
+        let mut m = CMatrix::zeros(3);
+        // Asymmetric, needs pivoting, mixes magnitudes.
+        m.stamp(0, 1, C64::new(2.0, -1.0));
+        m.stamp(0, 2, C64::real(0.5));
+        m.stamp(1, 0, C64::new(1e-3, 4.0));
+        m.stamp(1, 1, C64::imag(-2.0));
+        m.stamp(2, 0, C64::real(3.0));
+        m.stamp(2, 2, C64::new(-1.0, 1.0));
+        let b = vec![C64::new(1.0, 2.0), C64::real(-3.0), C64::imag(0.25)];
+        let one_shot = m.solve(&b).unwrap();
+
+        let mut lu = m.clone();
+        let mut perm = Vec::new();
+        lu.factor_in_place(&mut perm).unwrap();
+        let mut x = Vec::new();
+        lu.lu_solve_into(&perm, &b, &mut x).unwrap();
+        for (u, v) in x.iter().zip(&one_shot) {
+            assert_eq!(u.re, v.re);
+            assert_eq!(u.im, v.im);
+        }
+    }
+
+    #[test]
+    fn resize_zeroed_clears_previous_contents() {
+        let mut m = CMatrix::zeros(2);
+        m.stamp(1, 1, C64::new(7.0, -7.0));
+        m.resize_zeroed(3);
+        assert_eq!(m.dim(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j).abs(), 0.0);
+            }
+        }
     }
 
     #[test]

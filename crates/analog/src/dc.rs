@@ -7,7 +7,8 @@
 //! conductance decade by decade — enough robustness for the tens-of-devices
 //! cells this workspace simulates.
 
-use crate::mna::{assemble, Solution, StampContext};
+use crate::engine::{Analysis, EngineWorkspace, NewtonSettings, StampSpec};
+use crate::mna::Solution;
 use crate::netlist::Circuit;
 use crate::units::Volts;
 use crate::AnalogError;
@@ -82,6 +83,22 @@ impl DcSolver {
         self
     }
 
+    fn newton_settings(&self) -> NewtonSettings {
+        NewtonSettings {
+            max_iterations: self.max_iterations,
+            vtol: self.vtol,
+            max_step: self.max_step,
+        }
+    }
+
+    fn stamp_spec(&self) -> StampSpec<'static> {
+        StampSpec {
+            phi1_high: self.phi1_high,
+            phi2_high: self.phi2_high,
+            ..StampSpec::default()
+        }
+    }
+
     /// Solves for the operating point.
     ///
     /// # Errors
@@ -90,39 +107,75 @@ impl DcSolver {
     /// both fail, [`AnalogError::SingularMatrix`] for structurally singular
     /// circuits, or parameter errors from assembly.
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, AnalogError> {
-        let start = match &self.initial {
-            Some(guess) => {
-                if guess.len() != circuit.node_count() {
-                    return Err(AnalogError::InvalidParameter {
-                        name: "initial",
-                        constraint: "guess length must equal circuit node count",
-                    });
-                }
-                guess.clone()
+        let mut ws = EngineWorkspace::for_circuit(circuit);
+        self.solve_with(circuit, &mut ws)
+    }
+
+    /// Solves for the operating point, reusing the caller's workspace
+    /// buffers — the allocation-free entry point for tight loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn solve_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Solution, AnalogError> {
+        match &self.initial {
+            Some(guess) => self.solve_from_with(circuit, guess, ws),
+            None => {
+                let start = vec![0.0; circuit.node_count()];
+                self.solve_from_with(circuit, &start, ws)
             }
-            None => vec![0.0; circuit.node_count()],
-        };
+        }
+    }
+
+    /// Solves for the operating point from an explicit starting guess
+    /// (full node-voltage vector, ground at index 0), reusing the caller's
+    /// workspace. Sweeps call this to warm-start each point from the
+    /// previous solution without cloning the solver.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`], plus
+    /// [`AnalogError::InvalidParameter`] for a wrong-length guess.
+    pub fn solve_from_with(
+        &self,
+        circuit: &Circuit,
+        start: &[f64],
+        ws: &mut EngineWorkspace,
+    ) -> Result<Solution, AnalogError> {
+        if start.len() != circuit.node_count() {
+            return Err(AnalogError::InvalidParameter {
+                name: "initial",
+                constraint: "guess length must equal circuit node count",
+            });
+        }
+        let settings = self.newton_settings();
+        let spec = self.stamp_spec();
 
         // Plain Newton first.
-        match self.newton(circuit, &start, self.gmin) {
-            Ok(sol) => return Ok(sol),
+        match ws.newton(circuit, &spec, &settings, self.gmin, start) {
+            Ok(()) => return Ok(ws.solution()),
             Err(AnalogError::NoConvergence { .. }) | Err(AnalogError::SingularMatrix { .. }) => {}
             Err(e) => return Err(e),
         }
 
         // gmin stepping: converge an easy (leaky) circuit, then tighten.
-        let mut guess = start;
+        let mut guess = start.to_vec();
         let mut gmin = 1e-2;
         let mut last_err = AnalogError::NoConvergence {
             iterations: 0,
             residual: f64::INFINITY,
         };
         while gmin >= self.gmin * 0.99 {
-            match self.newton(circuit, &guess, gmin) {
-                Ok(sol) => {
-                    guess = sol.node_voltages();
+            match ws.newton(circuit, &spec, &settings, gmin, &guess) {
+                Ok(()) => {
+                    guess.clear();
+                    guess.extend_from_slice(ws.node_voltages());
                     if gmin <= self.gmin * 1.01 {
-                        return Ok(sol);
+                        return Ok(ws.solution());
                     }
                 }
                 Err(e) => last_err = e,
@@ -130,68 +183,23 @@ impl DcSolver {
             gmin = (gmin / 10.0).max(self.gmin);
             if gmin == self.gmin && matches!(last_err, AnalogError::NoConvergence { .. }) {
                 // One final attempt at the target gmin.
-                return self.newton(circuit, &guess, gmin);
+                ws.newton(circuit, &spec, &settings, gmin, &guess)?;
+                return Ok(ws.solution());
             }
         }
         Err(last_err)
     }
+}
 
-    fn newton(&self, circuit: &Circuit, start: &[f64], gmin: f64) -> Result<Solution, AnalogError> {
-        let n_nodes = circuit.node_count();
-        let mut voltages = start.to_vec();
-        let mut branches = vec![0.0; circuit.branch_count()];
-        let mut last_delta = f64::INFINITY;
+impl Analysis for DcSolver {
+    type Output = Solution;
 
-        for iter in 0..self.max_iterations {
-            let ctx = StampContext {
-                node_voltages: &voltages,
-                time: None,
-                clock: None,
-                phi1_high: self.phi1_high,
-                phi2_high: self.phi2_high,
-                gmin,
-                cap_step: None,
-            };
-            let sys = assemble(circuit, &ctx)?;
-            let x = sys.matrix.solve(&sys.rhs)?;
-
-            // Raw update and its magnitude.
-            let mut delta_max = 0.0f64;
-            for i in 0..(n_nodes - 1) {
-                delta_max = delta_max.max((x[i] - voltages[i + 1]).abs());
-            }
-            last_delta = delta_max;
-
-            // Damping: limit per-node move to max_step.
-            let alpha = if delta_max > self.max_step {
-                self.max_step / delta_max
-            } else {
-                1.0
-            };
-            for i in 0..(n_nodes - 1) {
-                let new_v = x[i];
-                voltages[i + 1] += alpha * (new_v - voltages[i + 1]);
-                if !voltages[i + 1].is_finite() {
-                    return Err(AnalogError::NoConvergence {
-                        iterations: iter + 1,
-                        residual: f64::INFINITY,
-                    });
-                }
-            }
-            for (k, b) in branches.iter_mut().enumerate() {
-                *b = x[n_nodes - 1 + k];
-            }
-
-            if delta_max < self.vtol {
-                let mut raw = voltages[1..].to_vec();
-                raw.extend_from_slice(&branches);
-                return Ok(Solution::new(raw, n_nodes));
-            }
-        }
-        Err(AnalogError::NoConvergence {
-            iterations: self.max_iterations,
-            residual: last_delta,
-        })
+    fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Solution, AnalogError> {
+        self.solve_with(circuit, ws)
     }
 }
 
@@ -199,7 +207,9 @@ impl DcSolver {
 /// at each point, reusing each solution as the next initial guess.
 ///
 /// `read` receives the converged solution for every sweep value; its returns
-/// are collected in order.
+/// are collected in order. The circuit is cloned once, the solver is built
+/// once, and every point after the first warm-starts from the previous
+/// solution inside one reused [`EngineWorkspace`] — no per-point cloning.
 ///
 /// # Errors
 ///
@@ -211,17 +221,18 @@ pub fn sweep_current_source<T>(
     solver: &DcSolver,
     mut read: impl FnMut(&Solution) -> T,
 ) -> Result<Vec<T>, AnalogError> {
+    let mut ws = EngineWorkspace::for_circuit(circuit);
     let mut out = Vec::with_capacity(values.len());
     let mut ckt = circuit.clone();
-    let mut guess: Option<Vec<f64>> = None;
+    let mut guess = match &solver.initial {
+        Some(g) => g.clone(),
+        None => vec![0.0; circuit.node_count()],
+    };
     for &value in values {
         set_current_source(&mut ckt, source_name, value)?;
-        let mut s = solver.clone();
-        if let Some(g) = &guess {
-            s = s.with_initial_guess(g.clone());
-        }
-        let sol = s.solve(&ckt)?;
-        guess = Some(sol.node_voltages());
+        let sol = solver.solve_from_with(&ckt, &guess, &mut ws)?;
+        guess.clear();
+        guess.extend_from_slice(ws.node_voltages());
         out.push(read(&sol));
     }
     Ok(out)

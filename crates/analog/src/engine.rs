@@ -1,0 +1,385 @@
+//! The analysis engine: reusable solver workspaces and the one Newton loop
+//! every analysis routes through.
+//!
+//! Every analysis in this crate — DC operating point, transient, AC,
+//! small-signal, and noise — reduces to assembling an MNA system and
+//! solving it, usually thousands of times (Newton iterations, time steps,
+//! sweep points, frequency points). The seed implementation allocated a
+//! fresh matrix, right-hand side, and solution vector for every single
+//! solve. [`EngineWorkspace`] owns those buffers once and reuses them:
+//! [`crate::mna::assemble_into`] restamps in place,
+//! [`crate::linalg::Matrix::factor_in_place`] factors in place, and
+//! [`crate::linalg::Matrix::lu_solve_into`] back-substitutes into a held
+//! vector, so the steady-state solve path performs no heap allocation.
+//!
+//! Buffer reuse never changes a floating-point operation: the in-place
+//! kernels are the *same code* the allocating wrappers call, so a
+//! workspace-driven analysis is bit-identical to the legacy
+//! allocate-per-solve path (asserted by `tests/integration_engine.rs`).
+//!
+//! Threading model: a workspace is a plain mutable value with no interior
+//! mutability — `Send` but deliberately not shared. Parallel drivers
+//! ([`crate::sweep::parallel_map`]) give each worker thread its own
+//! workspace and partition points across workers.
+
+use crate::complexmat::{CMatrix, C64};
+use crate::device::switch::TwoPhaseClock;
+use crate::linalg::Matrix;
+use crate::mna::{assemble_into, CapStep, Solution, StampContext};
+use crate::netlist::Circuit;
+use crate::units::Seconds;
+use crate::AnalogError;
+
+/// Convergence controls for the damped Newton loop.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonSettings {
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Convergence tolerance on node-voltage updates, in volts.
+    pub vtol: f64,
+    /// Per-iteration damping limit on any node-voltage move, in volts.
+    pub max_step: f64,
+}
+
+/// The stamping circumstances of one solve: everything a
+/// [`StampContext`] holds except the voltage guess and gmin, which the
+/// Newton loop supplies itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StampSpec<'a> {
+    /// Simulation time; `None` for DC (sources at their DC value).
+    pub time: Option<Seconds>,
+    /// The two-phase clock driving switches, if any.
+    pub clock: Option<&'a TwoPhaseClock>,
+    /// φ1 state used when no clock/time is available.
+    pub phi1_high: bool,
+    /// φ2 state used when no clock/time is available.
+    pub phi2_high: bool,
+    /// Backward-Euler capacitor companion context, `Some` during transient.
+    pub cap_step: Option<CapStep<'a>>,
+}
+
+/// Owns every buffer an analysis needs, across Newton iterations, time
+/// steps, and sweep points.
+///
+/// Create one per thread of work and pass it to the `*_with` variant of any
+/// analysis entry point ([`crate::dc::DcSolver::solve_with`],
+/// [`crate::tran::run_with`], [`crate::ac::AcAnalysis::response_with`], …).
+/// The convenience entry points without a workspace argument create a
+/// short-lived one internally, so both paths run the identical kernels.
+#[derive(Debug, Clone)]
+pub struct EngineWorkspace {
+    /// Real MNA matrix; holds the LU factors after a factorization.
+    pub(crate) matrix: Matrix,
+    /// Real right-hand side.
+    pub(crate) rhs: Vec<f64>,
+    /// LU row permutation.
+    pub(crate) perm: Vec<usize>,
+    /// Raw solution vector of the latest linear solve.
+    pub(crate) x: Vec<f64>,
+    /// Node voltages (index 0 = ground) of the latest Newton state.
+    pub(crate) voltages: Vec<f64>,
+    /// Voltage-source branch currents of the latest Newton state.
+    pub(crate) branches: Vec<f64>,
+    /// Complex MNA matrix for AC/noise analyses.
+    pub(crate) cmatrix: CMatrix,
+    /// Complex LU row permutation.
+    pub(crate) cperm: Vec<usize>,
+    /// Complex right-hand side.
+    pub(crate) crhs: Vec<C64>,
+    /// Complex solution vector.
+    pub(crate) cx: Vec<C64>,
+}
+
+impl Default for EngineWorkspace {
+    fn default() -> Self {
+        EngineWorkspace {
+            matrix: Matrix::zeros(0, 0),
+            rhs: Vec::new(),
+            perm: Vec::new(),
+            x: Vec::new(),
+            voltages: Vec::new(),
+            branches: Vec::new(),
+            cmatrix: CMatrix::zeros(0),
+            cperm: Vec::new(),
+            crhs: Vec::new(),
+            cx: Vec::new(),
+        }
+    }
+}
+
+impl EngineWorkspace {
+    /// An empty workspace; buffers grow to circuit size on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineWorkspace::default()
+    }
+
+    /// A workspace with real-path buffers pre-sized for `circuit`, so even
+    /// the first solve allocates nothing once it starts iterating.
+    #[must_use]
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        let dim = circuit.mna_dimension();
+        let mut ws = EngineWorkspace::new();
+        ws.matrix.resize_zeroed(dim, dim);
+        ws.rhs.reserve(dim);
+        ws.perm.reserve(dim);
+        ws.x.reserve(dim);
+        ws.voltages.reserve(circuit.node_count());
+        ws.branches.reserve(circuit.branch_count());
+        ws
+    }
+
+    /// Node voltages (ground at index 0) left by the last Newton solve.
+    #[must_use]
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Voltage-source branch currents left by the last Newton solve.
+    #[must_use]
+    pub fn branch_currents(&self) -> &[f64] {
+        &self.branches
+    }
+
+    /// Packages the last Newton state as an owned [`Solution`].
+    #[must_use]
+    pub fn solution(&self) -> Solution {
+        let n_nodes = self.voltages.len();
+        let mut raw = self.voltages[1..].to_vec();
+        raw.extend_from_slice(&self.branches);
+        Solution::new(raw, n_nodes)
+    }
+
+    /// Runs the damped Newton loop at a fixed gmin, starting from `start`
+    /// (full node-voltage vector, ground at index 0). On success the
+    /// converged voltages and branch currents are left in the workspace
+    /// ([`Self::node_voltages`] / [`Self::branch_currents`]).
+    ///
+    /// This is the single Newton implementation shared by DC (directly and
+    /// under gmin stepping) and transient (per step, with a
+    /// [`CapStep`] in the spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::NoConvergence`] when the budget is exhausted
+    /// or an update goes non-finite, [`AnalogError::SingularMatrix`] from
+    /// factorization, or assembly errors.
+    pub fn newton(
+        &mut self,
+        circuit: &Circuit,
+        spec: &StampSpec<'_>,
+        settings: &NewtonSettings,
+        gmin: f64,
+        start: &[f64],
+    ) -> Result<(), AnalogError> {
+        let n_nodes = circuit.node_count();
+        self.voltages.clear();
+        self.voltages.extend_from_slice(start);
+        self.branches.clear();
+        self.branches.resize(circuit.branch_count(), 0.0);
+        let mut last_delta = f64::INFINITY;
+
+        for iter in 0..settings.max_iterations {
+            let ctx = StampContext {
+                node_voltages: &self.voltages,
+                time: spec.time,
+                clock: spec.clock,
+                phi1_high: spec.phi1_high,
+                phi2_high: spec.phi2_high,
+                gmin,
+                cap_step: spec.cap_step,
+            };
+            assemble_into(circuit, &ctx, &mut self.matrix, &mut self.rhs)?;
+            self.matrix.factor_in_place(&mut self.perm)?;
+            self.matrix
+                .lu_solve_into(&self.perm, &self.rhs, &mut self.x)?;
+
+            // Raw update magnitude.
+            let mut delta_max = 0.0f64;
+            for i in 0..(n_nodes - 1) {
+                delta_max = delta_max.max((self.x[i] - self.voltages[i + 1]).abs());
+            }
+            last_delta = delta_max;
+
+            // Damping: limit per-node move to max_step.
+            let alpha = if delta_max > settings.max_step {
+                settings.max_step / delta_max
+            } else {
+                1.0
+            };
+            for i in 0..(n_nodes - 1) {
+                let new_v = self.x[i];
+                self.voltages[i + 1] += alpha * (new_v - self.voltages[i + 1]);
+                if !self.voltages[i + 1].is_finite() {
+                    return Err(AnalogError::NoConvergence {
+                        iterations: iter + 1,
+                        residual: f64::INFINITY,
+                    });
+                }
+            }
+            for (k, b) in self.branches.iter_mut().enumerate() {
+                *b = self.x[n_nodes - 1 + k];
+            }
+
+            if delta_max < settings.vtol {
+                return Ok(());
+            }
+        }
+        Err(AnalogError::NoConvergence {
+            iterations: settings.max_iterations,
+            residual: last_delta,
+        })
+    }
+
+    /// Assembles and factors the real MNA system linearized at
+    /// `ctx.node_voltages`, leaving the LU factors in the workspace for
+    /// repeated [`Self::solve_factored`] calls (the small-signal pattern:
+    /// one factorization, many right-hand sides).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly and factorization errors.
+    pub fn factorize(
+        &mut self,
+        circuit: &Circuit,
+        ctx: &StampContext<'_>,
+    ) -> Result<(), AnalogError> {
+        assemble_into(circuit, ctx, &mut self.matrix, &mut self.rhs)?;
+        self.matrix.factor_in_place(&mut self.perm)
+    }
+
+    /// Solves the factored system for a right-hand side built by `fill`
+    /// (which receives a zeroed vector of the system dimension). Returns
+    /// the solution slice, valid until the next workspace use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors. Must be called after [`Self::factorize`].
+    pub fn solve_factored(&mut self, fill: impl FnOnce(&mut [f64])) -> Result<&[f64], AnalogError> {
+        let dim = self.matrix.rows();
+        self.rhs.clear();
+        self.rhs.resize(dim, 0.0);
+        fill(&mut self.rhs);
+        self.matrix
+            .lu_solve_into(&self.perm, &self.rhs, &mut self.x)?;
+        Ok(&self.x)
+    }
+}
+
+/// An analysis that can run against a caller-provided workspace.
+///
+/// All five analyses implement this: [`crate::dc::DcSolver`] and
+/// [`crate::tran::TranParams`] directly, AC / small-signal / noise through
+/// their job types ([`crate::ac::AcSweep`], [`crate::smallsignal::PortConductanceJob`],
+/// [`crate::acnoise::NoiseJob`]). `run` is the convenience path with a
+/// private workspace; `run_with` reuses the caller's buffers across calls.
+pub trait Analysis {
+    /// What the analysis produces.
+    type Output;
+
+    /// Runs the analysis, reusing the caller's workspace buffers.
+    ///
+    /// # Errors
+    ///
+    /// Analysis-specific; see the implementing type.
+    fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Self::Output, AnalogError>;
+
+    /// Runs the analysis with a fresh short-lived workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Analysis::run_with`].
+    fn run(&self, circuit: &Circuit) -> Result<Self::Output, AnalogError> {
+        let mut ws = EngineWorkspace::for_circuit(circuit);
+        self.run_with(circuit, &mut ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Amps, Ohms};
+
+    fn divider() -> (Circuit, crate::netlist::NodeId) {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.current_source("I1", Circuit::GROUND, n, Amps(1e-3))
+            .unwrap();
+        c.resistor("R1", n, Circuit::GROUND, Ohms(2e3)).unwrap();
+        (c, n)
+    }
+
+    #[test]
+    fn newton_solves_linear_circuit_in_one_iteration() {
+        let (c, n) = divider();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        let start = vec![0.0; c.node_count()];
+        ws.newton(
+            &c,
+            &StampSpec {
+                phi1_high: true,
+                ..StampSpec::default()
+            },
+            &NewtonSettings {
+                max_iterations: 10,
+                vtol: 1e-6,
+                max_step: 5.0,
+            },
+            1e-12,
+            &start,
+        )
+        .unwrap();
+        assert!((ws.solution().voltage(n).0 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workspace_reuse_across_different_circuits_leaves_no_stale_state() {
+        let mut ws = EngineWorkspace::new();
+        let settings = NewtonSettings {
+            max_iterations: 10,
+            vtol: 1e-9,
+            max_step: 5.0,
+        };
+        let spec = StampSpec {
+            phi1_high: true,
+            ..StampSpec::default()
+        };
+        // Solve a 2-node circuit, then a 1-node circuit, then the 2-node
+        // again: the final answer must match the first bit for bit.
+        let mut big = Circuit::new();
+        let a = big.node("a");
+        let b = big.node("b");
+        big.current_source("I", Circuit::GROUND, a, Amps(1e-3))
+            .unwrap();
+        big.resistor("Rab", a, b, Ohms(1e3)).unwrap();
+        big.resistor("Rb", b, Circuit::GROUND, Ohms(1e3)).unwrap();
+        let (small, _) = divider();
+
+        let start_big = vec![0.0; big.node_count()];
+        let start_small = vec![0.0; small.node_count()];
+        ws.newton(&big, &spec, &settings, 1e-12, &start_big)
+            .unwrap();
+        let first: Vec<f64> = ws.node_voltages().to_vec();
+        ws.newton(&small, &spec, &settings, 1e-12, &start_small)
+            .unwrap();
+        ws.newton(&big, &spec, &settings, 1e-12, &start_big)
+            .unwrap();
+        assert_eq!(ws.node_voltages(), &first[..]);
+    }
+
+    #[test]
+    fn factorize_then_solve_many_rhs() {
+        let (c, n) = divider();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        let voltages = vec![0.0; c.node_count()];
+        ws.factorize(&c, &StampContext::dc(&voltages)).unwrap();
+        for scale in [1.0, 2.0, -0.5] {
+            let x = ws.solve_factored(|rhs| rhs[n.index() - 1] = scale).unwrap();
+            assert!((x[n.index() - 1] - scale * 2e3).abs() < 1e-4);
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod cells;
 pub mod complexmat;
 pub mod dc;
 pub mod device;
+pub mod engine;
 pub mod headroom;
 pub mod linalg;
 pub mod mna;
@@ -59,6 +60,7 @@ pub mod netlist;
 pub mod op_report;
 pub mod parse;
 pub mod smallsignal;
+pub mod sweep;
 pub mod tran;
 pub mod units;
 

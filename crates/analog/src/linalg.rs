@@ -85,6 +85,15 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshapes to `rows × cols` with every entry zero, reusing the existing
+    /// allocation when it is large enough.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Adds `value` to entry `(i, j)` — the MNA "stamp" primitive.
     ///
     /// # Panics
@@ -121,6 +130,99 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, AnalogError> {
         let lu = Lu::factor(self.clone())?;
         lu.solve(b)
+    }
+
+    /// Overwrites `self` with its LU factorization (partial pivoting) and
+    /// records the row permutation in `perm`, allocating nothing when
+    /// `perm`'s capacity suffices. After success, `self` holds `L` (unit
+    /// diagonal, below) and `U` (on and above the diagonal), exactly as
+    /// [`Lu`] stores them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] when no usable pivot exists,
+    /// or [`AnalogError::InvalidParameter`] if the matrix is not square.
+    pub fn factor_in_place(&mut self, perm: &mut Vec<usize>) -> Result<(), AnalogError> {
+        if self.rows != self.cols {
+            return Err(AnalogError::InvalidParameter {
+                name: "a",
+                constraint: "matrix must be square",
+            });
+        }
+        let n = self.rows;
+        perm.clear();
+        perm.extend(0..n);
+        for k in 0..n {
+            // Partial pivot: find the largest |a[i][k]| for i >= k.
+            let mut pivot_row = k;
+            let mut pivot_mag = self[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = self[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < Lu::PIVOT_EPS || !pivot_mag.is_finite() {
+                return Err(AnalogError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = self[(k, j)];
+                    self[(k, j)] = self[(pivot_row, j)];
+                    self[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = self[(k, k)];
+            for i in (k + 1)..n {
+                let factor = self[(i, k)] / pivot;
+                self[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let akj = self[(k, j)];
+                    self[(i, j)] -= factor * akj;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` into `x`, treating `self` as the LU factors produced
+    /// by [`Matrix::factor_in_place`] with permutation `perm`. Allocates
+    /// nothing when `x`'s capacity suffices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] on a dimension mismatch.
+    pub fn lu_solve_into(
+        &self,
+        perm: &[usize],
+        b: &[f64],
+        x: &mut Vec<f64>,
+    ) -> Result<(), AnalogError> {
+        let n = self.rows;
+        if b.len() != n || perm.len() != n {
+            return Err(AnalogError::InvalidParameter {
+                name: "b",
+                constraint: "vector length must equal matrix dimension",
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        x.clear();
+        x.extend(perm.iter().map(|&p| b[p]));
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self[(i, j)] * x[j];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self[(i, j)] * x[j];
+            }
+            x[i] /= self[(i, i)];
+        }
+        Ok(())
     }
 }
 
@@ -163,46 +265,8 @@ impl Lu {
     /// Returns [`AnalogError::SingularMatrix`] when no usable pivot exists,
     /// or [`AnalogError::InvalidParameter`] if `a` is not square.
     pub fn factor(mut a: Matrix) -> Result<Self, AnalogError> {
-        if a.rows != a.cols {
-            return Err(AnalogError::InvalidParameter {
-                name: "a",
-                constraint: "matrix must be square",
-            });
-        }
-        let n = a.rows;
-        let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Partial pivot: find the largest |a[i][k]| for i >= k.
-            let mut pivot_row = k;
-            let mut pivot_mag = a[(k, k)].abs();
-            for i in (k + 1)..n {
-                let mag = a[(i, k)].abs();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
-                    pivot_row = i;
-                }
-            }
-            if pivot_mag < Self::PIVOT_EPS || !pivot_mag.is_finite() {
-                return Err(AnalogError::SingularMatrix { row: k });
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = a[(k, j)];
-                    a[(k, j)] = a[(pivot_row, j)];
-                    a[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-            }
-            let pivot = a[(k, k)];
-            for i in (k + 1)..n {
-                let factor = a[(i, k)] / pivot;
-                a[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let akj = a[(k, j)];
-                    a[(i, j)] -= factor * akj;
-                }
-            }
-        }
+        let mut perm = Vec::new();
+        a.factor_in_place(&mut perm)?;
         Ok(Lu { lu: a, perm })
     }
 
@@ -212,27 +276,8 @@ impl Lu {
     ///
     /// Returns [`AnalogError::InvalidParameter`] on a dimension mismatch.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, AnalogError> {
-        let n = self.lu.rows;
-        if b.len() != n {
-            return Err(AnalogError::InvalidParameter {
-                name: "b",
-                constraint: "vector length must equal matrix dimension",
-            });
-        }
-        // Apply permutation, then forward substitution (L has unit diagonal).
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        for i in 1..n {
-            for j in 0..i {
-                x[i] -= self.lu[(i, j)] * x[j];
-            }
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            for j in (i + 1)..n {
-                x[i] -= self.lu[(i, j)] * x[j];
-            }
-            x[i] /= self.lu[(i, i)];
-        }
+        let mut x = Vec::with_capacity(self.lu.rows);
+        self.lu.lu_solve_into(&self.perm, b, &mut x)?;
         Ok(x)
     }
 }
@@ -323,6 +368,34 @@ mod tests {
             let x2 = a.solve(&b).unwrap();
             for (u, v) in x1.iter().zip(&x2) {
                 assert!((u - v).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_factorization_is_bit_identical_to_consuming_path() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -3.0, 1.0], &[4.0, 1.0, 2.0]]);
+        let lu = Lu::factor(a.clone()).unwrap();
+        let mut in_place = a.clone();
+        let mut perm = Vec::new();
+        in_place.factor_in_place(&mut perm).unwrap();
+        assert_eq!(in_place, lu.lu);
+        assert_eq!(perm, lu.perm);
+        let b = [1.0, -2.0, 0.5];
+        let mut x = Vec::new();
+        in_place.lu_solve_into(&perm, &b, &mut x).unwrap();
+        let reference = lu.solve(&b).unwrap();
+        assert!(x.iter().zip(&reference).all(|(u, v)| u == v));
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_and_clears() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.resize_zeroed(3, 3);
+        assert_eq!((m.rows(), m.cols()), (3, 3));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], 0.0);
             }
         }
     }

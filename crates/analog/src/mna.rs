@@ -134,13 +134,41 @@ impl Solution {
     }
 }
 
-/// Assembles the MNA system for `circuit` in the given context.
+/// Assembles the MNA system for `circuit` in the given context, allocating
+/// a fresh matrix and right-hand side.
+///
+/// Hot paths (Newton iterations, transient steps, sweeps) should prefer
+/// [`assemble_into`], which reuses caller-owned buffers and performs no heap
+/// allocation once they have reached the circuit's dimension.
 ///
 /// # Errors
 ///
 /// Returns [`AnalogError::EmptyCircuit`] for a circuit with no unknowns, or
 /// [`AnalogError::InvalidParameter`] if the guess length is wrong.
 pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, AnalogError> {
+    let mut matrix = Matrix::zeros(0, 0);
+    let mut rhs = Vec::new();
+    assemble_into(circuit, ctx, &mut matrix, &mut rhs)?;
+    Ok(MnaSystem { matrix, rhs })
+}
+
+/// Assembles the MNA system for `circuit` into caller-owned buffers.
+///
+/// `a` is reshaped to the circuit's MNA dimension and zeroed; `b` likewise.
+/// Neither allocates once its capacity has reached that dimension, which
+/// makes this the zero-allocation kernel behind every Newton iteration and
+/// transient step in the analysis engine.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::EmptyCircuit`] for a circuit with no unknowns, or
+/// [`AnalogError::InvalidParameter`] if the guess length is wrong.
+pub fn assemble_into(
+    circuit: &Circuit,
+    ctx: &StampContext<'_>,
+    a: &mut Matrix,
+    b: &mut Vec<f64>,
+) -> Result<(), AnalogError> {
     let dim = circuit.mna_dimension();
     if dim == 0 {
         return Err(AnalogError::EmptyCircuit);
@@ -152,8 +180,11 @@ pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, 
         });
     }
     let n_nodes = circuit.node_count();
-    let mut a = Matrix::zeros(dim, dim);
-    let mut b = vec![0.0; dim];
+    a.resize_zeroed(dim, dim);
+    b.clear();
+    b.resize(dim, 0.0);
+    let a = &mut *a;
+    let b = &mut b[..];
 
     let row = |n: NodeId| -> Option<usize> {
         if n.is_ground() {
@@ -179,7 +210,7 @@ pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, 
             }
         }
     };
-    let inject = |b: &mut Vec<f64>, node: NodeId, i: f64| {
+    let inject = |b: &mut [f64], node: NodeId, i: f64| {
         if let Some(r) = row(node) {
             b[r] += i;
         }
@@ -192,7 +223,7 @@ pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, 
                 b: nb,
                 device,
             } => {
-                stamp_conductance(&mut a, *na, *nb, device.conductance().0);
+                stamp_conductance(a, *na, *nb, device.conductance().0);
             }
             ElementKind::Capacitor {
                 a: na,
@@ -202,17 +233,17 @@ pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, 
                 if let Some(step) = &ctx.cap_step {
                     let v_prev = step.prev_voltages[na.index()] - step.prev_voltages[nb.index()];
                     let comp = device.companion(step.h, Volts(v_prev));
-                    stamp_conductance(&mut a, *na, *nb, comp.geq.0);
+                    stamp_conductance(a, *na, *nb, comp.geq.0);
                     // History current flows from b to a externally.
-                    inject(&mut b, *na, comp.ieq.0);
-                    inject(&mut b, *nb, -comp.ieq.0);
+                    inject(b, *na, comp.ieq.0);
+                    inject(b, *nb, -comp.ieq.0);
                 }
                 // DC: open circuit, nothing to stamp.
             }
             ElementKind::CurrentSource { from, to, waveform } => {
                 let i = ctx.source_value(waveform);
-                inject(&mut b, *to, i);
-                inject(&mut b, *from, -i);
+                inject(b, *to, i);
+                inject(b, *from, -i);
             }
             ElementKind::VoltageSource {
                 pos,
@@ -241,7 +272,7 @@ pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, 
                 } else {
                     device.roff
                 };
-                stamp_conductance(&mut a, *na, *nb, 1.0 / r.0);
+                stamp_conductance(a, *na, *nb, 1.0 / r.0);
             }
             ElementKind::Mosfet { terminals, params } => {
                 let vd = ctx.node_voltages[terminals.drain.index()];
@@ -296,7 +327,7 @@ pub fn assemble(circuit: &Circuit, ctx: &StampContext<'_>) -> Result<MnaSystem, 
         }
     }
 
-    Ok(MnaSystem { matrix: a, rhs: b })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! that — it injects a unit small-signal current into a node of the
 //! linearized circuit and reads the voltage perturbation.
 
-use crate::mna::{assemble, Solution, StampContext};
+use crate::engine::{Analysis, EngineWorkspace};
+use crate::mna::{Solution, StampContext};
 use crate::netlist::{Circuit, NodeId};
 use crate::units::Siemens;
 use crate::AnalogError;
@@ -34,11 +35,14 @@ impl Default for SmallSignal {
 }
 
 impl SmallSignal {
-    fn linearized(
+    /// Linearizes the circuit at `op` and leaves the factored system in
+    /// the workspace, ready for repeated right-hand sides.
+    fn linearize_into(
         &self,
         circuit: &Circuit,
         op: &Solution,
-    ) -> Result<(crate::linalg::Lu, usize), AnalogError> {
+        ws: &mut EngineWorkspace,
+    ) -> Result<(), AnalogError> {
         let voltages = op.node_voltages();
         let ctx = StampContext {
             node_voltages: &voltages,
@@ -49,11 +53,7 @@ impl SmallSignal {
             gmin: self.gmin,
             cap_step: None,
         };
-        let sys = assemble(circuit, &ctx)?;
-        Ok((
-            crate::linalg::Lu::factor(sys.matrix)?,
-            circuit.mna_dimension(),
-        ))
+        ws.factorize(circuit, &ctx)
     }
 
     /// The small-signal conductance looking into `node` (to ground): inject
@@ -74,18 +74,32 @@ impl SmallSignal {
         op: &Solution,
         node: NodeId,
     ) -> Result<Siemens, AnalogError> {
+        let mut ws = EngineWorkspace::for_circuit(circuit);
+        self.port_conductance_with(circuit, op, node, &mut ws)
+    }
+
+    /// Workspace-reusing variant of [`SmallSignal::port_conductance`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmallSignal::port_conductance`].
+    pub fn port_conductance_with(
+        &self,
+        circuit: &Circuit,
+        op: &Solution,
+        node: NodeId,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Siemens, AnalogError> {
         if node.is_ground() {
             return Err(AnalogError::InvalidParameter {
                 name: "node",
                 constraint: "cannot measure conductance into ground",
             });
         }
-        let (lu, dim) = self.linearized(circuit, op)?;
-        let mut rhs = vec![0.0; dim];
-        rhs[node.index() - 1] = 1.0;
-        let x = lu.solve(&rhs)?;
-        let dv = x[node.index() - 1];
-        Ok(Siemens(1.0 / dv))
+        self.linearize_into(circuit, op, ws)?;
+        let idx = node.index() - 1;
+        let x = ws.solve_factored(|rhs| rhs[idx] = 1.0)?;
+        Ok(Siemens(1.0 / x[idx]))
     }
 
     /// The small-signal transresistance from a current injected into
@@ -101,16 +115,32 @@ impl SmallSignal {
         input: NodeId,
         output: NodeId,
     ) -> Result<crate::units::Ohms, AnalogError> {
+        let mut ws = EngineWorkspace::for_circuit(circuit);
+        self.transresistance_with(circuit, op, input, output, &mut ws)
+    }
+
+    /// Workspace-reusing variant of [`SmallSignal::transresistance`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmallSignal::transresistance`].
+    pub fn transresistance_with(
+        &self,
+        circuit: &Circuit,
+        op: &Solution,
+        input: NodeId,
+        output: NodeId,
+        ws: &mut EngineWorkspace,
+    ) -> Result<crate::units::Ohms, AnalogError> {
         if input.is_ground() {
             return Err(AnalogError::InvalidParameter {
                 name: "input",
                 constraint: "cannot inject into ground",
             });
         }
-        let (lu, dim) = self.linearized(circuit, op)?;
-        let mut rhs = vec![0.0; dim];
-        rhs[input.index() - 1] = 1.0;
-        let x = lu.solve(&rhs)?;
+        self.linearize_into(circuit, op, ws)?;
+        let idx = input.index() - 1;
+        let x = ws.solve_factored(|rhs| rhs[idx] = 1.0)?;
         let dv = if output.is_ground() {
             0.0
         } else {
@@ -133,6 +163,23 @@ impl SmallSignal {
         input: NodeId,
         ammeter: &str,
     ) -> Result<f64, AnalogError> {
+        let mut ws = EngineWorkspace::for_circuit(circuit);
+        self.current_gain_with(circuit, op, input, ammeter, &mut ws)
+    }
+
+    /// Workspace-reusing variant of [`SmallSignal::current_gain`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmallSignal::current_gain`].
+    pub fn current_gain_with(
+        &self,
+        circuit: &Circuit,
+        op: &Solution,
+        input: NodeId,
+        ammeter: &str,
+        ws: &mut EngineWorkspace,
+    ) -> Result<f64, AnalogError> {
         if input.is_ground() {
             return Err(AnalogError::InvalidParameter {
                 name: "input",
@@ -140,10 +187,9 @@ impl SmallSignal {
             });
         }
         let branch = circuit.branch_of(ammeter)?;
-        let (lu, dim) = self.linearized(circuit, op)?;
-        let mut rhs = vec![0.0; dim];
-        rhs[input.index() - 1] = 1.0;
-        let x = lu.solve(&rhs)?;
+        self.linearize_into(circuit, op, ws)?;
+        let idx = input.index() - 1;
+        let x = ws.solve_factored(|rhs| rhs[idx] = 1.0)?;
         Ok(x[circuit.node_count() - 1 + branch])
     }
 
@@ -161,17 +207,58 @@ impl SmallSignal {
         source: &str,
         node: NodeId,
     ) -> Result<f64, AnalogError> {
+        let mut ws = EngineWorkspace::for_circuit(circuit);
+        self.voltage_gain_with(circuit, op, source, node, &mut ws)
+    }
+
+    /// Workspace-reusing variant of [`SmallSignal::voltage_gain`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmallSignal::voltage_gain`].
+    pub fn voltage_gain_with(
+        &self,
+        circuit: &Circuit,
+        op: &Solution,
+        source: &str,
+        node: NodeId,
+        ws: &mut EngineWorkspace,
+    ) -> Result<f64, AnalogError> {
         let branch = circuit.branch_of(source)?;
-        let (lu, dim) = self.linearized(circuit, op)?;
-        let mut rhs = vec![0.0; dim];
-        rhs[circuit.node_count() - 1 + branch] = 1.0;
-        let x = lu.solve(&rhs)?;
+        self.linearize_into(circuit, op, ws)?;
+        let idx = circuit.node_count() - 1 + branch;
+        let x = ws.solve_factored(|rhs| rhs[idx] = 1.0)?;
         let dv = if node.is_ground() {
             0.0
         } else {
             x[node.index() - 1]
         };
         Ok(dv)
+    }
+}
+
+/// [`Analysis`] job measuring the conductance looking into one node of the
+/// circuit linearized at a given operating point.
+#[derive(Debug, Clone)]
+pub struct PortConductanceJob<'a> {
+    /// Small-signal options (phases, gmin).
+    pub options: SmallSignal,
+    /// The operating point to linearize at.
+    pub op: &'a Solution,
+    /// The port node.
+    pub node: NodeId,
+}
+
+impl Analysis for PortConductanceJob<'_> {
+    type Output = Siemens;
+
+    fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Siemens, AnalogError> {
+        self.options
+            .port_conductance_with(circuit, self.op, self.node, ws)
     }
 }
 
@@ -202,26 +289,32 @@ pub fn differential_port_resistance(
     neg: NodeId,
     options: &SmallSignal,
 ) -> Result<crate::units::Ohms, AnalogError> {
-    let voltages = op.node_voltages();
-    let ctx = StampContext {
-        node_voltages: &voltages,
-        time: None,
-        clock: None,
-        phi1_high: options.phi1_high,
-        phi2_high: options.phi2_high,
-        gmin: options.gmin,
-        cap_step: None,
-    };
-    let sys = assemble(circuit, &ctx)?;
-    let lu = crate::linalg::Lu::factor(sys.matrix)?;
-    let mut rhs = vec![0.0; circuit.mna_dimension()];
-    if !pos.is_ground() {
-        rhs[pos.index() - 1] = 1.0;
-    }
-    if !neg.is_ground() {
-        rhs[neg.index() - 1] = -1.0;
-    }
-    let x = lu.solve(&rhs)?;
+    let mut ws = EngineWorkspace::for_circuit(circuit);
+    differential_port_resistance_with(circuit, op, pos, neg, options, &mut ws)
+}
+
+/// Workspace-reusing variant of [`differential_port_resistance`].
+///
+/// # Errors
+///
+/// Same as [`differential_port_resistance`].
+pub fn differential_port_resistance_with(
+    circuit: &Circuit,
+    op: &Solution,
+    pos: NodeId,
+    neg: NodeId,
+    options: &SmallSignal,
+    ws: &mut EngineWorkspace,
+) -> Result<crate::units::Ohms, AnalogError> {
+    options.linearize_into(circuit, op, ws)?;
+    let x = ws.solve_factored(|rhs| {
+        if !pos.is_ground() {
+            rhs[pos.index() - 1] = 1.0;
+        }
+        if !neg.is_ground() {
+            rhs[neg.index() - 1] = -1.0;
+        }
+    })?;
     let vp = if pos.is_ground() {
         0.0
     } else {

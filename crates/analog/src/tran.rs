@@ -8,7 +8,8 @@
 //! switched-current output is "sampled").
 
 use crate::device::switch::TwoPhaseClock;
-use crate::mna::{assemble, CapStep, Solution, StampContext};
+use crate::engine::{Analysis, EngineWorkspace, NewtonSettings, StampSpec};
+use crate::mna::{CapStep, Solution};
 use crate::netlist::{Circuit, NodeId};
 use crate::units::{Amps, Seconds, Volts};
 use crate::AnalogError;
@@ -69,13 +70,20 @@ impl TranParams {
 }
 
 /// The recorded waveforms of a transient run.
+///
+/// Storage is one flat row-major buffer per quantity (`step` rows of
+/// `node_count` / `branch_count` values), so whole time points can be
+/// borrowed as slices ([`TranResult::voltage_slice`]) without per-step
+/// allocations.
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    /// `node_voltages[step][node_index]`.
-    node_voltages: Vec<Vec<f64>>,
-    /// `branch_currents[step][branch]`.
-    branch_currents: Vec<Vec<f64>>,
+    n_nodes: usize,
+    n_branches: usize,
+    /// `node_voltages[step * n_nodes + node_index]`.
+    node_voltages: Vec<f64>,
+    /// `branch_currents[step * n_branches + branch]`.
+    branch_currents: Vec<f64>,
     clock: Option<TwoPhaseClock>,
 }
 
@@ -98,16 +106,51 @@ impl TranResult {
         self.times.is_empty()
     }
 
-    /// The waveform of one node's voltage.
+    /// All node voltages at one recorded step (index 0 = ground), borrowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.len()`.
     #[must_use]
-    pub fn voltage_waveform(&self, node: NodeId) -> Vec<f64> {
-        self.node_voltages.iter().map(|v| v[node.index()]).collect()
+    pub fn voltage_slice(&self, step: usize) -> &[f64] {
+        &self.node_voltages[step * self.n_nodes..(step + 1) * self.n_nodes]
     }
 
-    /// The waveform of one voltage-source branch current.
+    /// All branch currents at one recorded step, borrowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.len()`.
+    #[must_use]
+    pub fn current_slice(&self, step: usize) -> &[f64] {
+        &self.branch_currents[step * self.n_branches..(step + 1) * self.n_branches]
+    }
+
+    /// Iterates one node's voltage over every recorded step, borrowing the
+    /// result (no waveform allocation).
+    pub fn voltage_iter(&self, node: NodeId) -> impl Iterator<Item = f64> + '_ {
+        let (n, idx) = (self.n_nodes, node.index());
+        (0..self.len()).map(move |s| self.node_voltages[s * n + idx])
+    }
+
+    /// Iterates one branch's current over every recorded step, borrowing
+    /// the result (no waveform allocation).
+    pub fn current_iter(&self, branch: usize) -> impl Iterator<Item = f64> + '_ {
+        let n = self.n_branches;
+        (0..self.len()).map(move |s| self.branch_currents[s * n + branch])
+    }
+
+    /// The waveform of one node's voltage, as an owned vector.
+    #[must_use]
+    pub fn voltage_waveform(&self, node: NodeId) -> Vec<f64> {
+        self.voltage_iter(node).collect()
+    }
+
+    /// The waveform of one voltage-source branch current, as an owned
+    /// vector.
     #[must_use]
     pub fn current_waveform(&self, branch: usize) -> Vec<f64> {
-        self.branch_currents.iter().map(|b| b[branch]).collect()
+        self.current_iter(branch).collect()
     }
 
     /// The index of the recorded point nearest to time `t`.
@@ -132,13 +175,13 @@ impl TranResult {
     /// The node voltage nearest to time `t`.
     #[must_use]
     pub fn voltage_at(&self, node: NodeId, t: Seconds) -> Volts {
-        Volts(self.node_voltages[self.index_at(t)][node.index()])
+        Volts(self.voltage_slice(self.index_at(t))[node.index()])
     }
 
     /// The branch current nearest to time `t`.
     #[must_use]
     pub fn current_at(&self, branch: usize, t: Seconds) -> Amps {
-        Amps(self.branch_currents[self.index_at(t)][branch])
+        Amps(self.current_slice(self.index_at(t))[branch])
     }
 
     /// Samples a branch current at the midpoint of every φ2 interval — how
@@ -172,6 +215,21 @@ impl TranResult {
 /// any step (with the failing time reported through
 /// [`AnalogError::NoConvergence`]).
 pub fn run(circuit: &Circuit, params: &TranParams) -> Result<TranResult, AnalogError> {
+    let mut ws = EngineWorkspace::for_circuit(circuit);
+    run_with(circuit, params, &mut ws)
+}
+
+/// Runs a transient analysis (DC initial condition included), reusing the
+/// caller's workspace buffers across the DC solve and every time step.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with(
+    circuit: &Circuit,
+    params: &TranParams,
+    ws: &mut EngineWorkspace,
+) -> Result<TranResult, AnalogError> {
     // Initial DC with switches in their t = 0 state.
     let (phi1_0, phi2_0) = match &params.clock {
         Some(clk) => (
@@ -182,8 +240,8 @@ pub fn run(circuit: &Circuit, params: &TranParams) -> Result<TranResult, AnalogE
     };
     let op = crate::dc::DcSolver::new()
         .with_phases(phi1_0, phi2_0)
-        .solve(circuit)?;
-    run_from(circuit, params, op)
+        .solve_with(circuit, ws)?;
+    run_from_with(circuit, params, op, ws)
 }
 
 /// Runs a transient analysis from a supplied initial solution (e.g. the
@@ -197,85 +255,85 @@ pub fn run_from(
     params: &TranParams,
     initial: Solution,
 ) -> Result<TranResult, AnalogError> {
+    let mut ws = EngineWorkspace::for_circuit(circuit);
+    run_from_with(circuit, params, initial, &mut ws)
+}
+
+/// Runs a transient analysis from a supplied initial solution, reusing the
+/// caller's workspace buffers. Once the result vectors reach their final
+/// capacity (reserved up front), the per-step loop performs no heap
+/// allocation: assembly, factorization, and back-substitution all happen
+/// in place inside `ws`.
+///
+/// # Errors
+///
+/// Same as [`run_from`].
+pub fn run_from_with(
+    circuit: &Circuit,
+    params: &TranParams,
+    initial: Solution,
+    ws: &mut EngineWorkspace,
+) -> Result<TranResult, AnalogError> {
     let n_nodes = circuit.node_count();
     let n_branches = circuit.branch_count();
     let steps = (params.t_stop.0 / params.dt.0).round() as usize;
 
     let mut times = Vec::with_capacity(steps + 1);
-    let mut node_voltages = Vec::with_capacity(steps + 1);
-    let mut branch_currents = Vec::with_capacity(steps + 1);
+    let mut node_voltages = Vec::with_capacity((steps + 1) * n_nodes);
+    let mut branch_currents = Vec::with_capacity((steps + 1) * n_branches);
 
     let mut prev = initial.node_voltages();
     times.push(0.0);
-    node_voltages.push(prev.clone());
-    branch_currents.push(
-        (0..n_branches)
-            .map(|k| initial.branch_current(k).0)
-            .collect(),
-    );
+    node_voltages.extend_from_slice(&prev);
+    branch_currents.extend((0..n_branches).map(|k| initial.branch_current(k).0));
+
+    let settings = NewtonSettings {
+        max_iterations: params.max_iterations,
+        vtol: params.vtol,
+        max_step: 0.5,
+    };
 
     for step in 1..=steps {
         let t = step as f64 * params.dt.0;
         // Newton at this time point, warm-started from the previous step.
-        let mut guess = prev.clone();
-        let mut branches = vec![0.0; n_branches];
-        let mut converged = false;
-        let mut last_delta = f64::INFINITY;
-        for _ in 0..params.max_iterations {
-            let ctx = StampContext {
-                node_voltages: &guess,
-                time: Some(Seconds(t)),
-                clock: params.clock.as_ref(),
-                phi1_high: false,
-                phi2_high: false,
-                gmin: params.gmin,
-                cap_step: Some(CapStep {
-                    h: params.dt.0,
-                    prev_voltages: &prev,
-                }),
-            };
-            let sys = assemble(circuit, &ctx)?;
-            let x = sys.matrix.solve(&sys.rhs)?;
-            let mut delta_max = 0.0f64;
-            for i in 0..(n_nodes - 1) {
-                delta_max = delta_max.max((x[i] - guess[i + 1]).abs());
-            }
-            last_delta = delta_max;
-            // Damped update.
-            let alpha = if delta_max > 0.5 {
-                0.5 / delta_max
-            } else {
-                1.0
-            };
-            for i in 0..(n_nodes - 1) {
-                guess[i + 1] += alpha * (x[i] - guess[i + 1]);
-            }
-            for (k, b) in branches.iter_mut().enumerate() {
-                *b = x[n_nodes - 1 + k];
-            }
-            if delta_max < params.vtol {
-                converged = true;
-                break;
-            }
-        }
-        if !converged {
-            return Err(AnalogError::NoConvergence {
-                iterations: params.max_iterations,
-                residual: last_delta,
-            });
-        }
+        let spec = StampSpec {
+            time: Some(Seconds(t)),
+            clock: params.clock.as_ref(),
+            phi1_high: false,
+            phi2_high: false,
+            cap_step: Some(CapStep {
+                h: params.dt.0,
+                prev_voltages: &prev,
+            }),
+        };
+        ws.newton(circuit, &spec, &settings, params.gmin, &prev)?;
         times.push(t);
-        node_voltages.push(guess.clone());
-        branch_currents.push(branches);
-        prev = guess;
+        node_voltages.extend_from_slice(ws.node_voltages());
+        branch_currents.extend_from_slice(ws.branch_currents());
+        prev.clear();
+        prev.extend_from_slice(ws.node_voltages());
     }
 
     Ok(TranResult {
         times,
+        n_nodes,
+        n_branches,
         node_voltages,
         branch_currents,
         clock: params.clock,
     })
+}
+
+impl Analysis for TranParams {
+    type Output = TranResult;
+
+    fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+    ) -> Result<TranResult, AnalogError> {
+        run_with(circuit, self, ws)
+    }
 }
 
 #[cfg(test)]

@@ -140,4 +140,36 @@ proptest! {
             last = v;
         }
     }
+
+    /// Reusing one `EngineWorkspace` across a run of randomized circuits
+    /// of varying sizes never leaks state: each solve matches a fresh
+    /// solve of the same circuit bit for bit, regardless of what the
+    /// workspace held before.
+    #[test]
+    fn workspace_reuse_never_leaks_stale_state(
+        specs in prop::collection::vec((1usize..8, 1.0f64..100.0, -3.0f64..3.0), 2..6),
+        // µA-scale injections keep node voltages within the damped
+        // Newton's reach (max_step × max_iterations) for any r_k drawn.
+    ) {
+        use si_analog::dc::DcSolver;
+        use si_analog::engine::EngineWorkspace;
+
+        let mut ws = EngineWorkspace::new();
+        let solver = DcSolver::new();
+        for (stages, r_k, i_ua) in specs {
+            let mut text = String::from("V1 n0 0 3.3\n");
+            for k in 0..stages {
+                text.push_str(&format!("R{k} n{k} n{} {r_k}k\n", k + 1));
+            }
+            text.push_str(&format!("Rend n{stages} 0 {r_k}k\n"));
+            // A current injection halfway down makes the answer depend on
+            // every generated parameter, not just the divider ratio.
+            text.push_str(&format!("I1 0 n{} {i_ua}u\n", stages / 2 + 1));
+            let ckt = parse_netlist(&text).unwrap();
+
+            let fresh = solver.solve(&ckt).unwrap();
+            let reused = solver.solve_with(&ckt, &mut ws).unwrap();
+            prop_assert_eq!(fresh.raw(), reused.raw());
+        }
+    }
 }

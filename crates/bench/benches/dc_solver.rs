@@ -7,6 +7,7 @@ use std::hint::black_box;
 
 use si_analog::cells::{ClassAbCellDesign, CmffDesign};
 use si_analog::dc::DcSolver;
+use si_analog::engine::EngineWorkspace;
 use si_analog::linalg::Matrix;
 
 fn bench_lu(c: &mut Criterion) {
@@ -43,6 +44,21 @@ fn bench_cell_dc(c: &mut Criterion) {
         b.iter(|| {
             DcSolver::new()
                 .solve(black_box(&cell.cell.circuit))
+                .unwrap()
+        })
+    });
+    // The reuse-vs-fresh pair: `solve` builds a workspace per call,
+    // `solve_with` amortizes one across the whole run. The gap is the
+    // allocation overhead the engine refactor removes from sweeps.
+    let solver = DcSolver::new().with_initial_guess(cell.cell.initial_guess.clone());
+    c.bench_function("dc_class_ab_cell_fresh_workspace", |b| {
+        b.iter(|| solver.solve(black_box(&cell.cell.circuit)).unwrap())
+    });
+    c.bench_function("dc_class_ab_cell_reused_workspace", |b| {
+        let mut ws = EngineWorkspace::for_circuit(&cell.cell.circuit);
+        b.iter(|| {
+            solver
+                .solve_with(black_box(&cell.cell.circuit), &mut ws)
                 .unwrap()
         })
     });

@@ -9,7 +9,8 @@ use std::hint::black_box;
 use si_analog::cells::ClassAbCellDesign;
 use si_analog::dc::{set_current_source, DcSolver};
 use si_analog::device::TwoPhaseClock;
-use si_analog::tran::{run_from, TranParams};
+use si_analog::engine::EngineWorkspace;
+use si_analog::tran::{run_from, run_from_with, TranParams};
 use si_analog::units::{Amps, Seconds};
 
 fn bench_transient_period(c: &mut Criterion) {
@@ -36,6 +37,18 @@ fn bench_transient_period(c: &mut Criterion) {
         .with_clock(clock);
     c.bench_function("tran_class_ab_cell_one_period_coarse", |b| {
         b.iter(|| run_from(black_box(&ckt), &coarse, op.clone()).unwrap())
+    });
+
+    // The reuse-vs-fresh pair on the steady-state path: a persistent
+    // workspace keeps the assemble/factor/solve buffers warm across
+    // periods, so the per-step cost is pure numerics. Reuse beating fresh
+    // here is the acceptance check for the zero-allocation claim.
+    c.bench_function("tran_one_period_fresh_workspace", |b| {
+        b.iter(|| run_from(black_box(&ckt), &coarse, op.clone()).unwrap())
+    });
+    c.bench_function("tran_one_period_reused_workspace", |b| {
+        let mut ws = EngineWorkspace::for_circuit(&ckt);
+        b.iter(|| run_from_with(black_box(&ckt), &coarse, op.clone(), &mut ws).unwrap())
     });
 }
 

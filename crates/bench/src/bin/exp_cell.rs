@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p si-bench --bin exp_cell`
 
 use si_analog::cells::{ClassACellDesign, ClassAbCellDesign};
-use si_analog::dc::{set_current_source, DcSolver};
+use si_analog::dc::{sweep_current_source, DcSolver};
 use si_analog::headroom::HeadroomBudget;
 use si_analog::smallsignal::port_conductance;
 use si_analog::units::{Amps, Volts};
@@ -79,17 +79,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Transmission: input current vs input node movement --------------
     // The virtual ground means the input node barely moves with current.
-    let mut ckt = ab.cell.circuit.clone();
-    let mut dv_per_ua = Vec::new();
-    let mut guess = ab.cell.initial_guess.clone();
-    for i_ua in [-4.0f64, -2.0, 0.0, 2.0, 4.0] {
-        set_current_source(&mut ckt, &ab.cell.input_source, Amps(i_ua * 1e-6))?;
-        let sol = DcSolver::new()
-            .with_initial_guess(guess.clone())
-            .solve(&ckt)?;
-        guess = sol.node_voltages();
-        dv_per_ua.push((i_ua, sol.voltage(ab.cell.input).0));
-    }
+    // The sweep warm-starts each point from the previous solution and
+    // reuses one solver workspace across all points.
+    let currents_ua = [-4.0f64, -2.0, 0.0, 2.0, 4.0];
+    let values: Vec<Amps> = currents_ua.iter().map(|&i| Amps(i * 1e-6)).collect();
+    let sweep_solver = DcSolver::new().with_initial_guess(ab.cell.initial_guess.clone());
+    let voltages = sweep_current_source(
+        &ab.cell.circuit,
+        &ab.cell.input_source,
+        &values,
+        &sweep_solver,
+        |sol| sol.voltage(ab.cell.input).0,
+    )?;
+    let dv_per_ua: Vec<(f64, f64)> = currents_ua.iter().copied().zip(voltages).collect();
     let span = dv_per_ua.last().unwrap().1 - dv_per_ua.first().unwrap().1;
     let mut sweep = Report::new("Input-node movement over ±4 µA signal sweep");
     for (i, v) in &dv_per_ua {

@@ -21,7 +21,7 @@ use si_modulator::arch::SecondOrderTopology;
 use si_modulator::ideal::IdealModulator;
 use si_modulator::measure::MeasurementConfig;
 use si_modulator::si::{ChopperSiModulator, NoiseModel, SiModulator, SiModulatorConfig};
-use si_modulator::sweep::{fig7_levels, sndr_sweep, SweepResult};
+use si_modulator::sweep::{fig7_levels, sndr_sweep_parallel, SweepResult};
 
 fn main() {
     if let Err(e) = run() {
@@ -45,9 +45,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     let levels = fig7_levels();
 
-    let plain = sndr_sweep(|| SiModulator::new(base), &levels, &cfg)?;
-    let chopped = sndr_sweep(|| ChopperSiModulator::new(base), &levels, &cfg)?;
-    let ideal = sndr_sweep(
+    // Per-point determinism comes from `SiModulatorConfig::seed`, so the
+    // parallel sweep is byte-identical to the serial one (asserted by the
+    // engine integration test).
+    let plain = sndr_sweep_parallel(|| SiModulator::new(base), &levels, &cfg)?;
+    let chopped = sndr_sweep_parallel(|| ChopperSiModulator::new(base), &levels, &cfg)?;
+    let ideal = sndr_sweep_parallel(
         || IdealModulator::new(SecondOrderTopology::paper_scaled(), 6e-6),
         &levels,
         &cfg,

@@ -37,53 +37,87 @@ fn scaled_budget(k: f64) -> HeadroomBudget {
     }
 }
 
+/// The outcome of one supply-voltage design point.
+enum DesignPoint {
+    Infeasible,
+    Feasible { max_mi: f64, iq: Amps, power_w: f64 },
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let i_peak = Amps(6e-6); // the modulator full scale
 
-    let mut t = Report::new("Low-voltage design space (fixed 6 µA peak signal)");
-    let mut found_1v2 = false;
-    for (vdd, vt_scale) in [
+    let supplies = [
         (3.3, 1.0),
         (2.4, 0.8),
         (1.8, 0.55),
         (1.2, 0.4), // low-VT option, the ref. [15] regime
-    ] {
-        let budget = scaled_budget(vt_scale);
-        let mi = budget.max_modulation_index(Volts(vdd))?;
-        if mi <= 0.0 {
-            t.row(
-                &format!("Vdd = {vdd} V, VT×{vt_scale}"),
-                "infeasible below the threshold stack",
-                "no operating point",
-            );
-            continue;
-        }
-        // Size the quiescent current for the required peak.
-        let iq = Amps(i_peak.0 / mi.min(3.0)); // keep mi ≤ 3 for linearity
-        let gga = Amps(iq.0 * 2.0);
-        let cells = SystemPower::new(Volts(vdd))?
-            .with_class_ab_cells(4, iq, gga)
-            .with_cmff_stages(2, gga)
-            .with_quantizer(Amps(40e-6 * vdd / 3.3))
-            .with_dacs(2, Amps(i_peak.0 / 2.0 * 10.0));
-        let p = cells.total_power();
-        t.row(
-            &format!("Vdd = {vdd} V, VT×{vt_scale}"),
-            "power falls with supply ([15]: 1.2 V → 0.8 mW)",
-            &format!(
-                "max mi {mi:.1}, IQ {:.1} µA → {:.2} mW",
-                iq.0 * 1e6,
-                p.0 * 1e3
-            ),
-        );
-        if (vdd - 1.2).abs() < 1e-9 {
-            found_1v2 = true;
-            if !(0.2e-3..2.0e-3).contains(&p.0) {
-                return Err(format!(
-                    "1.2 V design point power {:.2} mW outside the ref. [15] 0.8 mW class",
-                    p.0 * 1e3
-                )
-                .into());
+    ];
+    // Each design point is independent, so evaluate them through the same
+    // deterministic fan-out the experiment sweeps use; results come back
+    // in supply order.
+    let points = si_core::sweep::parallel_map(
+        &supplies,
+        || (),
+        |(), &(vdd, vt_scale), _| {
+            let budget = scaled_budget(vt_scale);
+            let mi = budget
+                .max_modulation_index(Volts(vdd))
+                .map_err(|e| e.to_string())?;
+            if mi <= 0.0 {
+                return Ok(DesignPoint::Infeasible);
+            }
+            // Size the quiescent current for the required peak.
+            let iq = Amps(i_peak.0 / mi.min(3.0)); // keep mi ≤ 3 for linearity
+            let gga = Amps(iq.0 * 2.0);
+            let cells = SystemPower::new(Volts(vdd))
+                .map_err(|e| e.to_string())?
+                .with_class_ab_cells(4, iq, gga)
+                .with_cmff_stages(2, gga)
+                .with_quantizer(Amps(40e-6 * vdd / 3.3))
+                .with_dacs(2, Amps(i_peak.0 / 2.0 * 10.0));
+            Ok::<_, String>(DesignPoint::Feasible {
+                max_mi: mi,
+                iq,
+                power_w: cells.total_power().0,
+            })
+        },
+    )?;
+
+    let mut t = Report::new("Low-voltage design space (fixed 6 µA peak signal)");
+    let mut found_1v2 = false;
+    for (&(vdd, vt_scale), point) in supplies.iter().zip(&points) {
+        match point {
+            DesignPoint::Infeasible => {
+                t.row(
+                    &format!("Vdd = {vdd} V, VT×{vt_scale}"),
+                    "infeasible below the threshold stack",
+                    "no operating point",
+                );
+            }
+            DesignPoint::Feasible {
+                max_mi,
+                iq,
+                power_w,
+            } => {
+                t.row(
+                    &format!("Vdd = {vdd} V, VT×{vt_scale}"),
+                    "power falls with supply ([15]: 1.2 V → 0.8 mW)",
+                    &format!(
+                        "max mi {max_mi:.1}, IQ {:.1} µA → {:.2} mW",
+                        iq.0 * 1e6,
+                        power_w * 1e3
+                    ),
+                );
+                if (vdd - 1.2).abs() < 1e-9 {
+                    found_1v2 = true;
+                    if !(0.2e-3..2.0e-3).contains(power_w) {
+                        return Err(format!(
+                            "1.2 V design point power {:.2} mW outside the ref. [15] 0.8 mW class",
+                            power_w * 1e3
+                        )
+                        .into());
+                    }
+                }
             }
         }
     }

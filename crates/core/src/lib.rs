@@ -63,3 +63,9 @@ mod error;
 
 pub use error::SiError;
 pub use sample::Diff;
+
+/// Deterministic parallel fan-out for sweeps and Monte-Carlo runs,
+/// re-exported from the analysis engine so downstream crates (the
+/// modulator, the experiment harness) can parallelize without depending
+/// on `si-analog` directly.
+pub use si_analog::sweep;

@@ -1,0 +1,331 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `criterion` cannot be fetched. This shim keeps the bench-authoring
+//! API (`Criterion`, `bench_function`, benchmark groups, `criterion_group!`
+//! / `criterion_main!`) and performs a simple warmup + timed measurement per
+//! benchmark, printing mean / median / min wall-clock time per iteration.
+//! There is no statistical regression analysis and no HTML report.
+//!
+//! Tuning via environment variables:
+//! * `CRITERION_MEASURE_MS` — target measurement time per bench (default 300)
+//! * `CRITERION_WARMUP_MS` — warmup time per bench (default 100)
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a parameterized benchmark, e.g. `BenchmarkId::new("forward", n)`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// Runs closures under a timer.
+pub struct Bencher {
+    measure: Duration,
+    warmup: Duration,
+    /// Per-iteration timings from the measurement phase, nanoseconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(measure: Duration, warmup: Duration) -> Self {
+        Bencher {
+            measure,
+            warmup,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, discarding its output via an implicit black box.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget is spent, measuring nothing.
+        let warm_until = Instant::now() + self.warmup;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Measurement: batch iterations so each timed sample is ≥ ~50 µs,
+        // keeping timer overhead negligible for fast routines.
+        let batch = ((50e-6 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1 << 20);
+        let measure_until = Instant::now() + self.measure;
+        while Instant::now() < measure_until {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / batch as f64);
+        }
+    }
+
+    /// `iter_batched` compatibility: per-sample setup excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_until = Instant::now() + self.measure;
+        while Instant::now() < measure_until {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let n = self.samples.len();
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        let median = self.samples[n / 2];
+        let min = self.samples[0];
+        println!(
+            "{name:<50} mean {:>12} median {:>12} min {:>12} ({n} samples)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+        );
+    }
+}
+
+/// Batch-size hint for `iter_batched` (accepted, not used).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards a substring filter; honor it so
+        // single benches can be run in isolation. Flag-style arguments
+        // (`--bench`, `--exact`, ...) are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+            warmup: env_ms("CRITERION_WARMUP_MS", 100),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measure = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warmup = t;
+        self
+    }
+
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        self
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if self.skip(name) {
+            return;
+        }
+        let mut bencher = Bencher::new(self.measure, self.warmup);
+        f(&mut bencher);
+        bencher.report(name);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn full_id(&self, id: impl fmt::Display) -> String {
+        format!("{}/{id}", self.name)
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = self.full_id(id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = self.full_id(&id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warmup = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+}
