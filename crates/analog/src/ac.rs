@@ -304,7 +304,9 @@ impl AcAnalysis {
             let omega = 2.0 * std::f64::consts::PI * f;
             self.assemble_into(circuit, &voltages, omega, &mut ws.cmatrix)?;
             ws.cmatrix.factor_in_place(&mut ws.cperm)?;
+            ws.probe_event(|p| p.complex_factorization());
             ws.cmatrix.lu_solve_into(&ws.cperm, &b, &mut ws.cx)?;
+            ws.probe_event(|p| p.complex_back_substitution());
             out.push(self.read(circuit, probe, &ws.cx)?);
         }
         Ok(out)

@@ -173,6 +173,7 @@ impl NoiseAnalysis {
             self.ac
                 .assemble_into(circuit, &voltages, omega, &mut ws.cmatrix)?;
             ws.cmatrix.factor_in_place(&mut ws.cperm)?;
+            ws.probe_event(|p| p.complex_factorization());
             for (si, src) in sources.iter().enumerate() {
                 ws.crhs.clear();
                 ws.crhs.resize(dim, C64::ZERO);
@@ -183,6 +184,7 @@ impl NoiseAnalysis {
                     ws.crhs[src.from.index() - 1] -= C64::ONE;
                 }
                 ws.cmatrix.lu_solve_into(&ws.cperm, &ws.crhs, &mut ws.cx)?;
+                ws.probe_event(|p| p.complex_back_substitution());
                 let x = &ws.cx;
                 let h = match probe {
                     AcProbe::NodeVoltage(node) => {

@@ -168,8 +168,11 @@ impl DcSolver {
         let mut last_err = AnalogError::NoConvergence {
             iterations: 0,
             residual: f64::INFINITY,
+            gmin: self.gmin,
+            residual_history: Vec::new(),
         };
         while gmin >= self.gmin * 0.99 {
+            ws.probe_event(|p| p.gmin_level(gmin));
             match ws.newton(circuit, &spec, &settings, gmin, &guess) {
                 Ok(()) => {
                     guess.clear();
@@ -183,6 +186,7 @@ impl DcSolver {
             gmin = (gmin / 10.0).max(self.gmin);
             if gmin == self.gmin && matches!(last_err, AnalogError::NoConvergence { .. }) {
                 // One final attempt at the target gmin.
+                ws.probe_event(|p| p.gmin_level(gmin));
                 ws.newton(circuit, &spec, &settings, gmin, &guess)?;
                 return Ok(ws.solution());
             }

@@ -27,8 +27,10 @@ use crate::device::switch::TwoPhaseClock;
 use crate::linalg::Matrix;
 use crate::mna::{assemble_into, CapStep, Solution, StampContext};
 use crate::netlist::Circuit;
+use crate::telemetry::{EngineStats, Probe, SolveKind, SolveOutcome};
 use crate::units::Seconds;
 use crate::AnalogError;
+use std::time::{Duration, Instant};
 
 /// Convergence controls for the damped Newton loop.
 #[derive(Debug, Clone, Copy)]
@@ -66,7 +68,13 @@ pub struct StampSpec<'a> {
 /// [`crate::tran::run_with`], [`crate::ac::AcAnalysis::response_with`], …).
 /// The convenience entry points without a workspace argument create a
 /// short-lived one internally, so both paths run the identical kernels.
-#[derive(Debug, Clone)]
+///
+/// Telemetry: install a [`Probe`] with [`Self::set_probe`] (or the
+/// [`Self::enable_stats`] shorthand for [`EngineStats`]) and every solve
+/// driven through this workspace reports its events. A probe only
+/// observes — it never alters a floating-point operation, so the
+/// bit-identity contract above holds with telemetry on or off.
+#[derive(Debug)]
 pub struct EngineWorkspace {
     /// Real MNA matrix; holds the LU factors after a factorization.
     pub(crate) matrix: Matrix,
@@ -88,6 +96,14 @@ pub struct EngineWorkspace {
     pub(crate) crhs: Vec<C64>,
     /// Complex solution vector.
     pub(crate) cx: Vec<C64>,
+    /// Installed telemetry probe; `None` means disabled (one branch per
+    /// engine event, nothing on the per-element stamping path).
+    probe: Option<Box<dyn Probe>>,
+    /// Per-iteration update norms of the most recent Newton solve, in
+    /// iteration order (cleared at the start of each solve). Always
+    /// recorded — this is what a failing solve attaches to
+    /// [`AnalogError::NoConvergence`].
+    residual_log: Vec<f64>,
 }
 
 impl Default for EngineWorkspace {
@@ -103,6 +119,27 @@ impl Default for EngineWorkspace {
             cperm: Vec::new(),
             crhs: Vec::new(),
             cx: Vec::new(),
+            probe: None,
+            residual_log: Vec::new(),
+        }
+    }
+}
+
+impl Clone for EngineWorkspace {
+    fn clone(&self) -> Self {
+        EngineWorkspace {
+            matrix: self.matrix.clone(),
+            rhs: self.rhs.clone(),
+            perm: self.perm.clone(),
+            x: self.x.clone(),
+            voltages: self.voltages.clone(),
+            branches: self.branches.clone(),
+            cmatrix: self.cmatrix.clone(),
+            cperm: self.cperm.clone(),
+            crhs: self.crhs.clone(),
+            cx: self.cx.clone(),
+            probe: self.probe.as_ref().map(|p| p.box_clone()),
+            residual_log: self.residual_log.clone(),
         }
     }
 }
@@ -127,6 +164,75 @@ impl EngineWorkspace {
         ws.voltages.reserve(circuit.node_count());
         ws.branches.reserve(circuit.branch_count());
         ws
+    }
+
+    /// Installs a telemetry probe; subsequent solves report their events
+    /// to it. Replaces any existing probe.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Removes and returns the installed probe, disabling telemetry.
+    pub fn clear_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.take()
+    }
+
+    /// Installs a fresh [`EngineStats`] collector (the built-in probe) —
+    /// shorthand for `set_probe(Box::new(EngineStats::new()))`.
+    pub fn enable_stats(&mut self) {
+        self.set_probe(Box::new(EngineStats::new()));
+    }
+
+    /// The installed [`EngineStats`] collector, if that is what the probe
+    /// is.
+    #[must_use]
+    pub fn stats(&self) -> Option<&EngineStats> {
+        self.probe
+            .as_deref()
+            .and_then(|p| p.as_any().downcast_ref::<EngineStats>())
+    }
+
+    /// Removes the probe if it is an [`EngineStats`] collector and returns
+    /// the accumulated statistics; any other probe kind is left installed.
+    pub fn take_stats(&mut self) -> Option<EngineStats> {
+        if self
+            .probe
+            .as_deref()
+            .is_some_and(|p| p.as_any().is::<EngineStats>())
+        {
+            let mut boxed = self.probe.take().expect("probe checked above");
+            let stats = boxed
+                .as_any_mut()
+                .downcast_mut::<EngineStats>()
+                .expect("probe checked above");
+            return Some(std::mem::take(stats));
+        }
+        None
+    }
+
+    /// Per-iteration update norms of the most recent Newton solve, in
+    /// iteration order. Empty before the first solve.
+    #[must_use]
+    pub fn residual_history(&self) -> &[f64] {
+        &self.residual_log
+    }
+
+    /// Reports an event to the probe, if one is installed. Crate-internal
+    /// hook for analyses that drive workspace buffers directly (the AC and
+    /// noise front-ends, the DC gmin ladder).
+    pub(crate) fn probe_event(&mut self, event: impl FnOnce(&mut dyn Probe)) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            event(p);
+        }
+    }
+
+    /// Reports a solve's end to the probe, folding in elapsed wall time
+    /// when the solve was timed.
+    fn probe_solve_end(&mut self, outcome: SolveOutcome, iterations: usize, t0: Option<Instant>) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            let elapsed = t0.map_or(Duration::ZERO, |t| t.elapsed());
+            p.solve_end(outcome, iterations, elapsed);
+        }
     }
 
     /// Node voltages (ground at index 0) left by the last Newton solve.
@@ -177,7 +283,18 @@ impl EngineWorkspace {
         self.voltages.extend_from_slice(start);
         self.branches.clear();
         self.branches.resize(circuit.branch_count(), 0.0);
+        self.residual_log.clear();
         let mut last_delta = f64::INFINITY;
+
+        // Time only when someone is listening: with no probe the solve
+        // pays a single `Option` branch per event and no clock reads.
+        let t0 = self.probe.is_some().then(Instant::now);
+        let kind = if spec.cap_step.is_some() {
+            SolveKind::TransientStep
+        } else {
+            SolveKind::Dc
+        };
+        self.probe_event(|p| p.solve_begin(kind));
 
         for iter in 0..settings.max_iterations {
             let ctx = StampContext {
@@ -189,10 +306,24 @@ impl EngineWorkspace {
                 gmin,
                 cap_step: spec.cap_step,
             };
-            assemble_into(circuit, &ctx, &mut self.matrix, &mut self.rhs)?;
-            self.matrix.factor_in_place(&mut self.perm)?;
-            self.matrix
-                .lu_solve_into(&self.perm, &self.rhs, &mut self.x)?;
+            let step = assemble_into(circuit, &ctx, &mut self.matrix, &mut self.rhs)
+                .and_then(|()| self.matrix.factor_in_place(&mut self.perm))
+                .and_then(|()| {
+                    self.matrix
+                        .lu_solve_into(&self.perm, &self.rhs, &mut self.x)
+                });
+            if let Err(e) = step {
+                self.probe_solve_end(SolveOutcome::Aborted, iter, t0);
+                return Err(e);
+            }
+            self.probe_event(|p| {
+                if iter == 0 {
+                    p.factorization();
+                } else {
+                    p.refactorization();
+                }
+                p.back_substitution();
+            });
 
             // Raw update magnitude.
             let mut delta_max = 0.0f64;
@@ -200,6 +331,8 @@ impl EngineWorkspace {
                 delta_max = delta_max.max((self.x[i] - self.voltages[i + 1]).abs());
             }
             last_delta = delta_max;
+            self.residual_log.push(delta_max);
+            self.probe_event(|p| p.newton_iteration(delta_max));
 
             // Damping: limit per-node move to max_step.
             let alpha = if delta_max > settings.max_step {
@@ -211,9 +344,16 @@ impl EngineWorkspace {
                 let new_v = self.x[i];
                 self.voltages[i + 1] += alpha * (new_v - self.voltages[i + 1]);
                 if !self.voltages[i + 1].is_finite() {
+                    self.probe_event(Probe::non_finite);
+                    self.probe_solve_end(SolveOutcome::NonFinite, iter + 1, t0);
                     return Err(AnalogError::NoConvergence {
                         iterations: iter + 1,
                         residual: f64::INFINITY,
+                        gmin,
+                        // One entry per completed iteration; `residual` is
+                        // INFINITY here while the last entry is the finite
+                        // update norm that preceded the blow-up.
+                        residual_history: self.residual_log.clone(),
                     });
                 }
             }
@@ -222,12 +362,16 @@ impl EngineWorkspace {
             }
 
             if delta_max < settings.vtol {
+                self.probe_solve_end(SolveOutcome::Converged, iter + 1, t0);
                 return Ok(());
             }
         }
+        self.probe_solve_end(SolveOutcome::IterationLimit, settings.max_iterations, t0);
         Err(AnalogError::NoConvergence {
             iterations: settings.max_iterations,
             residual: last_delta,
+            gmin,
+            residual_history: self.residual_log.clone(),
         })
     }
 
@@ -245,7 +389,9 @@ impl EngineWorkspace {
         ctx: &StampContext<'_>,
     ) -> Result<(), AnalogError> {
         assemble_into(circuit, ctx, &mut self.matrix, &mut self.rhs)?;
-        self.matrix.factor_in_place(&mut self.perm)
+        self.matrix.factor_in_place(&mut self.perm)?;
+        self.probe_event(Probe::factorization);
+        Ok(())
     }
 
     /// Solves the factored system for a right-hand side built by `fill`
@@ -262,6 +408,7 @@ impl EngineWorkspace {
         fill(&mut self.rhs);
         self.matrix
             .lu_solve_into(&self.perm, &self.rhs, &mut self.x)?;
+        self.probe_event(Probe::back_substitution);
         Ok(&self.x)
     }
 }
@@ -369,6 +516,113 @@ mod tests {
         ws.newton(&big, &spec, &settings, 1e-12, &start_big)
             .unwrap();
         assert_eq!(ws.node_voltages(), &first[..]);
+    }
+
+    #[test]
+    fn stats_probe_counts_solves_and_iterations() {
+        let (c, _) = divider();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        ws.enable_stats();
+        let start = vec![0.0; c.node_count()];
+        let spec = StampSpec {
+            phi1_high: true,
+            ..StampSpec::default()
+        };
+        let settings = NewtonSettings {
+            max_iterations: 10,
+            vtol: 1e-6,
+            max_step: 5.0,
+        };
+        ws.newton(&c, &spec, &settings, 1e-12, &start).unwrap();
+        ws.newton(&c, &spec, &settings, 1e-12, &start).unwrap();
+
+        let stats = ws.stats().expect("stats probe installed");
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.dc_solves, 2);
+        assert!(stats.newton_iterations >= 2);
+        assert_eq!(stats.factorizations, 2);
+        assert_eq!(
+            stats.newton_iterations,
+            stats.factorizations + stats.refactorizations
+        );
+        assert_eq!(stats.back_substitutions, stats.newton_iterations);
+        assert_eq!(stats.convergence_failures, 0);
+
+        let taken = ws.take_stats().expect("collector handed back");
+        assert_eq!(taken.solves, 2);
+        assert!(ws.stats().is_none(), "take_stats removes the probe");
+    }
+
+    #[test]
+    fn residual_history_matches_failure_forensics() {
+        // A starved iteration budget forces NoConvergence on a circuit
+        // whose solve needs at least one damped step.
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.current_source("I1", Circuit::GROUND, n, Amps(1e-3))
+            .unwrap();
+        c.resistor("R1", n, Circuit::GROUND, Ohms(2e6)).unwrap();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        let start = vec![0.0; c.node_count()];
+        let err = ws
+            .newton(
+                &c,
+                &StampSpec {
+                    phi1_high: true,
+                    ..StampSpec::default()
+                },
+                &NewtonSettings {
+                    max_iterations: 3,
+                    vtol: 1e-6,
+                    max_step: 0.5,
+                },
+                1e-12,
+                &start,
+            )
+            .unwrap_err();
+        match err {
+            AnalogError::NoConvergence {
+                iterations,
+                residual,
+                gmin,
+                residual_history,
+            } => {
+                assert_eq!(iterations, 3);
+                assert_eq!(residual_history.len(), iterations);
+                assert_eq!(residual_history.last().copied(), Some(residual));
+                assert_eq!(gmin, 1e-12);
+                assert_eq!(ws.residual_history(), &residual_history[..]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cloned_workspace_clones_probe_state() {
+        let (c, _) = divider();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        ws.enable_stats();
+        let start = vec![0.0; c.node_count()];
+        ws.newton(
+            &c,
+            &StampSpec {
+                phi1_high: true,
+                ..StampSpec::default()
+            },
+            &NewtonSettings {
+                max_iterations: 10,
+                vtol: 1e-6,
+                max_step: 5.0,
+            },
+            1e-12,
+            &start,
+        )
+        .unwrap();
+        let clone = ws.clone();
+        assert_eq!(
+            clone.stats().unwrap().normalized(),
+            ws.stats().unwrap().normalized()
+        );
     }
 
     #[test]

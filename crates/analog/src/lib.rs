@@ -19,7 +19,10 @@
 //! * [`smallsignal`] — linearized port-conductance and transfer analyses,
 //! * [`cells`] — netlist builders for the paper's circuits (Fig. 1 class-AB
 //!   cell, GGA, Fig. 2 CMFF mirrors, class-A baseline),
-//! * [`headroom`] — the supply-voltage feasibility conditions of Eqs. (1)–(2).
+//! * [`headroom`] — the supply-voltage feasibility conditions of Eqs. (1)–(2),
+//! * [`telemetry`] — zero-cost-when-disabled solver observability
+//!   ([`telemetry::Probe`], [`telemetry::EngineStats`]) threaded through
+//!   every analysis and the parallel sweep layer.
 //!
 //! # Example
 //!
@@ -61,6 +64,7 @@ pub mod op_report;
 pub mod parse;
 pub mod smallsignal;
 pub mod sweep;
+pub mod telemetry;
 pub mod tran;
 pub mod units;
 

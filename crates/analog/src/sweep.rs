@@ -13,7 +13,13 @@
 //! point itself (e.g. a per-point seed), never from worker identity or
 //! execution order. Under that contract `parallel_map(items, …)` is
 //! byte-identical to the equivalent serial loop.
+//!
+//! [`parallel_map_with_stats`] additionally collects per-worker telemetry
+//! (e.g. the [`crate::telemetry::EngineStats`] of each worker's workspace)
+//! and merges it into one total whose value is independent of how items
+//! were scheduled across workers.
 
+use crate::telemetry::Merge;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Picks a worker count: the available parallelism, capped by the number
@@ -46,22 +52,63 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T, usize) -> Result<R, E> + Sync,
 {
+    parallel_map_with_stats(items, init, f, |_| ()).map(|(results, ())| results)
+}
+
+/// [`parallel_map`] with deterministic telemetry collection: after a worker
+/// drains its share of items, `extract` distills its private state into a
+/// mergeable summary (typically the [`crate::telemetry::EngineStats`] of a
+/// workspace), and the per-worker summaries are folded into one total via
+/// [`Merge`].
+///
+/// Because [`Merge`] implementations are associative and commutative, and
+/// each item contributes to exactly one worker's summary, the merged total
+/// is independent of how items were scheduled across workers — the same
+/// totals as the serial loop, every run.
+///
+/// On the single-worker (serial) path `extract` runs on the one state; the
+/// behavior is `parallel_map` plus the summary.
+///
+/// # Errors
+///
+/// As [`parallel_map`]: the error for the smallest failing index wins. On
+/// error the partial stats are discarded along with the partial results.
+pub fn parallel_map_with_stats<T, S, R, E, St, I, F, X>(
+    items: &[T],
+    init: I,
+    f: F,
+    extract: X,
+) -> Result<(Vec<R>, St), E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    St: Merge + Default + Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T, usize) -> Result<R, E> + Sync,
+    X: Fn(S) -> St + Sync,
+{
     if items.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), St::default()));
     }
     let workers = worker_count(items.len());
     if workers == 1 {
         let mut state = init();
-        return items
+        let results: Result<Vec<R>, E> = items
             .iter()
             .enumerate()
             .map(|(i, item)| f(&mut state, item, i))
             .collect();
+        let mut total = St::default();
+        let results = results?;
+        total.merge(&extract(state));
+        return Ok((results, total));
     }
 
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
     let mut first_err: Option<(usize, E)> = None;
+    let mut total = St::default();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -83,14 +130,15 @@ where
                             }
                         }
                     }
-                    (ok, err)
+                    (ok, err, extract(state))
                 })
             })
             .collect();
         for handle in handles {
             // A panicking worker propagates its panic here, as in serial code.
-            let (ok, err) = handle.join().expect("sweep worker panicked");
+            let (ok, err, stats) = handle.join().expect("sweep worker panicked");
             tagged.extend(ok);
+            total.merge(&stats);
             if let Some((i, e)) = err {
                 match &first_err {
                     Some((fi, _)) if *fi <= i => {}
@@ -104,7 +152,7 @@ where
         return Err(e);
     }
     tagged.sort_by_key(|&(i, _)| i);
-    Ok(tagged.into_iter().map(|(_, r)| r).collect())
+    Ok((tagged.into_iter().map(|(_, r)| r).collect(), total))
 }
 
 #[cfg(test)]
@@ -147,6 +195,8 @@ mod tests {
                     Err(AnalogError::NoConvergence {
                         iterations: v,
                         residual: 1.0,
+                        gmin: 1e-12,
+                        residual_history: vec![1.0],
                     })
                 } else {
                     Ok(v)
@@ -165,6 +215,59 @@ mod tests {
         let out: Vec<u8> =
             parallel_map(&[] as &[u8], || (), |(), &v, _| Ok::<u8, AnalogError>(v)).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn with_stats_merges_per_worker_counts_to_item_total() {
+        use crate::telemetry::{EngineStats, Merge};
+
+        let items: Vec<u64> = (0..193).collect();
+        // Each processed item bumps the worker's private collector once;
+        // the merged total must cover every item exactly once no matter
+        // how the scheduler partitioned them.
+        let (out, stats) = parallel_map_with_stats(
+            &items,
+            EngineStats::new,
+            |stats, &v, _| {
+                stats.solves += 1;
+                stats.newton_iterations += v;
+                Ok::<u64, AnalogError>(v)
+            },
+            |stats| stats,
+        )
+        .unwrap();
+        assert_eq!(out, items);
+        assert_eq!(stats.solves, items.len() as u64);
+        assert_eq!(stats.newton_iterations, items.iter().sum::<u64>());
+
+        // And the total matches a serial fold of the same contributions.
+        let mut serial = EngineStats::new();
+        for &v in &items {
+            let mut one = EngineStats::new();
+            one.solves = 1;
+            one.newton_iterations = v;
+            serial.merge(&one);
+        }
+        assert_eq!(stats, serial);
+    }
+
+    #[test]
+    fn with_stats_discards_stats_on_error() {
+        let items: Vec<usize> = (0..16).collect();
+        let err = parallel_map_with_stats(
+            &items,
+            || (),
+            |(), &v, _| {
+                if v == 3 {
+                    Err(AnalogError::EmptyCircuit)
+                } else {
+                    Ok(v)
+                }
+            },
+            |()| (),
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalogError::EmptyCircuit);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Engine telemetry: solver observability with zero cost when disabled.
+//!
+//! Every paper-level number this workspace reports — the Table 1 delay-line
+//! errors, the Fig. 5–7 modulator curves, the headroom scans — rests on the
+//! engine quietly performing thousands of Newton solves. This module makes
+//! that work observable without perturbing it:
+//!
+//! * [`Probe`] — an event-sink trait the engine notifies about solves,
+//!   Newton iterations, LU factorizations, gmin ladder moves, and
+//!   non-finite rejections. A workspace with no probe installed pays one
+//!   `Option` branch per event (nothing on the per-element stamping path),
+//!   and a probe can only *observe*: enabling one never changes a solved
+//!   voltage bit for bit (property-tested in
+//!   `crates/analog/tests/properties.rs`).
+//! * [`EngineStats`] — the concrete collector: counters, per-solve peaks,
+//!   and wall-clock time, all chosen so that [`Merge::merge`] is
+//!   associative and commutative. Per-worker collectors from
+//!   [`crate::sweep::parallel_map_with_stats`] therefore merge to the same
+//!   totals regardless of how points were scheduled.
+//! * [`Merge`] — the deterministic reduction used by the parallel sweep
+//!   layer.
+//!
+//! Failure forensics (the per-iteration residual trajectory of a diverging
+//! solve) ride on [`crate::AnalogError::NoConvergence`] itself rather than
+//! on a probe, so a crashed sweep point explains itself even with
+//! telemetry disabled.
+
+use std::any::Any;
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// What kind of Newton solve the engine is starting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveKind {
+    /// A DC operating-point solve (including each gmin-ladder rung).
+    Dc,
+    /// One backward-Euler transient time step.
+    TransientStep,
+}
+
+/// How a Newton solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveOutcome {
+    /// The update norm dropped below the tolerance.
+    Converged,
+    /// The iteration budget ran out.
+    IterationLimit,
+    /// An iterate went non-finite and was rejected.
+    NonFinite,
+    /// Assembly or factorization failed (singular matrix, bad element).
+    Aborted,
+}
+
+/// An observer of engine events.
+///
+/// All methods default to no-ops so a probe implements only what it cares
+/// about. Install one with [`crate::engine::EngineWorkspace::set_probe`]
+/// (or [`crate::engine::EngineWorkspace::enable_stats`] for the built-in
+/// [`EngineStats`]); the engine then reports events from every analysis
+/// driven through that workspace.
+pub trait Probe: Any + Send + fmt::Debug {
+    /// A Newton solve is starting.
+    fn solve_begin(&mut self, kind: SolveKind) {
+        let _ = kind;
+    }
+
+    /// One Newton iteration finished with voltage-update norm `delta`.
+    fn newton_iteration(&mut self, delta: f64) {
+        let _ = delta;
+    }
+
+    /// The Newton solve ended after `iterations` iterations taking
+    /// `elapsed` wall-clock time (zero when timing is unavailable).
+    fn solve_end(&mut self, outcome: SolveOutcome, iterations: usize, elapsed: Duration) {
+        let _ = (outcome, iterations, elapsed);
+    }
+
+    /// The DC solver moved to gmin ladder level `gmin` (siemens).
+    fn gmin_level(&mut self, gmin: f64) {
+        let _ = gmin;
+    }
+
+    /// A real-matrix LU factorization completed (first factorization of a
+    /// solve, or a standalone small-signal linearization).
+    fn factorization(&mut self) {}
+
+    /// A real-matrix LU re-factorization completed (Newton iterations
+    /// after the first restamp and refactor the same system).
+    fn refactorization(&mut self) {}
+
+    /// A real-matrix back-substitution completed.
+    fn back_substitution(&mut self) {}
+
+    /// A complex-matrix LU factorization completed (AC / noise).
+    fn complex_factorization(&mut self) {}
+
+    /// A complex-matrix back-substitution completed (AC / noise).
+    fn complex_back_substitution(&mut self) {}
+
+    /// A non-finite Newton iterate was rejected.
+    fn non_finite(&mut self) {}
+
+    /// Clones the probe behind the trait object (used when a workspace is
+    /// cloned).
+    fn box_clone(&self) -> Box<dyn Probe>;
+
+    /// The probe as [`Any`], for downcasting to a concrete collector.
+    fn as_any(&self) -> &dyn Any;
+
+    /// The probe as mutable [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A deterministic, order-independent reduction.
+///
+/// Implementations must be associative and commutative —
+/// `a.merge(b); a.merge(c)` must equal `a.merge(c); a.merge(b)` and any
+/// re-parenthesization — so that merging per-worker partial results yields
+/// totals independent of how work was scheduled.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+impl Merge for () {
+    fn merge(&mut self, _other: &Self) {}
+}
+
+/// The built-in telemetry collector: solver-health counters accumulated
+/// across every solve a workspace performs.
+///
+/// All fields reduce associatively (sums, maxima, minima), so collectors
+/// from parallel workers merge to scheduling-independent totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Newton solves started (DC points, gmin rungs, transient steps).
+    pub solves: u64,
+    /// Solves that were DC operating points or gmin rungs.
+    pub dc_solves: u64,
+    /// Solves that were transient time steps.
+    pub transient_steps: u64,
+    /// Total Newton iterations across all solves.
+    pub newton_iterations: u64,
+    /// The largest iteration count any single solve needed.
+    pub max_newton_iterations: u64,
+    /// Real-matrix LU factorizations (first per solve + standalone
+    /// small-signal linearizations).
+    pub factorizations: u64,
+    /// Real-matrix LU re-factorizations (Newton iterations past the first).
+    pub refactorizations: u64,
+    /// Real-matrix back-substitutions.
+    pub back_substitutions: u64,
+    /// Complex-matrix LU factorizations (AC / noise frequencies).
+    pub complex_factorizations: u64,
+    /// Complex-matrix back-substitutions (AC / noise right-hand sides).
+    pub complex_back_substitutions: u64,
+    /// gmin ladder levels visited by the DC solver's fallback.
+    pub gmin_steps: u64,
+    /// The smallest gmin level reported, `f64::INFINITY` if none.
+    pub min_gmin: f64,
+    /// Newton iterates rejected for going non-finite.
+    pub non_finite_rejections: u64,
+    /// Solves that ended without converging (budget, non-finite, abort).
+    pub convergence_failures: u64,
+    /// Wall-clock time spent inside Newton solves.
+    pub solve_time: Duration,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            solves: 0,
+            dc_solves: 0,
+            transient_steps: 0,
+            newton_iterations: 0,
+            max_newton_iterations: 0,
+            factorizations: 0,
+            refactorizations: 0,
+            back_substitutions: 0,
+            complex_factorizations: 0,
+            complex_back_substitutions: 0,
+            gmin_steps: 0,
+            min_gmin: f64::INFINITY,
+            non_finite_rejections: 0,
+            convergence_failures: 0,
+            solve_time: Duration::ZERO,
+        }
+    }
+}
+
+impl EngineStats {
+    /// A zeroed collector.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineStats::default()
+    }
+
+    /// Total LU factorizations of either kind, including refactorizations —
+    /// the single "how much linear algebra happened" number.
+    #[must_use]
+    pub fn total_factorizations(&self) -> u64 {
+        self.factorizations + self.refactorizations + self.complex_factorizations
+    }
+
+    /// A copy with the wall-clock fields zeroed, for deterministic
+    /// comparisons (golden-report tests strip timings through this).
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        EngineStats {
+            solve_time: Duration::ZERO,
+            ..self.clone()
+        }
+    }
+
+    /// Serializes the collector as a stable-key-order JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"solves\":{},\"dc_solves\":{},\"transient_steps\":{},",
+            self.solves, self.dc_solves, self.transient_steps
+        );
+        let _ = write!(
+            s,
+            "\"newton_iterations\":{},\"max_newton_iterations\":{},",
+            self.newton_iterations, self.max_newton_iterations
+        );
+        let _ = write!(
+            s,
+            "\"factorizations\":{},\"refactorizations\":{},\"back_substitutions\":{},",
+            self.factorizations, self.refactorizations, self.back_substitutions
+        );
+        let _ = write!(
+            s,
+            "\"complex_factorizations\":{},\"complex_back_substitutions\":{},",
+            self.complex_factorizations, self.complex_back_substitutions
+        );
+        let min_gmin = if self.min_gmin.is_finite() {
+            format!("{:e}", self.min_gmin)
+        } else {
+            "null".to_string()
+        };
+        let _ = write!(
+            s,
+            "\"gmin_steps\":{},\"min_gmin\":{min_gmin},",
+            self.gmin_steps
+        );
+        let _ = write!(
+            s,
+            "\"non_finite_rejections\":{},\"convergence_failures\":{},",
+            self.non_finite_rejections, self.convergence_failures
+        );
+        let _ = write!(s, "\"solve_time_ns\":{}", self.solve_time.as_nanos());
+        s.push('}');
+        s
+    }
+}
+
+impl Merge for EngineStats {
+    fn merge(&mut self, other: &Self) {
+        self.solves += other.solves;
+        self.dc_solves += other.dc_solves;
+        self.transient_steps += other.transient_steps;
+        self.newton_iterations += other.newton_iterations;
+        self.max_newton_iterations = self.max_newton_iterations.max(other.max_newton_iterations);
+        self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
+        self.back_substitutions += other.back_substitutions;
+        self.complex_factorizations += other.complex_factorizations;
+        self.complex_back_substitutions += other.complex_back_substitutions;
+        self.gmin_steps += other.gmin_steps;
+        self.min_gmin = self.min_gmin.min(other.min_gmin);
+        self.non_finite_rejections += other.non_finite_rejections;
+        self.convergence_failures += other.convergence_failures;
+        self.solve_time += other.solve_time;
+    }
+}
+
+impl Probe for EngineStats {
+    fn solve_begin(&mut self, kind: SolveKind) {
+        self.solves += 1;
+        match kind {
+            SolveKind::Dc => self.dc_solves += 1,
+            SolveKind::TransientStep => self.transient_steps += 1,
+        }
+    }
+
+    fn newton_iteration(&mut self, _delta: f64) {
+        self.newton_iterations += 1;
+    }
+
+    fn solve_end(&mut self, outcome: SolveOutcome, iterations: usize, elapsed: Duration) {
+        self.max_newton_iterations = self.max_newton_iterations.max(iterations as u64);
+        self.solve_time += elapsed;
+        if outcome != SolveOutcome::Converged {
+            self.convergence_failures += 1;
+        }
+    }
+
+    fn gmin_level(&mut self, gmin: f64) {
+        self.gmin_steps += 1;
+        self.min_gmin = self.min_gmin.min(gmin);
+    }
+
+    fn factorization(&mut self) {
+        self.factorizations += 1;
+    }
+
+    fn refactorization(&mut self) {
+        self.refactorizations += 1;
+    }
+
+    fn back_substitution(&mut self) {
+        self.back_substitutions += 1;
+    }
+
+    fn complex_factorization(&mut self) {
+        self.complex_factorizations += 1;
+    }
+
+    fn complex_back_substitution(&mut self) {
+        self.complex_back_substitutions += 1;
+    }
+
+    fn non_finite(&mut self) {
+        self.non_finite_rejections += 1;
+    }
+
+    fn box_clone(&self) -> Box<dyn Probe> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: u64) -> EngineStats {
+        EngineStats {
+            solves: k,
+            dc_solves: k / 2,
+            transient_steps: k - k / 2,
+            newton_iterations: 3 * k,
+            max_newton_iterations: k % 7,
+            factorizations: k,
+            refactorizations: 2 * k,
+            back_substitutions: 3 * k,
+            complex_factorizations: k % 3,
+            complex_back_substitutions: k % 5,
+            gmin_steps: k % 4,
+            min_gmin: if k.is_multiple_of(4) {
+                f64::INFINITY
+            } else {
+                10f64.powi(-(k as i32 % 12))
+            },
+            non_finite_rejections: k % 2,
+            convergence_failures: k % 3,
+            solve_time: Duration::from_nanos(17 * k),
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let (a, b, c) = (sample(3), sample(8), sample(13));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        let mut left = ab.clone();
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let a = sample(9);
+        let mut m = a.clone();
+        m.merge(&EngineStats::default());
+        assert_eq!(m, a);
+        let mut d = EngineStats::default();
+        d.merge(&a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn json_has_stable_keys_and_valid_shape() {
+        let json = sample(5).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "solves",
+            "newton_iterations",
+            "factorizations",
+            "refactorizations",
+            "complex_factorizations",
+            "gmin_steps",
+            "min_gmin",
+            "non_finite_rejections",
+            "convergence_failures",
+            "solve_time_ns",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "missing {key}: {json}"
+            );
+        }
+        // Infinity must not leak into JSON.
+        let empty = EngineStats::default().to_json();
+        assert!(empty.contains("\"min_gmin\":null"));
+        assert!(!empty.contains("inf"));
+    }
+
+    #[test]
+    fn normalized_strips_timing_only() {
+        let mut s = sample(6);
+        s.solve_time = Duration::from_millis(250);
+        let n = s.normalized();
+        assert_eq!(n.solve_time, Duration::ZERO);
+        assert_eq!(n.solves, s.solves);
+        assert_eq!(n.newton_iterations, s.newton_iterations);
+    }
+
+    #[test]
+    fn probe_events_accumulate() {
+        let mut s = EngineStats::new();
+        s.solve_begin(SolveKind::Dc);
+        s.factorization();
+        s.back_substitution();
+        s.newton_iteration(0.5);
+        s.refactorization();
+        s.back_substitution();
+        s.newton_iteration(1e-9);
+        s.solve_end(SolveOutcome::Converged, 2, Duration::from_micros(3));
+        s.solve_begin(SolveKind::TransientStep);
+        s.newton_iteration(f64::INFINITY);
+        s.non_finite();
+        s.solve_end(SolveOutcome::NonFinite, 1, Duration::from_micros(1));
+        s.gmin_level(1e-2);
+        s.gmin_level(1e-3);
+
+        assert_eq!(s.solves, 2);
+        assert_eq!(s.dc_solves, 1);
+        assert_eq!(s.transient_steps, 1);
+        assert_eq!(s.newton_iterations, 3);
+        assert_eq!(s.max_newton_iterations, 2);
+        assert_eq!(s.factorizations, 1);
+        assert_eq!(s.refactorizations, 1);
+        assert_eq!(s.back_substitutions, 2);
+        assert_eq!(s.total_factorizations(), 2);
+        assert_eq!(s.gmin_steps, 2);
+        assert_eq!(s.min_gmin, 1e-3);
+        assert_eq!(s.non_finite_rejections, 1);
+        assert_eq!(s.convergence_failures, 1);
+        assert_eq!(s.solve_time, Duration::from_micros(4));
+    }
+}

@@ -173,3 +173,169 @@ proptest! {
         }
     }
 }
+
+/// A randomized resistor ladder with a mid-ladder current injection — the
+/// same family `workspace_reuse_never_leaks_stale_state` uses, shared by
+/// the telemetry properties below.
+fn ladder_netlist(stages: usize, r_k: f64, i_ua: f64) -> String {
+    let mut text = String::from("V1 n0 0 3.3\n");
+    for k in 0..stages {
+        text.push_str(&format!("R{k} n{k} n{} {r_k}k\n", k + 1));
+    }
+    text.push_str(&format!("Rend n{stages} 0 {r_k}k\n"));
+    text.push_str(&format!("I1 0 n{} {i_ua}u\n", stages / 2 + 1));
+    text
+}
+
+/// A randomized but structurally valid [`EngineStats`] sample built from a
+/// handful of drawn counters.
+fn stats_sample(draw: (u64, u64, u64, u64, u32)) -> si_analog::telemetry::EngineStats {
+    let (solves, iters, factor, gmin_steps, gmin_exp) = draw;
+    si_analog::telemetry::EngineStats {
+        solves,
+        dc_solves: solves / 2,
+        transient_steps: solves - solves / 2,
+        newton_iterations: iters,
+        max_newton_iterations: iters.min(40),
+        factorizations: factor,
+        refactorizations: iters.saturating_sub(factor),
+        back_substitutions: iters,
+        complex_factorizations: factor % 5,
+        complex_back_substitutions: factor % 7,
+        gmin_steps,
+        min_gmin: if gmin_steps == 0 {
+            f64::INFINITY
+        } else {
+            10f64.powi(-(gmin_exp as i32 % 12))
+        },
+        non_finite_rejections: iters % 3,
+        convergence_failures: solves % 4,
+        solve_time: std::time::Duration::from_nanos(13 * iters),
+    }
+}
+
+proptest! {
+    /// Telemetry merging is associative and order-independent: folding a
+    /// set of per-worker collectors left-to-right, in rotated order, and
+    /// pairwise-tree-reduced all produce identical totals — the invariant
+    /// `parallel_map_with_stats` relies on to make its merged stats
+    /// independent of scheduling.
+    #[test]
+    fn telemetry_merge_is_associative_and_order_independent(
+        draws in prop::collection::vec(
+            (0u64..50, 0u64..200, 0u64..200, 0u64..12, 0u32..12),
+            1..10,
+        ),
+        rot in 0usize..16,
+    ) {
+        use si_analog::telemetry::{EngineStats, Merge};
+
+        let parts: Vec<EngineStats> = draws.into_iter().map(stats_sample).collect();
+
+        // Left-to-right fold: the serial reference.
+        let mut serial = EngineStats::default();
+        for p in &parts {
+            serial.merge(p);
+        }
+
+        // Any rotation of the fold order (a worker finishing early).
+        let mut rotated = EngineStats::default();
+        let n = parts.len();
+        for k in 0..n {
+            rotated.merge(&parts[(k + rot) % n]);
+        }
+        prop_assert_eq!(&rotated, &serial);
+
+        // Pairwise tree reduction (a different parenthesization entirely).
+        let mut layer = parts;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge(&b);
+                }
+                next.push(a);
+            }
+            layer = next;
+        }
+        prop_assert_eq!(&layer[0], &serial);
+    }
+
+    /// Per-worker stats from `parallel_map_with_stats` merge to the same
+    /// totals a serial loop over the same points produces, for randomized
+    /// circuit sweeps — real threads, real solves, scheduling-independent
+    /// counts.
+    #[test]
+    fn parallel_sweep_stats_match_serial_totals(
+        specs in prop::collection::vec((1usize..6, 1.0f64..100.0, -3.0f64..3.0), 1..9),
+    ) {
+        use si_analog::dc::DcSolver;
+        use si_analog::engine::EngineWorkspace;
+        use si_analog::telemetry::{EngineStats, Merge};
+
+        let solver = DcSolver::new();
+        let circuits: Vec<_> = specs
+            .iter()
+            .map(|&(stages, r_k, i_ua)| {
+                parse_netlist(&ladder_netlist(stages, r_k, i_ua)).unwrap()
+            })
+            .collect();
+
+        let (_, parallel_total) = si_analog::sweep::parallel_map_with_stats(
+            &circuits,
+            || {
+                let mut ws = EngineWorkspace::new();
+                ws.enable_stats();
+                ws
+            },
+            |ws, ckt, _| solver.solve_with(ckt, ws).map(|op| op.raw().to_vec()),
+            |mut ws| ws.take_stats().unwrap_or_default(),
+        )
+        .unwrap();
+
+        let mut serial_total = EngineStats::default();
+        for ckt in &circuits {
+            let mut ws = EngineWorkspace::new();
+            ws.enable_stats();
+            solver.solve_with(ckt, &mut ws).unwrap();
+            serial_total.merge(&ws.take_stats().unwrap());
+        }
+
+        // Wall-clock differs run to run; everything countable must not.
+        prop_assert_eq!(parallel_total.normalized(), serial_total.normalized());
+        prop_assert_eq!(parallel_total.solves, circuits.len() as u64);
+    }
+
+    /// Installing a probe never changes a solved node voltage: the stats
+    /// path only observes. Solves with and without telemetry enabled are
+    /// bit-for-bit identical for any generated circuit.
+    #[test]
+    fn probe_never_changes_solved_voltages(
+        stages in 1usize..8,
+        r_k in 1.0f64..100.0,
+        i_ua in -3.0f64..3.0,
+    ) {
+        use si_analog::dc::DcSolver;
+        use si_analog::engine::EngineWorkspace;
+
+        let ckt = parse_netlist(&ladder_netlist(stages, r_k, i_ua)).unwrap();
+        let solver = DcSolver::new();
+
+        let bare = solver.solve(&ckt).unwrap();
+
+        let mut ws = EngineWorkspace::for_circuit(&ckt);
+        ws.enable_stats();
+        let probed = solver.solve_with(&ckt, &mut ws).unwrap();
+        prop_assert_eq!(bare.raw(), probed.raw());
+
+        // The collector really did watch the solve it didn't perturb.
+        let stats = ws.take_stats().unwrap();
+        prop_assert!(stats.solves >= 1);
+        prop_assert_eq!(stats.convergence_failures, 0);
+        prop_assert_eq!(
+            stats.back_substitutions, stats.newton_iterations,
+            "one back-substitution per Newton iteration on the DC path"
+        );
+    }
+}

@@ -8,14 +8,19 @@
 //! * sweeps the input current to extract the transmission error,
 //! * evaluates the supply-headroom equations (Eqs. 1–2) at 3.3 V.
 //!
+//! The measurements come from [`si_bench::solver_health::cell_report`],
+//! which runs everything through one telemetry-enabled workspace; the
+//! structured result (figure numbers + solver health) is written to
+//! `target/experiments/exp_cell_report.json` and the tables below are
+//! printed from it.
+//!
 //! Run: `cargo run --release -p si-bench --bin exp_cell`
 
-use si_analog::cells::{ClassACellDesign, ClassAbCellDesign};
-use si_analog::dc::{sweep_current_source, DcSolver};
 use si_analog::headroom::HeadroomBudget;
-use si_analog::smallsignal::port_conductance;
-use si_analog::units::{Amps, Volts};
+use si_analog::units::Amps;
 use si_bench::report::Report;
+use si_bench::run_report::experiments_dir;
+use si_bench::solver_health::cell_report;
 
 fn main() {
     if let Err(e) = run() {
@@ -25,49 +30,45 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    // --- DC operating point of the class-AB half-cell -------------------
-    let ab = ClassAbCellDesign::default().build()?;
-    let solver = DcSolver::new().with_initial_guess(ab.cell.initial_guess.clone());
-    let op = solver.solve(&ab.cell.circuit)?;
+    let report = cell_report()?;
+    let metric = |name: &str| -> Result<f64, String> {
+        report
+            .metric_value(name)
+            .ok_or_else(|| format!("run report missing metric `{name}`"))
+    };
 
+    // --- DC operating point of the class-AB half-cell -------------------
     let mut bias = Report::new("Class-AB cell operating point (Fig. 1 half-cell, 3.3 V)");
     bias.row(
         "input node voltage",
         "regulated by GGA (design 0.65 V)",
-        &format!("{:.3} V", op.voltage(ab.cell.input).0),
+        &format!("{:.3} V", metric("v_input_v")?),
     );
     bias.row(
         "NMOS memory gate",
         "VT + Vov ≈ 1.05 V",
-        &format!("{:.3} V", op.voltage(ab.cell.gate).0),
+        &format!("{:.3} V", metric("v_gate_v")?),
     );
     bias.row(
         "GGA output node",
         "≈ memory gate",
-        &format!("{:.3} V", op.voltage(ab.gga_out).0),
+        &format!("{:.3} V", metric("v_gga_out_v")?),
     );
     bias.print();
     println!();
 
     // --- Input conductance: GGA boost ------------------------------------
-    let g_ab = port_conductance(&ab.cell.circuit, &op, ab.cell.input)?;
-    let a = ClassACellDesign::default().build()?;
-    let op_a = DcSolver::new()
-        .with_initial_guess(a.initial_guess.clone())
-        .solve(&a.circuit)?;
-    let g_a = port_conductance(&a.circuit, &op_a, a.input)?;
-    let boost = g_ab.0 / g_a.0;
-
+    let boost = metric("gga_boost")?;
     let mut cond = Report::new("Input conductance (virtual ground)");
     cond.row(
         "class-A cell g_in",
         "g_m of memory device",
-        &format!("{:.1} µS", g_a.0 * 1e6),
+        &format!("{:.1} µS", metric("g_in_class_a_s")? * 1e6),
     );
     cond.row(
         "class-AB cell g_in",
         "g_m × GGA gain",
-        &format!("{:.1} µS", g_ab.0 * 1e6),
+        &format!("{:.1} µS", metric("g_in_class_ab_s")? * 1e6),
     );
     cond.row(
         "boost factor",
@@ -79,47 +80,36 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Transmission: input current vs input node movement --------------
     // The virtual ground means the input node barely moves with current.
-    // The sweep warm-starts each point from the previous solution and
-    // reuses one solver workspace across all points.
-    let currents_ua = [-4.0f64, -2.0, 0.0, 2.0, 4.0];
-    let values: Vec<Amps> = currents_ua.iter().map(|&i| Amps(i * 1e-6)).collect();
-    let sweep_solver = DcSolver::new().with_initial_guess(ab.cell.initial_guess.clone());
-    let voltages = sweep_current_source(
-        &ab.cell.circuit,
-        &ab.cell.input_source,
-        &values,
-        &sweep_solver,
-        |sol| sol.voltage(ab.cell.input).0,
-    )?;
-    let dv_per_ua: Vec<(f64, f64)> = currents_ua.iter().copied().zip(voltages).collect();
-    let span = dv_per_ua.last().unwrap().1 - dv_per_ua.first().unwrap().1;
     let mut sweep = Report::new("Input-node movement over ±4 µA signal sweep");
-    for (i, v) in &dv_per_ua {
+    for p in &report.points {
         sweep.row(
-            &format!("v(input) at {i:+.0} µA"),
+            &format!("v(input) at {}", p.label),
             "≈ constant (virtual ground)",
-            &format!("{v:.4} V"),
+            &format!(
+                "{:.4} V ({:.0} newton iters)",
+                p.value("v_input_v").unwrap_or(f64::NAN),
+                p.value("newton_iterations").unwrap_or(f64::NAN),
+            ),
         );
     }
     sweep.row(
         "total movement",
         "millivolts",
-        &format!("{:.2} mV over 8 µA", span * 1e3),
+        &format!("{:.2} mV over 8 µA", metric("sweep_span_v")? * 1e3),
     );
     sweep.print();
     println!();
 
     // --- Supply headroom: Eqs. (1)–(2) -----------------------------------
-    let budget = HeadroomBudget::paper_08um();
     let mut headroom = Report::new("Minimum supply voltage (Eqs. 1–2)");
     for mi in [0.5, 1.0, 2.0, 3.0] {
         headroom.row(
             &format!("Vdd,min at mi = {mi}"),
             "≤ 3.3 V for mi > 1 (paper's claim)",
-            &format!("{:.2} V", budget.vdd_min(mi)?.0),
+            &format!("{:.2} V", metric(&format!("vdd_min_mi_{mi}_v"))?),
         );
     }
-    let max_mi = budget.max_modulation_index(Volts(3.3))?;
+    let max_mi = metric("max_mi_3v3")?;
     headroom.row(
         "max modulation index at 3.3 V",
         "> 1 (class AB pays off)",
@@ -135,6 +125,31 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         ),
     );
     headroom.print();
+    println!();
+
+    // --- Solver health + artifact ----------------------------------------
+    if let Some(stats) = &report.solver {
+        let mut health = Report::new("Solver health (telemetry)");
+        health.row(
+            "newton solves / iterations",
+            "one op + baseline + 5 sweep points",
+            &format!("{} / {}", stats.solves, stats.newton_iterations),
+        );
+        health.row(
+            "LU factorizations (real)",
+            "first + re-factorizations",
+            &format!("{}", stats.factorizations + stats.refactorizations),
+        );
+        health.row(
+            "convergence failures",
+            "0",
+            &format!("{}", stats.convergence_failures),
+        );
+        health.print();
+        println!();
+    }
+    let path = report.write(experiments_dir())?;
+    println!("run report: {}", path.display());
 
     if boost < 10.0 {
         return Err("GGA boost factor below 10 — virtual ground not demonstrated".into());

@@ -11,11 +11,17 @@
 //!   paper argues from).
 //!
 //! An ideal (quantization-limited) overlay shows the > 13-bit bound the
-//! paper cites. Series go to `target/experiments/fig7_sweep.tsv`.
+//! paper cites. Series go to `target/experiments/fig7_sweep.tsv`; a
+//! structured run report — per-level SNDR plus the transistor-level cell
+//! bias solver health at each level's peak current — goes to
+//! `target/experiments/exp_fig7_report.json`.
 //!
 //! Run: `cargo run --release -p si-bench --bin exp_fig7 [--quick] [--flicker]`
 
+use si_analog::units::Amps;
 use si_bench::report::Report;
+use si_bench::run_report::{experiments_dir, PointRecord, RunReport};
+use si_bench::solver_health::cell_bias_health;
 use si_dsp::metrics::ideal_delta_sigma_sqnr_db;
 use si_modulator::arch::SecondOrderTopology;
 use si_modulator::ideal::IdealModulator;
@@ -94,6 +100,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     t.print();
 
     write_tsv(&levels, &plain, &chopped, &ideal)?;
+    write_run_report(noise_kind, &levels, &plain, &chopped, &ideal)?;
 
     if flicker {
         // Chopping must win under 1/f noise.
@@ -126,6 +133,45 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             return Err("ideal overlay below 12 bits — quantization bound wrong".into());
         }
     }
+    Ok(())
+}
+
+/// Assembles the structured run report: the behavioral SNDR numbers per
+/// level, joined with a transistor-level solver-health record — the Fig. 1
+/// class-AB cell biased at each level's peak input current — so the report
+/// carries per-sweep-point Newton iteration counts and the total
+/// factorization count next to the figure data.
+fn write_run_report(
+    noise_kind: &str,
+    levels: &[f64],
+    plain: &SweepResult,
+    chopped: &SweepResult,
+    ideal: &SweepResult,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let (health, solver) = cell_bias_health(levels, Amps(6e-6))?;
+
+    let mut report = RunReport::new("exp_fig7");
+    report.note("artifact", "Fig. 7 SNDR vs input level, OSR 128");
+    report.note("circuit_noise", noise_kind);
+    report.note("full_scale", "6 uA");
+    report.metric("dr_plain_db", plain.dynamic_range_db);
+    report.metric("dr_chopper_db", chopped.dynamic_range_db);
+    report.metric("dr_ideal_db", ideal.dynamic_range_db);
+    report.metric("total_factorizations", solver.total_factorizations() as f64);
+    for (i, (&level, h)) in levels.iter().zip(&health).enumerate() {
+        let mut point = PointRecord::new(format!("level {level:+.0} dB"))
+            .with("level_db", level)
+            .with("plain_sndr_db", plain.points[i].sinad_db)
+            .with("chopper_sndr_db", chopped.points[i].sinad_db)
+            .with("ideal_sndr_db", ideal.points[i].sinad_db);
+        for (name, value) in h.to_record().values {
+            point = point.with(format!("cell_{name}"), value);
+        }
+        report.point(point);
+    }
+    report.set_solver(solver);
+    let path = report.write(experiments_dir())?;
+    println!("run report: {}", path.display());
     Ok(())
 }
 

@@ -13,6 +13,8 @@
 use si_analog::headroom::HeadroomBudget;
 use si_analog::units::{Amps, Volts};
 use si_bench::report::Report;
+use si_bench::run_report::{experiments_dir, PointRecord, RunReport};
+use si_bench::solver_health::supply_scaling_health;
 use si_core::power::SystemPower;
 
 fn main() {
@@ -135,6 +137,55 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     cmp.print();
+    println!();
+
+    // Transistor-level cross-check: re-bias the Fig. 1 class-AB cell at
+    // each supply (bias voltages scaled, the 0.8 µm thresholds not) and
+    // record how the DC solver fared. Starved supplies are *expected* to
+    // fail here — the value is the captured failure forensics, which the
+    // run report preserves next to the analytic design-space numbers.
+    let health = supply_scaling_health(&supplies);
+    let mut forensics = Report::new("Cell bias solver health per supply (0.8 µm thresholds)");
+    for h in &health {
+        forensics.row(
+            &h.label,
+            "low supplies starve headroom",
+            &if h.converged {
+                format!("converged in {} newton iters", h.newton_iterations)
+            } else {
+                format!(
+                    "no bias: {} iters, residual {:.2e} V, {} recorded",
+                    h.newton_iterations, h.final_residual, h.residual_history_len
+                )
+            },
+        );
+    }
+    forensics.print();
+
+    let mut report = RunReport::new("exp_low_voltage");
+    report.note("artifact", "ref. [15] direction: supply sweep at 6 uA peak");
+    for (&(vdd, vt_scale), (point, h)) in supplies.iter().zip(points.iter().zip(&health)) {
+        let mut rec = PointRecord::new(format!("vdd {vdd} V, vt x{vt_scale}"))
+            .with("vdd_v", vdd)
+            .with("vt_scale", vt_scale);
+        if let DesignPoint::Feasible {
+            max_mi,
+            iq,
+            power_w,
+        } = point
+        {
+            rec = rec
+                .with("max_mi", *max_mi)
+                .with("iq_a", iq.0)
+                .with("power_w", *power_w);
+        }
+        for (name, value) in h.to_record().values {
+            rec = rec.with(format!("cell_{name}"), value);
+        }
+        report.point(rec);
+    }
+    let path = report.write(experiments_dir())?;
+    println!("\nrun report: {}", path.display());
 
     if !found_1v2 {
         return Err("1.2 V design point was not feasible — headroom model regressed".into());

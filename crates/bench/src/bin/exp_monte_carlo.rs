@@ -13,6 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use si_bench::report::Report;
+use si_bench::run_report::{experiments_dir, PointRecord, RunReport};
 use si_modulator::measure::{measure, MeasurementConfig};
 use si_modulator::si::{SiModulator, SiModulatorConfig};
 
@@ -56,6 +57,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             Ok::<_, si_modulator::ModulatorError>(meas.sinad_db)
         },
     )?;
+    let by_trial = sinads.clone();
     sinads.sort_by(|a, b| a.total_cmp(b));
     let mean = sinads.iter().sum::<f64>() / trials as f64;
     let var = sinads.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / trials as f64;
@@ -85,6 +87,29 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-trial SINAD (dB, sorted):");
     let line: Vec<String> = sinads.iter().map(|s| format!("{s:.1}")).collect();
     println!("  {}", line.join("  "));
+
+    // Structured run report: the distribution summary plus every trial's
+    // draw and outcome (in trial order, so a regression diff points at
+    // the exact seed that moved).
+    let mut report = RunReport::new("exp_monte_carlo");
+    report.note("artifact", "mismatch yield, -6 dB input");
+    report.note("trials", format!("{trials}"));
+    report.metric("median_sinad_db", median);
+    report.metric("mean_sinad_db", mean);
+    report.metric("sigma_sinad_db", var.sqrt());
+    report.metric("worst_sinad_db", sinads[0]);
+    report.metric("best_sinad_db", sinads[trials - 1]);
+    for (trial, (config, sinad)) in configs.iter().zip(&by_trial).enumerate() {
+        report.point(
+            PointRecord::new(format!("trial {trial}"))
+                .with("seed", config.seed as f64)
+                .with("dac_mismatch", config.dac_mismatch)
+                .with("quantizer_offset_a", config.quantizer_offset)
+                .with("sinad_db", *sinad),
+        );
+    }
+    let path = report.write(experiments_dir())?;
+    println!("run report: {}", path.display());
 
     if median < 50.0 {
         return Err(format!("median SINAD {median:.1} dB below the 50 dB floor").into());

@@ -24,5 +24,8 @@
 pub mod delay_line;
 pub mod plot;
 pub mod report;
+pub mod run_report;
+pub mod solver_health;
 
 pub use delay_line::{measure_delay_line, DelayLineMeasurement, DelayLineSetup};
+pub use run_report::{PointRecord, RunReport};

@@ -1,0 +1,155 @@
+//! Solver failure-mode regression tests: when a solve fails, the failure
+//! must explain itself.
+//!
+//! The scenario is the one the telemetry subsystem was built for: a
+//! headroom-starved class-AB cell (the Fig. 1 netlist biased far below the
+//! 0.8 µm threshold stack) whose DC operating point cannot settle. The
+//! tests pin down the forensics contract of
+//! [`si_analog::AnalogError::NoConvergence`]: a non-empty residual history
+//! recorded monotonically in iteration order, consistent with the
+//! workspace's own log and with the error's headline numbers, and a
+//! Display line that surfaces the last residual and the gmin level.
+
+use si_analog::cells::ClassAbCellDesign;
+use si_analog::dc::DcSolver;
+use si_analog::engine::EngineWorkspace;
+use si_analog::units::Volts;
+use si_analog::AnalogError;
+
+/// A class-AB cell biased at a 0.7 V supply against full 0.8 µm
+/// thresholds: every stacked branch is starved, so the operating point has
+/// no headroom to settle into.
+fn starved_cell() -> si_analog::cells::ClassAbCell {
+    ClassAbCellDesign {
+        vdd: Volts(0.7),
+        v_input: Volts(0.15),
+        output_bias: Volts(0.15),
+        ..ClassAbCellDesign::default()
+    }
+    .build()
+    .expect("netlist builds; only the solve is infeasible")
+}
+
+/// A solver that is guaranteed to exhaust its budget: an unreachable
+/// tolerance makes every Newton attempt run its full iteration count, so
+/// the test exercises the complete gmin ladder and the final failing
+/// attempt deterministically.
+fn starved_solver() -> DcSolver {
+    DcSolver::new().with_max_iterations(8).with_tolerance(0.0)
+}
+
+#[test]
+fn starved_cell_reports_no_convergence_with_full_history() {
+    let cell = starved_cell();
+    let solver = starved_solver().with_initial_guess(cell.cell.initial_guess.clone());
+    let mut ws = EngineWorkspace::for_circuit(&cell.cell.circuit);
+
+    let err = solver
+        .solve_with(&cell.cell.circuit, &mut ws)
+        .expect_err("a 0.7 V supply cannot bias the 0.8 um cell");
+    let AnalogError::NoConvergence {
+        iterations,
+        residual,
+        gmin,
+        residual_history,
+    } = &err
+    else {
+        panic!("expected NoConvergence, got {err:?}");
+    };
+
+    // Non-empty, monotone-recorded: exactly one entry per iteration, in
+    // iteration order, ending at the reported residual.
+    assert!(!residual_history.is_empty());
+    assert_eq!(residual_history.len(), *iterations);
+    assert_eq!(
+        residual_history.last().unwrap().to_bits(),
+        residual.to_bits(),
+        "history must end at the reported residual"
+    );
+    for (i, r) in residual_history.iter().enumerate() {
+        assert!(r.is_finite() && *r >= 0.0, "entry {i} is {r}");
+    }
+
+    // The error's history is the workspace's log of the final attempt.
+    assert_eq!(ws.residual_history(), &residual_history[..]);
+
+    // The failing attempt ran at the solver's target gmin (the bottom of
+    // the ladder), not at one of the leaky upper rungs.
+    assert_eq!(*gmin, 1e-12);
+}
+
+#[test]
+fn no_convergence_display_names_residual_and_gmin() {
+    let cell = starved_cell();
+    let err = starved_solver()
+        .with_initial_guess(cell.cell.initial_guess.clone())
+        .solve(&cell.cell.circuit)
+        .expect_err("starved cell must fail");
+    let AnalogError::NoConvergence { residual, gmin, .. } = &err else {
+        panic!("expected NoConvergence, got {err:?}");
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{residual:.3e}")),
+        "display `{msg}` must include the last residual"
+    );
+    assert!(
+        msg.contains(&format!("{gmin:.1e}")),
+        "display `{msg}` must include the gmin level"
+    );
+}
+
+#[test]
+fn telemetry_counts_the_failure_and_the_ladder() {
+    let cell = starved_cell();
+    let solver = starved_solver().with_initial_guess(cell.cell.initial_guess.clone());
+    let mut ws = EngineWorkspace::for_circuit(&cell.cell.circuit);
+    ws.enable_stats();
+
+    let _ = solver
+        .solve_with(&cell.cell.circuit, &mut ws)
+        .expect_err("starved cell must fail");
+    let stats = ws.take_stats().expect("stats probe installed");
+
+    // Plain Newton failed, then every ladder rung failed: each attempt is
+    // a counted solve and a counted failure.
+    assert!(stats.solves >= 2, "plain newton + at least one gmin rung");
+    assert_eq!(
+        stats.convergence_failures, stats.solves,
+        "every attempt on the starved cell fails"
+    );
+    assert!(stats.gmin_steps >= 2, "the ladder was walked");
+    assert_eq!(stats.min_gmin, 1e-12, "the ladder reached the target gmin");
+    assert_eq!(
+        stats.newton_iterations,
+        stats.solves * 8,
+        "unreachable tolerance burns the full budget every attempt"
+    );
+    assert_eq!(
+        stats.factorizations + stats.refactorizations,
+        stats.newton_iterations,
+        "one LU per iteration on the DC path"
+    );
+}
+
+#[test]
+fn healthy_cell_still_converges_with_telemetry_enabled() {
+    // The failure-forensics machinery must not perturb the healthy path:
+    // same netlist shape at nominal supply, telemetry on, solve succeeds
+    // and the per-solve residual log shows a converging trajectory.
+    let cell = ClassAbCellDesign::default().build().unwrap();
+    let solver = DcSolver::new().with_initial_guess(cell.cell.initial_guess.clone());
+    let mut ws = EngineWorkspace::for_circuit(&cell.cell.circuit);
+    ws.enable_stats();
+    solver.solve_with(&cell.cell.circuit, &mut ws).unwrap();
+
+    let history = ws.residual_history().to_vec();
+    assert!(!history.is_empty());
+    assert!(
+        *history.last().unwrap() < 1e-6,
+        "converged solve ends below the tolerance"
+    );
+    let stats = ws.take_stats().unwrap();
+    assert_eq!(stats.convergence_failures, 0);
+    assert_eq!(stats.newton_iterations as usize, history.len());
+}

@@ -1,0 +1,83 @@
+//! Golden-report test: the `exp_cell` run report must serialize to a
+//! stable JSON snapshot.
+//!
+//! The comparison goes through [`RunReport::normalized_json`], which zeros
+//! the solver wall-clock fields and rounds floats to 9 significant digits
+//! — everything left is a pure function of the netlist and the solver
+//! settings, so any diff is a real behavioral change (a device model
+//! tweak, a solver reordering, a telemetry miscount), not noise.
+//!
+//! To regenerate after an intentional change, run with
+//! `UPDATE_GOLDEN=1` and commit the rewritten snapshot:
+//! `UPDATE_GOLDEN=1 cargo test -p si-bench --test integration_report_golden`
+
+use si_bench::run_report::RunReport;
+use si_bench::solver_health::cell_report;
+use std::path::PathBuf;
+
+const GOLDEN: &str = include_str!("golden/exp_cell_report.json");
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; the shared tests/ tree sits at
+    // the repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/exp_cell_report.json")
+}
+
+#[test]
+fn exp_cell_report_matches_golden_snapshot() {
+    let report = cell_report().expect("exp_cell report builds");
+    let actual = report.normalized_json();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &actual).expect("rewrite golden snapshot");
+        return;
+    }
+
+    // Normalize line endings so a CRLF checkout cannot fail the test.
+    let expected = GOLDEN.replace("\r\n", "\n");
+    assert_eq!(
+        actual, expected,
+        "exp_cell run report drifted from tests/golden/exp_cell_report.json; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_snapshot_has_solver_health_and_per_point_counts() {
+    // Guard the *content* of the snapshot, not just its stability: the
+    // report must carry telemetry (total factorizations, per-point Newton
+    // counts), or the golden test would happily pin a hollow report.
+    let report = cell_report().unwrap();
+    let solver = report.solver.as_ref().expect("solver stats attached");
+    assert!(solver.factorizations + solver.refactorizations > 0);
+    assert_eq!(solver.convergence_failures, 0);
+    assert!(!report.points.is_empty());
+    for p in &report.points {
+        assert!(
+            p.value("newton_iterations").unwrap() >= 1.0,
+            "{} lost its iteration count",
+            p.label
+        );
+    }
+    // And the snapshot really is normalized: no timings.
+    assert!(report.normalized_json().contains("\"solve_time_ns\":0"));
+}
+
+#[test]
+fn normalized_json_is_idempotent_under_reserialization() {
+    // Two independently computed reports of the same build serialize
+    // byte-identically — the determinism the golden file relies on.
+    let a = cell_report().unwrap();
+    let b = cell_report().unwrap();
+    assert_eq!(a.normalized_json(), b.normalized_json());
+    // The full (timed) serialization still carries the same non-timing
+    // payload; only wall-clock fields may differ between the two runs.
+    fn strip_time(r: &RunReport) -> String {
+        let mut r = r.clone();
+        if let Some(s) = &mut r.solver {
+            s.solve_time = std::time::Duration::ZERO;
+        }
+        r.to_json()
+    }
+    assert_eq!(strip_time(&a), strip_time(&b));
+}
