@@ -10,10 +10,11 @@
 //! time constant, the `time_constants` parameter of the behavioral model —
 //! falls out of [`AcAnalysis::response`] on the Fig. 1 netlist.
 
-use crate::complexmat::{CMatrix, C64};
+use crate::complexmat::C64;
 use crate::engine::{Analysis, EngineWorkspace};
 use crate::mna::Solution;
 use crate::netlist::{Circuit, ElementKind, NodeId};
+use crate::solver::ComplexTarget;
 use crate::units::Volts;
 use crate::AnalogError;
 
@@ -83,22 +84,22 @@ impl Default for AcAnalysis {
 
 impl AcAnalysis {
     /// Assembles the complex MNA matrix at angular frequency `omega`,
-    /// linearized at `op`, into a caller-held matrix (resized and zeroed in
-    /// place — no allocation when the capacity suffices). Fills the matrix
-    /// only — the RHS depends on the stimulus.
+    /// linearized at `op`, into a caller-held backend target (reset and
+    /// zeroed in place — no allocation when the capacity suffices). Fills
+    /// the matrix only — the RHS depends on the stimulus.
     pub(crate) fn assemble_into(
         &self,
         circuit: &Circuit,
         op_voltages: &[f64],
         omega: f64,
-        a: &mut CMatrix,
+        a: &mut ComplexTarget<'_>,
     ) -> Result<(), AnalogError> {
         let dim = circuit.mna_dimension();
         if dim == 0 {
             return Err(AnalogError::EmptyCircuit);
         }
         let n_nodes = circuit.node_count();
-        a.resize_zeroed(dim);
+        a.reset(dim);
         let a = &mut *a;
         let row = |n: NodeId| -> Option<usize> {
             if n.is_ground() {
@@ -107,7 +108,7 @@ impl AcAnalysis {
                 Some(n.index() - 1)
             }
         };
-        let stamp_adm = |a: &mut CMatrix, na: NodeId, nb: NodeId, y: C64| {
+        let stamp_adm = |a: &mut ComplexTarget<'_>, na: NodeId, nb: NodeId, y: C64| {
             if let Some(i) = row(na) {
                 a.stamp(i, i, y);
                 if let Some(j) = row(nb) {
@@ -302,12 +303,12 @@ impl AcAnalysis {
                 });
             }
             let omega = 2.0 * std::f64::consts::PI * f;
-            self.assemble_into(circuit, &voltages, omega, &mut ws.cmatrix)?;
-            ws.cmatrix.factor_in_place(&mut ws.cperm)?;
-            ws.probe_event(|p| p.complex_factorization());
-            ws.cmatrix.lu_solve_into(&ws.cperm, &b, &mut ws.cx)?;
-            ws.probe_event(|p| p.complex_back_substitution());
-            out.push(self.read(circuit, probe, &ws.cx)?);
+            ws.complex_factorize(circuit, |target| {
+                self.assemble_into(circuit, &voltages, omega, target)
+            })?;
+            let x = ws.complex_solve(&b)?;
+            let value = self.read(circuit, probe, x)?;
+            out.push(value);
         }
         Ok(out)
     }

@@ -170,10 +170,9 @@ impl NoiseAnalysis {
 
         for (fi, &f) in freqs.iter().enumerate() {
             let omega = 2.0 * std::f64::consts::PI * f;
-            self.ac
-                .assemble_into(circuit, &voltages, omega, &mut ws.cmatrix)?;
-            ws.cmatrix.factor_in_place(&mut ws.cperm)?;
-            ws.probe_event(|p| p.complex_factorization());
+            ws.complex_factorize(circuit, |target| {
+                self.ac.assemble_into(circuit, &voltages, omega, target)
+            })?;
             for (si, src) in sources.iter().enumerate() {
                 ws.crhs.clear();
                 ws.crhs.resize(dim, C64::ZERO);
@@ -183,9 +182,7 @@ impl NoiseAnalysis {
                 if !src.from.is_ground() {
                     ws.crhs[src.from.index() - 1] -= C64::ONE;
                 }
-                ws.cmatrix.lu_solve_into(&ws.cperm, &ws.crhs, &mut ws.cx)?;
-                ws.probe_event(|p| p.complex_back_substitution());
-                let x = &ws.cx;
+                let x = ws.complex_solve_own_rhs()?;
                 let h = match probe {
                     AcProbe::NodeVoltage(node) => {
                         if node.is_ground() {

@@ -712,6 +712,140 @@ impl CmffNetwork {
     }
 }
 
+/// Design parameters of an N-stage switched-current delay line: a cascade
+/// of diode-connected class-A memory stages coupled by alternating φ1/φ2
+/// switches. This is the paper's delay-line/FIR application scaled to an
+/// arbitrary stage count — and, at tens to hundreds of stages, the circuit
+/// family whose MNA matrix is large and tridiagonal-sparse, exercising the
+/// sparse structure-caching solver backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayLineDesign {
+    /// Number of memory stages (≥ 1). The MNA dimension equals this (one
+    /// node per stage, no voltage sources).
+    pub stages: usize,
+    /// Per-stage bias current into the diode-connected memory transistor.
+    pub bias: Amps,
+    /// Memory transistor overdrive at the bias current.
+    pub vov: Volts,
+    /// Per-stage gate hold capacitance.
+    pub hold_cap: Farads,
+}
+
+impl Default for DelayLineDesign {
+    fn default() -> Self {
+        DelayLineDesign {
+            stages: 48,
+            bias: Amps(20e-6),
+            vov: Volts(0.25),
+            hold_cap: Farads(0.5e-12),
+        }
+    }
+}
+
+/// A built delay line: the circuit plus its labelled access points.
+#[derive(Debug, Clone)]
+pub struct DelayLine {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// The input node (stage 0's memory node).
+    pub input: NodeId,
+    /// The memory node of every stage, in order.
+    pub stage_nodes: Vec<NodeId>,
+    /// Name of the input current source.
+    pub input_source: String,
+    /// Initial node-voltage guess for the DC solver.
+    pub initial_guess: Vec<f64>,
+}
+
+impl DelayLineDesign {
+    /// Builds the delay line:
+    ///
+    /// ```text
+    ///  Iin ──┬─ n0 ─φ2─ n1 ─φ1─ n2 ─φ2─ … ─ n(N−1)
+    ///  Ib0 ──┤         each nk: diode-connected NMOS to ground
+    ///        MN0 ╢ C0  + hold cap + per-stage bias current
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for zero stages or
+    /// non-positive bias/overdrive, or netlist errors.
+    pub fn build(&self) -> Result<DelayLine, AnalogError> {
+        if self.stages == 0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "stages",
+                constraint: "a delay line needs at least one stage",
+            });
+        }
+        if !(self.bias.0 > 0.0) || !(self.vov.0 > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "design",
+                constraint: "bias current and overdrive must be positive",
+            });
+        }
+        let mut c = Circuit::new();
+        let wl = 2.0 * self.bias.0 / (100e-6 * self.vov.0 * self.vov.0);
+        let params = MosParams::nmos_08um(wl, 2.0);
+        let mut nodes = Vec::with_capacity(self.stages);
+        for k in 0..self.stages {
+            let n = c.node(&format!("n{k}"));
+            c.mosfet(
+                &format!("MN{k}"),
+                MosTerminals {
+                    drain: n,
+                    gate: n,
+                    source: Circuit::GROUND,
+                    bulk: Circuit::GROUND,
+                },
+                params,
+            )?;
+            c.capacitor(&format!("C{k}"), n, Circuit::GROUND, self.hold_cap)?;
+            c.current_source(&format!("Ib{k}"), Circuit::GROUND, n, self.bias)?;
+            if let Some(&prev) = nodes.last() {
+                // Alternating coupling phases: the held sample of one
+                // stage drives the next on the opposite clock phase.
+                let phase = if k % 2 == 1 {
+                    ClockPhase::Phi2
+                } else {
+                    ClockPhase::Phi1
+                };
+                c.switch(&format!("S{k}"), prev, n, Switch::on_phase(phase))?;
+            }
+            nodes.push(n);
+        }
+        c.current_source("Iin", Circuit::GROUND, nodes[0], Amps(0.0))?;
+
+        let vgs0 = 0.8 + self.vov.0;
+        let mut guess = vec![0.0; c.node_count()];
+        for &n in &nodes {
+            guess[n.index()] = vgs0;
+        }
+
+        Ok(DelayLine {
+            circuit: c,
+            input: nodes[0],
+            stage_nodes: nodes,
+            input_source: "Iin".to_string(),
+            initial_guess: guess,
+        })
+    }
+}
+
+/// An N-stage [`DelayLineDesign`] with default electrical parameters — the
+/// standard large-sparse-circuit generator used by the solver-backend
+/// tests and benchmarks.
+///
+/// # Errors
+///
+/// Same as [`DelayLineDesign::build`].
+pub fn si_cell_chain(stages: usize) -> Result<DelayLine, AnalogError> {
+    DelayLineDesign {
+        stages,
+        ..DelayLineDesign::default()
+    }
+    .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -818,6 +952,30 @@ mod tests {
         let d = CmffDesign {
             vov: Volts(-1.0),
             ..CmffDesign::default()
+        };
+        assert!(d.build().is_err());
+    }
+
+    #[test]
+    fn delay_line_builds_and_biases_every_stage() {
+        let line = si_cell_chain(40).unwrap();
+        assert_eq!(line.circuit.mna_dimension(), 40);
+        let sol = DcSolver::new()
+            .with_initial_guess(line.initial_guess.clone())
+            .solve(&line.circuit)
+            .unwrap();
+        for (k, &n) in line.stage_nodes.iter().enumerate() {
+            let v = sol.voltage(n).0;
+            assert!((0.8..1.4).contains(&v), "stage {k} memory node at {v} V");
+        }
+    }
+
+    #[test]
+    fn delay_line_rejects_bad_design() {
+        assert!(si_cell_chain(0).is_err());
+        let d = DelayLineDesign {
+            bias: Amps(0.0),
+            ..DelayLineDesign::default()
         };
         assert!(d.build().is_err());
     }

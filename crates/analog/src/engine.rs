@@ -7,26 +7,34 @@
 //! sweep points, frequency points). The seed implementation allocated a
 //! fresh matrix, right-hand side, and solution vector for every single
 //! solve. [`EngineWorkspace`] owns those buffers once and reuses them:
-//! [`crate::mna::assemble_into`] restamps in place,
-//! [`crate::linalg::Matrix::factor_in_place`] factors in place, and
-//! [`crate::linalg::Matrix::lu_solve_into`] back-substitutes into a held
-//! vector, so the steady-state solve path performs no heap allocation.
+//! assembly restamps in place, factorization happens in place, and
+//! back-substitution fills a held vector, so the steady-state solve path
+//! performs no heap allocation.
 //!
-//! Buffer reuse never changes a floating-point operation: the in-place
-//! kernels are the *same code* the allocating wrappers call, so a
-//! workspace-driven analysis is bit-identical to the legacy
-//! allocate-per-solve path (asserted by `tests/integration_engine.rs`).
+//! The linear algebra itself lives behind the [`crate::solver`] backend
+//! layer: the workspace owns a [`RealSolver`] and a [`ComplexSolver`],
+//! and the [`BackendPolicy`] set via [`EngineWorkspace::set_backend_policy`]
+//! decides per circuit between the dense LU fast path and the sparse
+//! structure-caching path. On the sparse path the symbolic factorization
+//! is computed once per circuit topology and replayed across every Newton
+//! iteration, gmin rung, transient step, sweep point, and frequency point.
+//!
+//! Buffer reuse never changes a floating-point operation: on the (default
+//! for small circuits) dense path the in-place kernels are the *same
+//! code* the allocating wrappers call, so a workspace-driven analysis is
+//! bit-identical to the legacy allocate-per-solve path (asserted by
+//! `tests/integration_engine.rs`).
 //!
 //! Threading model: a workspace is a plain mutable value with no interior
 //! mutability — `Send` but deliberately not shared. Parallel drivers
 //! ([`crate::sweep::parallel_map`]) give each worker thread its own
 //! workspace and partition points across workers.
 
-use crate::complexmat::{CMatrix, C64};
+use crate::complexmat::C64;
 use crate::device::switch::TwoPhaseClock;
-use crate::linalg::Matrix;
-use crate::mna::{assemble_into, CapStep, Solution, StampContext};
+use crate::mna::{CapStep, Solution, StampContext};
 use crate::netlist::Circuit;
+use crate::solver::{BackendPolicy, ComplexSolver, ComplexTarget, RealSolver};
 use crate::telemetry::{EngineStats, Probe, SolveKind, SolveOutcome};
 use crate::units::Seconds;
 use crate::AnalogError;
@@ -74,28 +82,27 @@ pub struct StampSpec<'a> {
 /// driven through this workspace reports its events. A probe only
 /// observes — it never alters a floating-point operation, so the
 /// bit-identity contract above holds with telemetry on or off.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct EngineWorkspace {
-    /// Real MNA matrix; holds the LU factors after a factorization.
-    pub(crate) matrix: Matrix,
+    /// Real linear solver (dense and sparse backends, cached structure).
+    pub(crate) real: RealSolver,
     /// Real right-hand side.
     pub(crate) rhs: Vec<f64>,
-    /// LU row permutation.
-    pub(crate) perm: Vec<usize>,
     /// Raw solution vector of the latest linear solve.
     pub(crate) x: Vec<f64>,
     /// Node voltages (index 0 = ground) of the latest Newton state.
     pub(crate) voltages: Vec<f64>,
     /// Voltage-source branch currents of the latest Newton state.
     pub(crate) branches: Vec<f64>,
-    /// Complex MNA matrix for AC/noise analyses.
-    pub(crate) cmatrix: CMatrix,
-    /// Complex LU row permutation.
-    pub(crate) cperm: Vec<usize>,
+    /// Complex linear solver for AC/noise analyses.
+    pub(crate) complex: ComplexSolver,
     /// Complex right-hand side.
     pub(crate) crhs: Vec<C64>,
     /// Complex solution vector.
     pub(crate) cx: Vec<C64>,
+    /// Backend-selection policy applied to every solve driven through
+    /// this workspace.
+    policy: BackendPolicy,
     /// Installed telemetry probe; `None` means disabled (one branch per
     /// engine event, nothing on the per-element stamping path).
     probe: Option<Box<dyn Probe>>,
@@ -106,38 +113,18 @@ pub struct EngineWorkspace {
     residual_log: Vec<f64>,
 }
 
-impl Default for EngineWorkspace {
-    fn default() -> Self {
-        EngineWorkspace {
-            matrix: Matrix::zeros(0, 0),
-            rhs: Vec::new(),
-            perm: Vec::new(),
-            x: Vec::new(),
-            voltages: Vec::new(),
-            branches: Vec::new(),
-            cmatrix: CMatrix::zeros(0),
-            cperm: Vec::new(),
-            crhs: Vec::new(),
-            cx: Vec::new(),
-            probe: None,
-            residual_log: Vec::new(),
-        }
-    }
-}
-
 impl Clone for EngineWorkspace {
     fn clone(&self) -> Self {
         EngineWorkspace {
-            matrix: self.matrix.clone(),
+            real: self.real.clone(),
             rhs: self.rhs.clone(),
-            perm: self.perm.clone(),
             x: self.x.clone(),
             voltages: self.voltages.clone(),
             branches: self.branches.clone(),
-            cmatrix: self.cmatrix.clone(),
-            cperm: self.cperm.clone(),
+            complex: self.complex.clone(),
             crhs: self.crhs.clone(),
             cx: self.cx.clone(),
+            policy: self.policy,
             probe: self.probe.as_ref().map(|p| p.box_clone()),
             residual_log: self.residual_log.clone(),
         }
@@ -157,9 +144,8 @@ impl EngineWorkspace {
     pub fn for_circuit(circuit: &Circuit) -> Self {
         let dim = circuit.mna_dimension();
         let mut ws = EngineWorkspace::new();
-        ws.matrix.resize_zeroed(dim, dim);
+        ws.real.reserve(dim);
         ws.rhs.reserve(dim);
-        ws.perm.reserve(dim);
         ws.x.reserve(dim);
         ws.voltages.reserve(circuit.node_count());
         ws.branches.reserve(circuit.branch_count());
@@ -170,6 +156,20 @@ impl EngineWorkspace {
     /// to it. Replaces any existing probe.
     pub fn set_probe(&mut self, probe: Box<dyn Probe>) {
         self.probe = Some(probe);
+    }
+
+    /// Sets the backend-selection policy for every subsequent solve
+    /// driven through this workspace. The default [`BackendPolicy`] keeps
+    /// small circuits on the dense fast path and switches large sparse
+    /// ones to the structure-caching sparse backend.
+    pub fn set_backend_policy(&mut self, policy: BackendPolicy) {
+        self.policy = policy;
+    }
+
+    /// The backend-selection policy in effect.
+    #[must_use]
+    pub fn backend_policy(&self) -> BackendPolicy {
+        self.policy
     }
 
     /// Removes and returns the installed probe, disabling telemetry.
@@ -306,16 +306,17 @@ impl EngineWorkspace {
                 gmin,
                 cap_step: spec.cap_step,
             };
-            let step = assemble_into(circuit, &ctx, &mut self.matrix, &mut self.rhs)
-                .and_then(|()| self.matrix.factor_in_place(&mut self.perm))
-                .and_then(|()| {
-                    self.matrix
-                        .lu_solve_into(&self.perm, &self.rhs, &mut self.x)
-                });
-            if let Err(e) = step {
-                self.probe_solve_end(SolveOutcome::Aborted, iter, t0);
-                return Err(e);
-            }
+            let step = self
+                .real
+                .assemble_and_factor(circuit, &ctx, &mut self.rhs, &self.policy)
+                .and_then(|event| self.real.solve(&self.rhs, &mut self.x).map(|()| event));
+            let event = match step {
+                Ok(event) => event,
+                Err(e) => {
+                    self.probe_solve_end(SolveOutcome::Aborted, iter, t0);
+                    return Err(e);
+                }
+            };
             self.probe_event(|p| {
                 if iter == 0 {
                     p.factorization();
@@ -323,6 +324,7 @@ impl EngineWorkspace {
                     p.refactorization();
                 }
                 p.back_substitution();
+                event.report(p);
             });
 
             // Raw update magnitude.
@@ -388,9 +390,13 @@ impl EngineWorkspace {
         circuit: &Circuit,
         ctx: &StampContext<'_>,
     ) -> Result<(), AnalogError> {
-        assemble_into(circuit, ctx, &mut self.matrix, &mut self.rhs)?;
-        self.matrix.factor_in_place(&mut self.perm)?;
-        self.probe_event(Probe::factorization);
+        let event = self
+            .real
+            .assemble_and_factor(circuit, ctx, &mut self.rhs, &self.policy)?;
+        self.probe_event(|p| {
+            p.factorization();
+            event.report(p);
+        });
         Ok(())
     }
 
@@ -402,14 +408,67 @@ impl EngineWorkspace {
     ///
     /// Propagates solve errors. Must be called after [`Self::factorize`].
     pub fn solve_factored(&mut self, fill: impl FnOnce(&mut [f64])) -> Result<&[f64], AnalogError> {
-        let dim = self.matrix.rows();
+        let dim = self.real.dim();
         self.rhs.clear();
         self.rhs.resize(dim, 0.0);
         fill(&mut self.rhs);
-        self.matrix
-            .lu_solve_into(&self.perm, &self.rhs, &mut self.x)?;
+        self.real.solve(&self.rhs, &mut self.x)?;
         self.probe_event(Probe::back_substitution);
         Ok(&self.x)
+    }
+
+    /// Runs `assemble` against the policy-selected complex backend and
+    /// factors the result, leaving the factors ready for
+    /// [`Self::complex_solve`] / [`Self::complex_solve_own_rhs`]. The AC
+    /// and noise front-ends use this once per frequency point; the
+    /// workspace-owned backend buffers mean no complex matrix is cloned
+    /// per point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly and factorization errors.
+    pub(crate) fn complex_factorize<F>(
+        &mut self,
+        circuit: &Circuit,
+        assemble: F,
+    ) -> Result<(), AnalogError>
+    where
+        F: FnOnce(&mut ComplexTarget<'_>) -> Result<(), AnalogError>,
+    {
+        let policy = self.policy;
+        let event = self
+            .complex
+            .assemble_and_factor(circuit, &policy, assemble)?;
+        self.probe_event(|p| {
+            p.complex_factorization();
+            event.report(p);
+        });
+        Ok(())
+    }
+
+    /// Solves the factored complex system for `b`, leaving the solution in
+    /// the workspace's `cx` buffer and returning it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors; must follow [`Self::complex_factorize`].
+    pub(crate) fn complex_solve(&mut self, b: &[C64]) -> Result<&[C64], AnalogError> {
+        self.complex.solve(b, &mut self.cx)?;
+        self.probe_event(Probe::complex_back_substitution);
+        Ok(&self.cx)
+    }
+
+    /// Solves the factored complex system for the right-hand side the
+    /// caller staged in the workspace's own `crhs` buffer (the noise
+    /// pattern: one factorization, one right-hand side per source).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors; must follow [`Self::complex_factorize`].
+    pub(crate) fn complex_solve_own_rhs(&mut self) -> Result<&[C64], AnalogError> {
+        self.complex.solve(&self.crhs, &mut self.cx)?;
+        self.probe_event(Probe::complex_back_substitution);
+        Ok(&self.cx)
     }
 }
 

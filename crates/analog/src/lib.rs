@@ -9,6 +9,9 @@
 //!
 //! * [`units`] — newtypes for volts, amps, siemens, farads, hertz, seconds,
 //! * [`linalg`] — dense LU factorization with partial pivoting,
+//! * [`sparse`] — CSC storage and structure-caching sparse LU (symbolic
+//!   analysis once per topology, numeric replay per solve),
+//! * [`solver`] — the backend layer choosing dense vs. sparse per circuit,
 //! * [`device`] — level-1 (square-law) MOS model with channel-length
 //!   modulation and body effect, passives, sources, and clocked switches,
 //! * [`netlist`] — circuit construction,
@@ -63,6 +66,8 @@ pub mod netlist;
 pub mod op_report;
 pub mod parse;
 pub mod smallsignal;
+pub mod solver;
+pub mod sparse;
 pub mod sweep;
 pub mod telemetry;
 pub mod tran;

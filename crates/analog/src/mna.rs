@@ -10,6 +10,8 @@
 use crate::device::switch::{ClockPhase, TwoPhaseClock};
 use crate::linalg::Matrix;
 use crate::netlist::{Circuit, ElementKind, NodeId};
+use crate::solver::RealTarget;
+use crate::sparse::SparsityPattern;
 use crate::units::{Amps, Seconds, Volts};
 use crate::AnalogError;
 
@@ -169,6 +171,27 @@ pub fn assemble_into(
     a: &mut Matrix,
     b: &mut Vec<f64>,
 ) -> Result<(), AnalogError> {
+    assemble_into_target(circuit, ctx, &mut RealTarget::Dense(a), b)
+}
+
+/// Assembles the MNA system into either solver backend's matrix storage.
+///
+/// The dense arm of [`RealTarget`] performs exactly the operations the
+/// pre-backend `assemble_into` performed (an additive stamp per position,
+/// in element order), preserving the engine's bit-identity contract; the
+/// sparse arm restamps values into a fixed [`SparsityPattern`] built by
+/// [`mna_pattern`].
+///
+/// # Errors
+///
+/// Returns [`AnalogError::EmptyCircuit`] for a circuit with no unknowns, or
+/// [`AnalogError::InvalidParameter`] if the guess length is wrong.
+pub fn assemble_into_target(
+    circuit: &Circuit,
+    ctx: &StampContext<'_>,
+    a: &mut RealTarget<'_>,
+    b: &mut Vec<f64>,
+) -> Result<(), AnalogError> {
     let dim = circuit.mna_dimension();
     if dim == 0 {
         return Err(AnalogError::EmptyCircuit);
@@ -180,7 +203,7 @@ pub fn assemble_into(
         });
     }
     let n_nodes = circuit.node_count();
-    a.resize_zeroed(dim, dim);
+    a.reset(dim);
     b.clear();
     b.resize(dim, 0.0);
     let a = &mut *a;
@@ -196,7 +219,7 @@ pub fn assemble_into(
     let branch_row = |k: usize| n_nodes - 1 + k;
 
     // Helper closures for the two ubiquitous stamp shapes.
-    let stamp_conductance = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+    let stamp_conductance = |a: &mut RealTarget<'_>, na: NodeId, nb: NodeId, g: f64| {
         if let Some(i) = row(na) {
             a.stamp(i, i, g);
             if let Some(j) = row(nb) {
@@ -328,6 +351,88 @@ pub fn assemble_into(
     }
 
     Ok(())
+}
+
+/// The union sparsity pattern of every position *any* analysis stamps for
+/// `circuit`: DC/transient conductances and companions, voltage-source
+/// couplings, MOSFET conductance blocks, the gmin diagonal, and the AC
+/// gate-capacitance positions. One superset pattern therefore serves the
+/// real and complex backends across all analyses of a topology — explicit
+/// structural zeros (a capacitor position during DC, say) cost a few
+/// harmless arithmetic operations but keep the cached symbolic
+/// factorization valid everywhere.
+#[must_use]
+pub fn mna_pattern(circuit: &Circuit) -> SparsityPattern {
+    let n_nodes = circuit.node_count();
+    let dim = circuit.mna_dimension();
+    let row = |n: NodeId| -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.index() - 1)
+        }
+    };
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    let pair = |entries: &mut Vec<(usize, usize)>, na: NodeId, nb: NodeId| {
+        if let Some(i) = row(na) {
+            entries.push((i, i));
+            if let Some(j) = row(nb) {
+                entries.push((i, j));
+                entries.push((j, i));
+            }
+        }
+        if let Some(j) = row(nb) {
+            entries.push((j, j));
+        }
+    };
+    for element in circuit.elements() {
+        match element.kind() {
+            ElementKind::Resistor { a, b, .. }
+            | ElementKind::Capacitor { a, b, .. }
+            | ElementKind::Switch { a, b, .. } => pair(&mut entries, *a, *b),
+            ElementKind::CurrentSource { .. } => {}
+            ElementKind::VoltageSource {
+                pos, neg, branch, ..
+            } => {
+                let k = n_nodes - 1 + branch;
+                if let Some(i) = row(*pos) {
+                    entries.push((i, k));
+                    entries.push((k, i));
+                }
+                if let Some(j) = row(*neg) {
+                    entries.push((j, k));
+                    entries.push((k, j));
+                }
+            }
+            ElementKind::Mosfet { terminals, .. } => {
+                // DC/transient: drain and source rows against all four
+                // terminal columns.
+                let cols = [
+                    terminals.drain,
+                    terminals.gate,
+                    terminals.source,
+                    terminals.bulk,
+                ];
+                for r in [terminals.drain, terminals.source] {
+                    if let Some(i) = row(r) {
+                        for c in cols {
+                            if let Some(j) = row(c) {
+                                entries.push((i, j));
+                            }
+                        }
+                    }
+                }
+                // AC: gate-capacitance admittances couple gate–source and
+                // gate–drain symmetrically.
+                pair(&mut entries, terminals.gate, terminals.source);
+                pair(&mut entries, terminals.gate, terminals.drain);
+            }
+        }
+    }
+    for i in 0..(n_nodes - 1) {
+        entries.push((i, i));
+    }
+    SparsityPattern::from_entries(dim, &entries)
 }
 
 #[cfg(test)]
@@ -462,5 +567,52 @@ mod tests {
         assert_eq!(sol.branch_current(0), Amps(0.5));
         assert_eq!(sol.node_voltages(), vec![0.0, 1.0, 2.0]);
         assert_eq!(sol.raw().len(), 3);
+    }
+
+    #[test]
+    fn sparse_assembly_matches_dense_on_a_full_device_mix() {
+        // One of everything — resistor, capacitor, switch, current source,
+        // voltage source, MOSFET — assembled both densely and into the
+        // mna_pattern sparse superset must agree entry for entry, in DC
+        // and in a transient step.
+        let cell = crate::cells::ClassAbCellDesign::default().build().unwrap();
+        let circuit = &cell.cell.circuit;
+        let guess = &cell.cell.initial_guess;
+        let prev = vec![0.0; circuit.node_count()];
+        let contexts = [
+            StampContext::dc(guess),
+            StampContext {
+                phi2_high: true,
+                cap_step: Some(CapStep {
+                    h: 1e-9,
+                    prev_voltages: &prev,
+                }),
+                time: Some(Seconds(0.0)),
+                ..StampContext::dc(guess)
+            },
+        ];
+        let dim = circuit.mna_dimension();
+        let pattern = mna_pattern(circuit);
+        assert_eq!(pattern.dim(), dim);
+        let mut sparse = crate::sparse::CscMatrix::<f64>::from_pattern(pattern);
+        let mut dense = Matrix::zeros(0, 0);
+        for ctx in contexts {
+            let mut rhs_d = Vec::new();
+            let mut rhs_s = Vec::new();
+            assemble_into(circuit, &ctx, &mut dense, &mut rhs_d).unwrap();
+            assemble_into_target(
+                circuit,
+                &ctx,
+                &mut RealTarget::Sparse(&mut sparse),
+                &mut rhs_s,
+            )
+            .unwrap();
+            assert_eq!(rhs_d, rhs_s);
+            for i in 0..dim {
+                for j in 0..dim {
+                    assert_eq!(dense[(i, j)], sparse.get(i, j), "entry ({i},{j}) differs");
+                }
+            }
+        }
     }
 }

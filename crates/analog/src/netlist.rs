@@ -197,6 +197,71 @@ impl Circuit {
         self.node_count() - 1 + self.vsource_count
     }
 
+    /// A deterministic hash of the circuit's *structure*: element kinds,
+    /// their node connections, and the system dimensions — everything that
+    /// determines the MNA sparsity pattern, and nothing that does not.
+    /// Element values and source waveforms are deliberately excluded, so a
+    /// sweep that only retunes sources keeps the same fingerprint and the
+    /// sparse solver's cached symbolic factorization stays valid.
+    ///
+    /// FNV-1a rather than [`std::hash::DefaultHasher`] because the latter
+    /// is randomized per process and this fingerprint keys a cache that
+    /// must behave identically run to run.
+    #[must_use]
+    pub fn structure_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.node_count() as u64);
+        mix(self.vsource_count as u64);
+        for e in &self.elements {
+            match &e.kind {
+                ElementKind::Resistor { a, b, .. } => {
+                    mix(1);
+                    mix(a.0 as u64);
+                    mix(b.0 as u64);
+                }
+                ElementKind::Capacitor { a, b, .. } => {
+                    mix(2);
+                    mix(a.0 as u64);
+                    mix(b.0 as u64);
+                }
+                ElementKind::CurrentSource { from, to, .. } => {
+                    mix(3);
+                    mix(from.0 as u64);
+                    mix(to.0 as u64);
+                }
+                ElementKind::VoltageSource {
+                    pos, neg, branch, ..
+                } => {
+                    mix(4);
+                    mix(pos.0 as u64);
+                    mix(neg.0 as u64);
+                    mix(*branch as u64);
+                }
+                ElementKind::Mosfet { terminals, .. } => {
+                    mix(5);
+                    mix(terminals.drain.0 as u64);
+                    mix(terminals.gate.0 as u64);
+                    mix(terminals.source.0 as u64);
+                    mix(terminals.bulk.0 as u64);
+                }
+                ElementKind::Switch { a, b, .. } => {
+                    mix(6);
+                    mix(a.0 as u64);
+                    mix(b.0 as u64);
+                }
+            }
+        }
+        h
+    }
+
     /// The name of a node.
     ///
     /// # Panics
@@ -623,6 +688,47 @@ mod tests {
         c.resistor("R1", a, Circuit::GROUND, Ohms(1.0)).unwrap();
         assert!(c.branch_of("R1").is_err());
         assert!(c.branch_of("nope").is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_values() {
+        let build = |r: f64, i: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.resistor("R1", a, b, Ohms(r)).unwrap();
+            c.current_source("I1", Circuit::GROUND, a, Amps(i)).unwrap();
+            c
+        };
+        let base = build(1e3, 1e-3);
+        // Same structure, different values: identical fingerprint.
+        assert_eq!(
+            base.structure_fingerprint(),
+            build(2e3, -5e-3).structure_fingerprint()
+        );
+        // Retuning a source in place keeps the fingerprint.
+        let mut retuned = build(1e3, 1e-3);
+        retuned
+            .update_current_source("I1", Waveform::Dc(7e-3))
+            .unwrap();
+        assert_eq!(
+            base.structure_fingerprint(),
+            retuned.structure_fingerprint()
+        );
+        // A different connection changes it.
+        let mut rewired = Circuit::new();
+        let a = rewired.node("a");
+        let b = rewired.node("b");
+        rewired
+            .resistor("R1", a, Circuit::GROUND, Ohms(1e3))
+            .unwrap();
+        rewired
+            .current_source("I1", Circuit::GROUND, b, Amps(1e-3))
+            .unwrap();
+        assert_ne!(
+            base.structure_fingerprint(),
+            rewired.structure_fingerprint()
+        );
     }
 
     #[test]

@@ -40,6 +40,26 @@ pub enum SolveKind {
     TransientStep,
 }
 
+/// Which linear-solver backend performed a factorization.
+///
+/// The engine picks a backend per circuit (see
+/// [`crate::solver::BackendPolicy`]): small or dense systems keep the
+/// dense LU fast path, large sparse systems use the structure-caching
+/// sparse LU. Telemetry tags every factorization with its backend so a run
+/// report shows exactly which path did the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// Dense real LU ([`crate::linalg::Matrix`]).
+    DenseReal,
+    /// Dense complex LU ([`crate::complexmat::CMatrix`]).
+    DenseComplex,
+    /// Sparse real LU ([`crate::sparse::SparseLu`]).
+    SparseReal,
+    /// Sparse complex LU ([`crate::sparse::SparseLu`]).
+    SparseComplex,
+}
+
 /// How a Newton solve ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -103,6 +123,29 @@ pub trait Probe: Any + Send + fmt::Debug {
     /// A non-finite Newton iterate was rejected.
     fn non_finite(&mut self) {}
 
+    /// A backend performed a factorization. `refactor` is true for a
+    /// sparse numeric replay of cached structure (dense backends always
+    /// factor from scratch). Fires *in addition to* the legacy
+    /// [`Probe::factorization`] / [`Probe::refactorization`] /
+    /// [`Probe::complex_factorization`] events, which keep their original
+    /// engine-level meaning (first-vs-later Newton iteration).
+    fn backend_factorization(&mut self, backend: BackendKind, refactor: bool) {
+        let _ = (backend, refactor);
+    }
+
+    /// The sparse backend consulted its symbolic-structure cache: `hit`
+    /// means the cached pivot order and fill pattern were replayed, a miss
+    /// means a full symbolic + numeric factorization ran.
+    fn symbolic_cache(&mut self, hit: bool) {
+        let _ = hit;
+    }
+
+    /// Structure of the system just factored: structural nonzeros of the
+    /// assembled matrix and nonzeros of its triangular factors (fill-in).
+    fn matrix_structure(&mut self, nonzeros: u64, factor_nonzeros: u64) {
+        let _ = (nonzeros, factor_nonzeros);
+    }
+
     /// Clones the probe behind the trait object (used when a workspace is
     /// cloned).
     fn box_clone(&self) -> Box<dyn Probe>;
@@ -165,6 +208,27 @@ pub struct EngineStats {
     pub non_finite_rejections: u64,
     /// Solves that ended without converging (budget, non-finite, abort).
     pub convergence_failures: u64,
+    /// Factorizations performed by the dense real backend.
+    pub dense_real_factorizations: u64,
+    /// Factorizations performed by the dense complex backend.
+    pub dense_complex_factorizations: u64,
+    /// Full (symbolic + numeric) factorizations by the sparse real backend.
+    pub sparse_real_factorizations: u64,
+    /// Numeric replays of cached structure by the sparse real backend.
+    pub sparse_real_refactorizations: u64,
+    /// Full factorizations by the sparse complex backend.
+    pub sparse_complex_factorizations: u64,
+    /// Numeric replays of cached structure by the sparse complex backend.
+    pub sparse_complex_refactorizations: u64,
+    /// Sparse symbolic-cache hits (pivot order and fill pattern replayed).
+    pub symbolic_cache_hits: u64,
+    /// Sparse symbolic-cache misses (full factorization ran).
+    pub symbolic_cache_misses: u64,
+    /// Largest structural-nonzero count of any factored sparse system.
+    pub max_matrix_nonzeros: u64,
+    /// Largest factor-nonzero (fill-in) count of any factored sparse
+    /// system.
+    pub max_factor_nonzeros: u64,
     /// Wall-clock time spent inside Newton solves.
     pub solve_time: Duration,
 }
@@ -186,6 +250,16 @@ impl Default for EngineStats {
             min_gmin: f64::INFINITY,
             non_finite_rejections: 0,
             convergence_failures: 0,
+            dense_real_factorizations: 0,
+            dense_complex_factorizations: 0,
+            sparse_real_factorizations: 0,
+            sparse_real_refactorizations: 0,
+            sparse_complex_factorizations: 0,
+            sparse_complex_refactorizations: 0,
+            symbolic_cache_hits: 0,
+            symbolic_cache_misses: 0,
+            max_matrix_nonzeros: 0,
+            max_factor_nonzeros: 0,
             solve_time: Duration::ZERO,
         }
     }
@@ -254,6 +328,31 @@ impl EngineStats {
             "\"non_finite_rejections\":{},\"convergence_failures\":{},",
             self.non_finite_rejections, self.convergence_failures
         );
+        let _ = write!(
+            s,
+            "\"dense_real_factorizations\":{},\"dense_complex_factorizations\":{},",
+            self.dense_real_factorizations, self.dense_complex_factorizations
+        );
+        let _ = write!(
+            s,
+            "\"sparse_real_factorizations\":{},\"sparse_real_refactorizations\":{},",
+            self.sparse_real_factorizations, self.sparse_real_refactorizations
+        );
+        let _ = write!(
+            s,
+            "\"sparse_complex_factorizations\":{},\"sparse_complex_refactorizations\":{},",
+            self.sparse_complex_factorizations, self.sparse_complex_refactorizations
+        );
+        let _ = write!(
+            s,
+            "\"symbolic_cache_hits\":{},\"symbolic_cache_misses\":{},",
+            self.symbolic_cache_hits, self.symbolic_cache_misses
+        );
+        let _ = write!(
+            s,
+            "\"max_matrix_nonzeros\":{},\"max_factor_nonzeros\":{},",
+            self.max_matrix_nonzeros, self.max_factor_nonzeros
+        );
         let _ = write!(s, "\"solve_time_ns\":{}", self.solve_time.as_nanos());
         s.push('}');
         s
@@ -276,6 +375,16 @@ impl Merge for EngineStats {
         self.min_gmin = self.min_gmin.min(other.min_gmin);
         self.non_finite_rejections += other.non_finite_rejections;
         self.convergence_failures += other.convergence_failures;
+        self.dense_real_factorizations += other.dense_real_factorizations;
+        self.dense_complex_factorizations += other.dense_complex_factorizations;
+        self.sparse_real_factorizations += other.sparse_real_factorizations;
+        self.sparse_real_refactorizations += other.sparse_real_refactorizations;
+        self.sparse_complex_factorizations += other.sparse_complex_factorizations;
+        self.sparse_complex_refactorizations += other.sparse_complex_refactorizations;
+        self.symbolic_cache_hits += other.symbolic_cache_hits;
+        self.symbolic_cache_misses += other.symbolic_cache_misses;
+        self.max_matrix_nonzeros = self.max_matrix_nonzeros.max(other.max_matrix_nonzeros);
+        self.max_factor_nonzeros = self.max_factor_nonzeros.max(other.max_factor_nonzeros);
         self.solve_time += other.solve_time;
     }
 }
@@ -330,6 +439,30 @@ impl Probe for EngineStats {
         self.non_finite_rejections += 1;
     }
 
+    fn backend_factorization(&mut self, backend: BackendKind, refactor: bool) {
+        match (backend, refactor) {
+            (BackendKind::DenseReal, _) => self.dense_real_factorizations += 1,
+            (BackendKind::DenseComplex, _) => self.dense_complex_factorizations += 1,
+            (BackendKind::SparseReal, false) => self.sparse_real_factorizations += 1,
+            (BackendKind::SparseReal, true) => self.sparse_real_refactorizations += 1,
+            (BackendKind::SparseComplex, false) => self.sparse_complex_factorizations += 1,
+            (BackendKind::SparseComplex, true) => self.sparse_complex_refactorizations += 1,
+        }
+    }
+
+    fn symbolic_cache(&mut self, hit: bool) {
+        if hit {
+            self.symbolic_cache_hits += 1;
+        } else {
+            self.symbolic_cache_misses += 1;
+        }
+    }
+
+    fn matrix_structure(&mut self, nonzeros: u64, factor_nonzeros: u64) {
+        self.max_matrix_nonzeros = self.max_matrix_nonzeros.max(nonzeros);
+        self.max_factor_nonzeros = self.max_factor_nonzeros.max(factor_nonzeros);
+    }
+
     fn box_clone(&self) -> Box<dyn Probe> {
         Box::new(self.clone())
     }
@@ -367,6 +500,16 @@ mod tests {
             },
             non_finite_rejections: k % 2,
             convergence_failures: k % 3,
+            dense_real_factorizations: k,
+            dense_complex_factorizations: k % 3,
+            sparse_real_factorizations: k % 2,
+            sparse_real_refactorizations: 2 * k,
+            sparse_complex_factorizations: k % 5,
+            sparse_complex_refactorizations: k % 7,
+            symbolic_cache_hits: 2 * k,
+            symbolic_cache_misses: k % 2 + k % 5,
+            max_matrix_nonzeros: 11 * k % 23,
+            max_factor_nonzeros: 13 * k % 29,
             solve_time: Duration::from_nanos(17 * k),
         }
     }
@@ -414,6 +557,16 @@ mod tests {
             "min_gmin",
             "non_finite_rejections",
             "convergence_failures",
+            "dense_real_factorizations",
+            "dense_complex_factorizations",
+            "sparse_real_factorizations",
+            "sparse_real_refactorizations",
+            "sparse_complex_factorizations",
+            "sparse_complex_refactorizations",
+            "symbolic_cache_hits",
+            "symbolic_cache_misses",
+            "max_matrix_nonzeros",
+            "max_factor_nonzeros",
             "solve_time_ns",
         ] {
             assert!(
@@ -469,5 +622,34 @@ mod tests {
         assert_eq!(s.non_finite_rejections, 1);
         assert_eq!(s.convergence_failures, 1);
         assert_eq!(s.solve_time, Duration::from_micros(4));
+    }
+
+    #[test]
+    fn backend_events_route_to_their_counters() {
+        let mut s = EngineStats::new();
+        s.backend_factorization(BackendKind::DenseReal, false);
+        s.backend_factorization(BackendKind::DenseComplex, false);
+        s.backend_factorization(BackendKind::SparseReal, false);
+        s.backend_factorization(BackendKind::SparseReal, true);
+        s.backend_factorization(BackendKind::SparseReal, true);
+        s.backend_factorization(BackendKind::SparseComplex, false);
+        s.backend_factorization(BackendKind::SparseComplex, true);
+        s.symbolic_cache(false);
+        s.symbolic_cache(true);
+        s.symbolic_cache(true);
+        s.symbolic_cache(true);
+        s.matrix_structure(40, 55);
+        s.matrix_structure(12, 90);
+
+        assert_eq!(s.dense_real_factorizations, 1);
+        assert_eq!(s.dense_complex_factorizations, 1);
+        assert_eq!(s.sparse_real_factorizations, 1);
+        assert_eq!(s.sparse_real_refactorizations, 2);
+        assert_eq!(s.sparse_complex_factorizations, 1);
+        assert_eq!(s.sparse_complex_refactorizations, 1);
+        assert_eq!(s.symbolic_cache_hits, 3);
+        assert_eq!(s.symbolic_cache_misses, 1);
+        assert_eq!(s.max_matrix_nonzeros, 40);
+        assert_eq!(s.max_factor_nonzeros, 90);
     }
 }

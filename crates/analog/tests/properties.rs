@@ -210,6 +210,16 @@ fn stats_sample(draw: (u64, u64, u64, u64, u32)) -> si_analog::telemetry::Engine
         },
         non_finite_rejections: iters % 3,
         convergence_failures: solves % 4,
+        dense_real_factorizations: factor / 2,
+        dense_complex_factorizations: factor % 5,
+        sparse_real_factorizations: factor - factor / 2,
+        sparse_real_refactorizations: iters.saturating_sub(factor),
+        sparse_complex_factorizations: gmin_steps % 3,
+        sparse_complex_refactorizations: gmin_steps % 5,
+        symbolic_cache_hits: iters.saturating_sub(factor),
+        symbolic_cache_misses: factor.min(7),
+        max_matrix_nonzeros: (11 * iters) % 97,
+        max_factor_nonzeros: (13 * iters) % 131,
         solve_time: std::time::Duration::from_nanos(13 * iters),
     }
 }
@@ -337,5 +347,88 @@ proptest! {
             stats.back_substitutions, stats.newton_iterations,
             "one back-substitution per Newton iteration on the DC path"
         );
+    }
+
+    /// The sparse structure-caching backend and the dense backend agree to
+    /// solver tolerance on any generated ladder large enough to clear the
+    /// auto cutover, and the sparse run truly never factors densely.
+    #[test]
+    fn sparse_and_dense_backends_agree_on_randomized_ladders(
+        stages in 33usize..80,
+        r_k in 1.0f64..100.0,
+        i_ua in -3.0f64..3.0,
+    ) {
+        use si_analog::dc::DcSolver;
+        use si_analog::engine::EngineWorkspace;
+        use si_analog::solver::{BackendMode, BackendPolicy};
+
+        let ckt = parse_netlist(&ladder_netlist(stages, r_k, i_ua)).unwrap();
+        let solver = DcSolver::new();
+
+        let mut dense_ws = EngineWorkspace::for_circuit(&ckt);
+        dense_ws.set_backend_policy(BackendPolicy {
+            mode: BackendMode::ForceDense,
+            ..BackendPolicy::default()
+        });
+        let dense = solver.solve_with(&ckt, &mut dense_ws).unwrap();
+
+        let mut sparse_ws = EngineWorkspace::for_circuit(&ckt);
+        sparse_ws.set_backend_policy(BackendPolicy {
+            mode: BackendMode::ForceSparse,
+            ..BackendPolicy::default()
+        });
+        sparse_ws.enable_stats();
+        let sparse = solver.solve_with(&ckt, &mut sparse_ws).unwrap();
+
+        for (u, v) in dense.raw().iter().zip(sparse.raw()) {
+            prop_assert!(
+                (u - v).abs() <= 1e-6 * u.abs().max(1.0),
+                "dense {u} vs sparse {v}"
+            );
+        }
+        let stats = sparse_ws.take_stats().unwrap();
+        prop_assert_eq!(stats.dense_real_factorizations, 0);
+        prop_assert!(stats.sparse_real_factorizations >= 1);
+        prop_assert_eq!(
+            stats.sparse_real_factorizations + stats.sparse_real_refactorizations,
+            stats.newton_iterations
+        );
+        prop_assert_eq!(
+            stats.symbolic_cache_misses, 1,
+            "one topology, one symbolic analysis"
+        );
+    }
+
+    /// Telemetry is inert on the sparse backend too: a ForceSparse solve
+    /// with a probe installed is bit-identical to one without.
+    #[test]
+    fn probe_is_inert_on_the_sparse_backend(
+        stages in 33usize..64,
+        r_k in 1.0f64..100.0,
+        i_ua in -3.0f64..3.0,
+    ) {
+        use si_analog::dc::DcSolver;
+        use si_analog::engine::EngineWorkspace;
+        use si_analog::solver::{BackendMode, BackendPolicy};
+
+        let ckt = parse_netlist(&ladder_netlist(stages, r_k, i_ua)).unwrap();
+        let solver = DcSolver::new();
+        let policy = BackendPolicy {
+            mode: BackendMode::ForceSparse,
+            ..BackendPolicy::default()
+        };
+
+        let mut bare_ws = EngineWorkspace::for_circuit(&ckt);
+        bare_ws.set_backend_policy(policy);
+        let bare = solver.solve_with(&ckt, &mut bare_ws).unwrap();
+
+        let mut probed_ws = EngineWorkspace::for_circuit(&ckt);
+        probed_ws.set_backend_policy(policy);
+        probed_ws.enable_stats();
+        let probed = solver.solve_with(&ckt, &mut probed_ws).unwrap();
+
+        prop_assert_eq!(bare.raw(), probed.raw());
+        let stats = probed_ws.take_stats().unwrap();
+        prop_assert!(stats.sparse_real_factorizations >= 1);
     }
 }

@@ -7,8 +7,10 @@ use std::hint::black_box;
 
 use si_analog::ac::{log_frequencies, AcAnalysis, AcProbe, AcStimulus};
 use si_analog::acnoise::NoiseAnalysis;
-use si_analog::cells::ClassAbCellDesign;
+use si_analog::cells::{si_cell_chain, ClassAbCellDesign};
 use si_analog::dc::DcSolver;
+use si_analog::engine::EngineWorkspace;
+use si_analog::solver::{BackendMode, BackendPolicy};
 use si_dsp::signal::GaussianNoise;
 use si_dsp::welch::{goertzel_power, welch};
 use si_dsp::window::Window;
@@ -49,6 +51,46 @@ fn bench_ac(c: &mut Criterion) {
     });
 }
 
+// Dense-vs-sparse complex backend pairs: AC sweeps over the delay-line
+// cell chain, where each frequency point refactors the same structure.
+fn bench_ac_backend_pairs(c: &mut Criterion) {
+    let freqs = log_frequencies(1e3, 1e8, 20).unwrap();
+    for stages in [8usize, 48, 160] {
+        let line = si_cell_chain(stages).unwrap();
+        let op = DcSolver::new()
+            .with_initial_guess(line.initial_guess.clone())
+            .solve(&line.circuit)
+            .unwrap();
+        let analysis = AcAnalysis::default();
+        let stimulus = AcStimulus::CurrentInto(line.input);
+        let probe = AcProbe::NodeVoltage(*line.stage_nodes.last().unwrap());
+        for (tag, mode) in [
+            ("dense", BackendMode::ForceDense),
+            ("sparse", BackendMode::ForceSparse),
+        ] {
+            c.bench_function(&format!("ac_cell_chain_{stages}_{tag}"), |b| {
+                let mut ws = EngineWorkspace::for_circuit(&line.circuit);
+                ws.set_backend_policy(BackendPolicy {
+                    mode,
+                    ..BackendPolicy::default()
+                });
+                b.iter(|| {
+                    analysis
+                        .response_with(
+                            black_box(&line.circuit),
+                            &op,
+                            &stimulus,
+                            &probe,
+                            &freqs,
+                            &mut ws,
+                        )
+                        .unwrap()
+                })
+            });
+        }
+    }
+}
+
 fn bench_welch_goertzel(c: &mut Criterion) {
     let n = 1 << 15;
     let noise: Vec<f64> = GaussianNoise::new(1.0, 3).take(n).collect();
@@ -60,5 +102,10 @@ fn bench_welch_goertzel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ac, bench_welch_goertzel);
+criterion_group!(
+    benches,
+    bench_ac,
+    bench_ac_backend_pairs,
+    bench_welch_goertzel
+);
 criterion_main!(benches);

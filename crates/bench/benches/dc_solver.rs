@@ -5,10 +5,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use si_analog::cells::{ClassAbCellDesign, CmffDesign};
+use si_analog::cells::{si_cell_chain, ClassAbCellDesign, CmffDesign};
 use si_analog::dc::DcSolver;
 use si_analog::engine::EngineWorkspace;
 use si_analog::linalg::Matrix;
+use si_analog::solver::{BackendMode, BackendPolicy};
 
 fn bench_lu(c: &mut Criterion) {
     let n = 32;
@@ -76,5 +77,39 @@ fn bench_cmff_dc(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lu, bench_cell_dc, bench_cmff_dc);
+// Dense-vs-sparse backend pairs on the delay-line cell chain at small,
+// medium, and large stage counts: the crossover where the sparse
+// structure-caching path overtakes the dense kernel is the number that
+// justifies the auto-cutover default.
+fn bench_backend_pairs(c: &mut Criterion) {
+    for stages in [8usize, 48, 160] {
+        let line = si_cell_chain(stages).unwrap();
+        let solver = DcSolver::new().with_initial_guess(line.initial_guess.clone());
+        for (tag, mode) in [
+            ("dense", BackendMode::ForceDense),
+            ("sparse", BackendMode::ForceSparse),
+        ] {
+            c.bench_function(&format!("dc_cell_chain_{stages}_{tag}"), |b| {
+                let mut ws = EngineWorkspace::for_circuit(&line.circuit);
+                ws.set_backend_policy(BackendPolicy {
+                    mode,
+                    ..BackendPolicy::default()
+                });
+                b.iter(|| {
+                    solver
+                        .solve_with(black_box(&line.circuit), &mut ws)
+                        .unwrap()
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_lu,
+    bench_cell_dc,
+    bench_cmff_dc,
+    bench_backend_pairs
+);
 criterion_main!(benches);
