@@ -262,6 +262,115 @@ impl Circuit {
         h
     }
 
+    /// A deterministic hash of the circuit's element *values*: resistances,
+    /// capacitances, device geometries and model parameters, and source
+    /// waveforms — everything [`Circuit::structure_fingerprint`] deliberately
+    /// excludes. The pair `(structure_fingerprint, value_fingerprint)`
+    /// therefore identifies a circuit up to node naming: structure keys the
+    /// sparse solver's symbolic cache, and structure ⊕ values keys a
+    /// content-addressed *result* cache (`si-service` job keys), where two
+    /// jobs may only share a cache slot if they would solve identically.
+    ///
+    /// Same FNV-1a rationale as [`Circuit::structure_fingerprint`]: the
+    /// hash must be stable across processes and runs. Float values are
+    /// mixed via their IEEE-754 bit patterns, so any representable change
+    /// — however small — produces a different fingerprint.
+    #[must_use]
+    pub fn value_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let mut mixf = |v: f64| mix(v.to_bits());
+        let mix_waveform = |w: &Waveform, mixf: &mut dyn FnMut(f64)| match w {
+            Waveform::Dc(v) => {
+                mixf(1.0);
+                mixf(*v);
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                phase,
+            } => {
+                mixf(2.0);
+                mixf(*offset);
+                mixf(*amplitude);
+                mixf(*frequency);
+                mixf(*phase);
+            }
+            Waveform::Pulse {
+                low,
+                high,
+                period,
+                duty_low,
+            } => {
+                mixf(3.0);
+                mixf(*low);
+                mixf(*high);
+                mixf(*period);
+                mixf(*duty_low);
+            }
+            Waveform::Pwl(points) => {
+                mixf(4.0);
+                mixf(points.len() as f64);
+                for &(t, v) in points {
+                    mixf(t);
+                    mixf(v);
+                }
+            }
+        };
+        for e in &self.elements {
+            match &e.kind {
+                ElementKind::Resistor { device, .. } => {
+                    mixf(1.0);
+                    mixf(device.r.0);
+                }
+                ElementKind::Capacitor { device, .. } => {
+                    mixf(2.0);
+                    mixf(device.c.0);
+                }
+                ElementKind::CurrentSource { waveform, .. } => {
+                    mixf(3.0);
+                    mix_waveform(waveform, &mut mixf);
+                }
+                ElementKind::VoltageSource { waveform, .. } => {
+                    mixf(4.0);
+                    mix_waveform(waveform, &mut mixf);
+                }
+                ElementKind::Mosfet { params, .. } => {
+                    mixf(5.0);
+                    mixf(params.polarity.sign());
+                    mixf(params.vt0.0);
+                    mixf(params.kp);
+                    mixf(params.w_um);
+                    mixf(params.l_um);
+                    mixf(params.lambda);
+                    mixf(params.gamma);
+                    mixf(params.phi);
+                    mixf(params.cox_per_um2);
+                }
+                ElementKind::Switch { device, .. } => {
+                    mixf(6.0);
+                    mixf(device.ron.0);
+                    mixf(device.roff.0);
+                    mixf(match device.phase {
+                        crate::device::switch::ClockPhase::Phi1 => 1.0,
+                        crate::device::switch::ClockPhase::Phi2 => 2.0,
+                        crate::device::switch::ClockPhase::AlwaysOn => 3.0,
+                        crate::device::switch::ClockPhase::AlwaysOff => 4.0,
+                    });
+                }
+            }
+        }
+        h
+    }
+
     /// The name of a node.
     ///
     /// # Panics
@@ -729,6 +838,54 @@ mod tests {
             base.structure_fingerprint(),
             rewired.structure_fingerprint()
         );
+    }
+
+    #[test]
+    fn value_fingerprint_tracks_values_not_structure_alone() {
+        let build = |r: f64, i: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.resistor("R1", a, b, Ohms(r)).unwrap();
+            c.current_source("I1", Circuit::GROUND, a, Amps(i)).unwrap();
+            c
+        };
+        let base = build(1e3, 1e-3);
+        // Same values, fresh build: identical fingerprint (process-stable).
+        assert_eq!(
+            base.value_fingerprint(),
+            build(1e3, 1e-3).value_fingerprint()
+        );
+        // One element value changes: fingerprint changes, structure stays.
+        let tweaked = build(2e3, 1e-3);
+        assert_ne!(base.value_fingerprint(), tweaked.value_fingerprint());
+        assert_eq!(
+            base.structure_fingerprint(),
+            tweaked.structure_fingerprint()
+        );
+        // Retuning a source in place changes values, keeps structure.
+        let mut retuned = build(1e3, 1e-3);
+        retuned
+            .update_current_source("I1", Waveform::Dc(7e-3))
+            .unwrap();
+        assert_ne!(base.value_fingerprint(), retuned.value_fingerprint());
+        assert_eq!(
+            base.structure_fingerprint(),
+            retuned.structure_fingerprint()
+        );
+        // Swapping a DC waveform for a Sine at the same DC value differs.
+        let mut sine = build(1e3, 1e-3);
+        sine.update_current_source(
+            "I1",
+            Waveform::Sine {
+                offset: 1e-3,
+                amplitude: 0.0,
+                frequency: 1e3,
+                phase: 0.0,
+            },
+        )
+        .unwrap();
+        assert_ne!(base.value_fingerprint(), sine.value_fingerprint());
     }
 
     #[test]

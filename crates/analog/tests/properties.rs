@@ -432,3 +432,75 @@ proptest! {
         prop_assert!(stats.sparse_real_factorizations >= 1);
     }
 }
+
+proptest! {
+    /// Content-addressing contract: changing any single element *value*
+    /// changes the value fingerprint while leaving the structure
+    /// fingerprint untouched — so caches keyed on (structure, values)
+    /// distinguish every retuning but share symbolic work across them.
+    #[test]
+    fn value_fingerprint_separates_values_from_structure(
+        r1_k in 0.1f64..100.0,
+        r2_k in 0.1f64..100.0,
+        i_ma in 0.01f64..10.0,
+    ) {
+        use si_analog::netlist::Circuit;
+        use si_analog::units::{Amps, Ohms};
+
+        let build = |r_k: f64, i_ma: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.resistor("R1", a, b, Ohms(r_k * 1e3)).unwrap();
+            c.resistor("R2", b, Circuit::GROUND, Ohms(1e3)).unwrap();
+            c.current_source("I1", Circuit::GROUND, a, Amps(i_ma * 1e-3)).unwrap();
+            c
+        };
+
+        let base = build(r1_k, i_ma);
+        // Deterministic: a fresh identical build hashes identically.
+        prop_assert_eq!(base.value_fingerprint(), build(r1_k, i_ma).value_fingerprint());
+        prop_assert_eq!(base.structure_fingerprint(), build(r1_k, i_ma).structure_fingerprint());
+
+        // One element value differs → distinct value fingerprint, same
+        // structure fingerprint.
+        prop_assume!(r1_k.to_bits() != r2_k.to_bits());
+        let other = build(r2_k, i_ma);
+        prop_assert_ne!(base.value_fingerprint(), other.value_fingerprint());
+        prop_assert_eq!(base.structure_fingerprint(), other.structure_fingerprint());
+    }
+
+    /// Retuning a source in place is invisible to the structure key: the
+    /// workspace keyed on structure stays warm while the value key moves
+    /// with every distinct drive level.
+    #[test]
+    fn retuned_sources_keep_structure_keys_stable(
+        i0_ma in 0.01f64..10.0,
+        i1_ma in 0.01f64..10.0,
+    ) {
+        use si_analog::device::Waveform;
+        use si_analog::netlist::Circuit;
+        use si_analog::units::{Amps, Ohms};
+
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GROUND, Ohms(1e3)).unwrap();
+        c.current_source("I1", Circuit::GROUND, a, Amps(i0_ma * 1e-3)).unwrap();
+        let structure0 = c.structure_fingerprint();
+        let values0 = c.value_fingerprint();
+
+        c.update_current_source("I1", Waveform::Dc(i1_ma * 1e-3)).unwrap();
+        prop_assert_eq!(c.structure_fingerprint(), structure0);
+        if i0_ma.to_bits() == i1_ma.to_bits() {
+            prop_assert_eq!(c.value_fingerprint(), values0);
+        } else {
+            prop_assert_ne!(c.value_fingerprint(), values0);
+        }
+
+        // Round-trip back to the original drive restores the value key:
+        // the fingerprint is a function of state, not of edit history.
+        c.update_current_source("I1", Waveform::Dc(i0_ma * 1e-3)).unwrap();
+        prop_assert_eq!(c.structure_fingerprint(), structure0);
+        prop_assert_eq!(c.value_fingerprint(), values0);
+    }
+}

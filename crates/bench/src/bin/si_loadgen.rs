@@ -1,0 +1,303 @@
+//! `si_loadgen`: drives the job service and reports throughput, latency
+//! percentiles, and cache effectiveness as a [`RunReport`].
+//!
+//! Two phases, same client threads:
+//!
+//! 1. **cold** — every job is distinct, so every submission pays for a
+//!    full solve. This measures raw engine throughput through the pool.
+//! 2. **hot** — 90 % of submissions repeat a small working set that the
+//!    cold phase already solved, so they resolve as cache hits or
+//!    coalesced flights. The throughput ratio hot/cold is the headline
+//!    `speedup` metric; the acceptance bar is ≥ 5×.
+//!
+//! ```text
+//! si_loadgen [--http] [--clients N] [--cold N] [--hot N]
+//!            [--stages N] [--steps N] [--workers N] [--queue N]
+//! ```
+//!
+//! By default the service is driven in-process (deterministic, no
+//! sockets); `--http` binds a real loopback `HttpServer` and issues the
+//! same workload as HTTP requests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use si_bench::run_report::{experiments_dir, RunReport};
+use si_service::http::{http_request, HttpServer};
+use si_service::jobspec::JobSpec;
+use si_service::service::{ServiceConfig, SiService};
+use si_service::ServiceError;
+
+struct Args {
+    http: bool,
+    clients: usize,
+    cold: usize,
+    hot: usize,
+    stages: usize,
+    steps: usize,
+    workers: usize,
+    queue: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            http: false,
+            clients: 4,
+            cold: 24,
+            hot: 240,
+            stages: 32,
+            steps: 96,
+            workers: 4,
+            queue: 64,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut int = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse()
+                .map_err(|_| format!("{name} must be an integer"))
+        };
+        match flag.as_str() {
+            "--http" => args.http = true,
+            "--clients" => args.clients = int("--clients")?.max(1),
+            "--cold" => args.cold = int("--cold")?.max(1),
+            "--hot" => args.hot = int("--hot")?.max(1),
+            "--stages" => args.stages = int("--stages")?.max(1),
+            "--steps" => args.steps = int("--steps")?.max(1),
+            "--workers" => args.workers = int("--workers")?.max(1),
+            "--queue" => args.queue = int("--queue")?.max(1),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `k`-th distinct transient job: same structure, one element value
+/// (the input current) retuned, so every job has its own cache key.
+fn job(args: &Args, k: usize) -> JobSpec {
+    JobSpec::DelayLineTran {
+        stages: args.stages,
+        bias_ua: 20.0,
+        input_ua: 0.5 + 0.01 * k as f64,
+        steps: args.steps,
+        dt_ns: 50.0,
+        clock_hz: 1e6,
+    }
+}
+
+/// How one client submits one job; returns latency and whether the
+/// service reported it as served-from-cache.
+trait Client: Send + Sync {
+    fn submit(&self, spec: &JobSpec) -> Result<(Duration, bool), ServiceError>;
+}
+
+struct InProcess(Arc<SiService>);
+
+impl Client for InProcess {
+    fn submit(&self, spec: &JobSpec) -> Result<(Duration, bool), ServiceError> {
+        let start = Instant::now();
+        let (_, cached) = self.0.submit_blocking(spec, None)?;
+        Ok((start.elapsed(), cached))
+    }
+}
+
+struct OverHttp(std::net::SocketAddr);
+
+impl Client for OverHttp {
+    fn submit(&self, spec: &JobSpec) -> Result<(Duration, bool), ServiceError> {
+        let body = spec.to_json().to_string_compact();
+        let start = Instant::now();
+        let (status, payload) = http_request(self.0, "POST", "/v1/jobs", Some(&body))
+            .map_err(|e| ServiceError::Analysis(format!("http: {e}")))?;
+        let elapsed = start.elapsed();
+        if status == 429 {
+            return Err(ServiceError::Overloaded { queue_capacity: 0 });
+        }
+        if status != 200 {
+            return Err(ServiceError::Analysis(format!(
+                "status {status}: {payload}"
+            )));
+        }
+        let cached = si_service::json::parse(&payload)
+            .ok()
+            .and_then(|v| match v.get("cached") {
+                Some(si_service::json::Json::Bool(b)) => Some(*b),
+                _ => None,
+            })
+            .unwrap_or(false);
+        Ok((elapsed, cached))
+    }
+}
+
+struct PhaseResult {
+    wall: Duration,
+    latencies: Vec<Duration>,
+    cached: u64,
+    overloaded: u64,
+    errors: u64,
+}
+
+/// Fans `specs` out over `clients` threads round-robin and collects
+/// latencies. Deterministic job order per thread.
+fn run_phase(client: &dyn Client, specs: &[JobSpec], clients: usize) -> PhaseResult {
+    let cached = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(specs.len()));
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let cached = &cached;
+            let overloaded = &overloaded;
+            let errors = &errors;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut mine = Vec::new();
+                for spec in specs.iter().skip(c).step_by(clients) {
+                    match client.submit(spec) {
+                        Ok((latency, was_cached)) => {
+                            mine.push(latency);
+                            if was_cached {
+                                cached.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ServiceError::Overloaded { .. }) => {
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    PhaseResult {
+        wall: start.elapsed(),
+        latencies,
+        cached: cached.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let service = Arc::new(SiService::new(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        default_deadline: None,
+    }));
+    let mut server = None;
+    let client: Box<dyn Client> = if args.http {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
+        let addr = srv.local_addr();
+        server = Some(srv);
+        Box::new(OverHttp(addr))
+    } else {
+        Box::new(InProcess(Arc::clone(&service)))
+    };
+
+    // Cold: every spec distinct → all misses, all real solves.
+    let cold_specs: Vec<JobSpec> = (0..args.cold).map(|k| job(&args, k)).collect();
+    let cold = run_phase(client.as_ref(), &cold_specs, args.clients);
+
+    // Hot: 90 % duplicates drawn from the cold working set (already
+    // cached), 10 % fresh. The duplicate index cycles deterministically.
+    let hot_specs: Vec<JobSpec> = (0..args.hot)
+        .map(|k| {
+            if k % 10 == 9 {
+                job(&args, args.cold + k) // fresh → miss
+            } else {
+                job(&args, k % args.cold) // repeat → hit
+            }
+        })
+        .collect();
+    let hot = run_phase(client.as_ref(), &hot_specs, args.clients);
+
+    let throughput = |n: usize, wall: Duration| n as f64 / wall.as_secs_f64().max(1e-9);
+    let throughput_cold = throughput(args.cold, cold.wall);
+    let throughput_hot = throughput(args.hot, hot.wall);
+    let speedup = throughput_hot / throughput_cold.max(1e-9);
+
+    let metrics = service.metrics();
+    let hit_ratio = metrics
+        .get("cache")
+        .and_then(|c| c.get("hit_ratio"))
+        .and_then(si_service::json::Json::as_f64)
+        .unwrap_or(0.0);
+
+    let mut report = RunReport::new("si_loadgen");
+    report.note("mode", if args.http { "http" } else { "in_process" });
+    report.note(
+        "workload",
+        format!(
+            "{} cold + {} hot (90% duplicate) delay-line transients, {} stages x {} steps, {} clients",
+            args.cold, args.hot, args.stages, args.steps, args.clients
+        ),
+    );
+    report.metric("clients", args.clients as f64);
+    report.metric("workers", args.workers as f64);
+    report.metric("throughput_cold_jps", throughput_cold);
+    report.metric("throughput_hot_jps", throughput_hot);
+    report.metric("speedup", speedup);
+    report.metric("cache_hit_ratio", hit_ratio);
+    report.metric("hot_cached_responses", hot.cached as f64);
+    report.metric("latency_cold_p50_us", percentile_us(&cold.latencies, 0.50));
+    report.metric("latency_hot_p50_us", percentile_us(&hot.latencies, 0.50));
+    report.metric("latency_hot_p95_us", percentile_us(&hot.latencies, 0.95));
+    report.metric("latency_hot_p99_us", percentile_us(&hot.latencies, 0.99));
+    report.metric("overloaded", (cold.overloaded + hot.overloaded) as f64);
+    report.metric("errors", (cold.errors + hot.errors) as f64);
+    report.set_solver(service.engine_stats());
+
+    let dir = experiments_dir();
+    match report.write(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!(
+        "cold {throughput_cold:.1} jobs/s | hot {throughput_hot:.1} jobs/s | speedup {speedup:.1}x | hit ratio {hit_ratio:.3}"
+    );
+
+    if let Some(mut srv) = server.take() {
+        srv.shutdown();
+    } else {
+        service.shutdown();
+    }
+
+    if speedup < 5.0 {
+        eprintln!("FAIL: cache speedup {speedup:.2}x below the 5x acceptance bar");
+        std::process::exit(1);
+    }
+    if cold.errors + hot.errors > 0 {
+        eprintln!("FAIL: {} job errors", cold.errors + hot.errors);
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,17 @@ pub enum SiError {
         /// The offending value.
         value: usize,
     },
+    /// A digital control input (quantizer bit, chopper sign) was not ±1.
+    ///
+    /// These used to be `panic!`s; they are typed errors so a malformed
+    /// job handed to a long-lived worker (e.g. the `si-service` pool) can
+    /// never abort its thread.
+    InvalidBit {
+        /// What the bit was driving (`"dac input"`, `"chopper sign"`).
+        what: &'static str,
+        /// The offending value.
+        value: i8,
+    },
 }
 
 impl fmt::Display for SiError {
@@ -29,6 +40,9 @@ impl fmt::Display for SiError {
             }
             SiError::InvalidSize { what, value } => {
                 write!(f, "invalid {what}: {value}")
+            }
+            SiError::InvalidBit { what, value } => {
+                write!(f, "invalid {what}: {value} (must be ±1)")
             }
         }
     }
@@ -49,6 +63,10 @@ mod tests {
             },
             SiError::InvalidSize {
                 what: "cell count",
+                value: 0,
+            },
+            SiError::InvalidBit {
+                what: "dac input",
                 value: 0,
             },
         ];

@@ -135,15 +135,19 @@ impl OneBitDac {
 
     /// Converts a ±1 decision to the differential feedback current.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bit` is not ±1.
-    #[must_use]
-    pub fn convert(&self, bit: i8) -> Diff {
+    /// Returns [`SiError::InvalidBit`] if `bit` is not ±1 — a typed
+    /// rejection rather than a panic, so a malformed bitstream handed to a
+    /// long-lived worker cannot abort its thread.
+    pub fn convert(&self, bit: i8) -> Result<Diff, SiError> {
         match bit {
-            1 => Diff::from_differential(self.level * (1.0 + self.mismatch)),
-            -1 => Diff::from_differential(-self.level * (1.0 - self.mismatch)),
-            other => panic!("dac input must be ±1, got {other}"),
+            1 => Ok(Diff::from_differential(self.level * (1.0 + self.mismatch))),
+            -1 => Ok(Diff::from_differential(-self.level * (1.0 - self.mismatch))),
+            other => Err(SiError::InvalidBit {
+                what: "dac input",
+                value: other,
+            }),
         }
     }
 }
@@ -197,23 +201,29 @@ mod tests {
     #[test]
     fn dac_levels() {
         let dac = OneBitDac::new(6e-6).unwrap();
-        assert_eq!(dac.convert(1).dm(), 6e-6);
-        assert_eq!(dac.convert(-1).dm(), -6e-6);
+        assert_eq!(dac.convert(1).unwrap().dm(), 6e-6);
+        assert_eq!(dac.convert(-1).unwrap().dm(), -6e-6);
         assert_eq!(dac.level(), 6e-6);
     }
 
     #[test]
     fn dac_mismatch_skews_levels() {
         let dac = OneBitDac::with_mismatch(6e-6, 0.01).unwrap();
-        assert!((dac.convert(1).dm() - 6.06e-6).abs() < 1e-18);
-        assert!((dac.convert(-1).dm() + 5.94e-6).abs() < 1e-18);
+        assert!((dac.convert(1).unwrap().dm() - 6.06e-6).abs() < 1e-18);
+        assert!((dac.convert(-1).unwrap().dm() + 5.94e-6).abs() < 1e-18);
     }
 
     #[test]
-    #[should_panic(expected = "dac input must be ±1")]
-    fn dac_panics_on_invalid_bit() {
+    fn dac_rejects_invalid_bit_with_typed_error() {
         let dac = OneBitDac::new(1e-6).unwrap();
-        let _ = dac.convert(0);
+        assert_eq!(
+            dac.convert(0),
+            Err(SiError::InvalidBit {
+                what: "dac input",
+                value: 0,
+            })
+        );
+        assert!(dac.convert(3).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! loops, and the unit is fixed by this type's own documentation and its
 //! constructors.
 
+use crate::SiError;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
@@ -91,15 +92,19 @@ impl Diff {
     /// `−1` swaps (chopper modulation is lossless wire routing, not an
     /// analog multiply).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sign` is not `+1` or `−1`.
-    #[must_use]
-    pub fn chopped(self, sign: i8) -> Diff {
+    /// Returns [`SiError::InvalidBit`] if `sign` is not `+1` or `−1` — a
+    /// typed rejection rather than a panic, so untrusted control sequences
+    /// cannot abort a simulation thread.
+    pub fn chopped(self, sign: i8) -> Result<Diff, SiError> {
         match sign {
-            1 => self,
-            -1 => self.swapped(),
-            other => panic!("chopper sign must be ±1, got {other}"),
+            1 => Ok(self),
+            -1 => Ok(self.swapped()),
+            other => Err(SiError::InvalidBit {
+                what: "chopper sign",
+                value: other,
+            }),
         }
     }
 
@@ -205,14 +210,20 @@ mod tests {
     #[test]
     fn chopping() {
         let s = Diff::new(3e-6, 1e-6);
-        assert_eq!(s.chopped(1), s);
-        assert_eq!(s.chopped(-1), s.swapped());
+        assert_eq!(s.chopped(1).unwrap(), s);
+        assert_eq!(s.chopped(-1).unwrap(), s.swapped());
     }
 
     #[test]
-    #[should_panic(expected = "chopper sign must be ±1")]
-    fn invalid_chop_sign_panics() {
-        let _ = Diff::ZERO.chopped(0);
+    fn invalid_chop_sign_is_typed_error() {
+        assert_eq!(
+            Diff::ZERO.chopped(0),
+            Err(SiError::InvalidBit {
+                what: "chopper sign",
+                value: 0,
+            })
+        );
+        assert!(Diff::ZERO.chopped(2).is_err());
     }
 
     #[test]

@@ -208,8 +208,9 @@ mod tests {
             let x = Diff::from_differential(((n * 7 + 3) % 11) as f64 * 1e-7);
             let y_plain = plain.process(x).dm();
             let y_mirr = mirrored
-                .process(x.chopped(chop_in.next_sign()))
+                .process(x.chopped(chop_in.next_sign()).unwrap())
                 .chopped(chop_out.next_sign())
+                .unwrap()
                 .dm();
             assert!(
                 (y_plain - y_mirr).abs() < 1e-15,

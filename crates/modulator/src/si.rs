@@ -246,8 +246,16 @@ impl Modulator for SiModulator {
         // the single-sample loop delay of the delaying-integrator topology.
         self.last_bit = self.quantizer.quantize(self.int2.output());
         let noise = Diff::from_differential(self.noise.sample());
-        let fb1 = self.dac1.convert(self.last_bit);
-        let fb2 = self.dac2.convert(self.last_bit);
+        // `quantize` only ever returns ±1, so the DACs' typed rejection of
+        // other bits is unreachable from inside the loop.
+        let fb1 = self
+            .dac1
+            .convert(self.last_bit)
+            .expect("quantizer bit is ±1");
+        let fb2 = self
+            .dac2
+            .convert(self.last_bit)
+            .expect("quantizer bit is ±1");
         // Integrator gains are applied inside the blocks; the DAC levels
         // already carry the fb coefficients.
         let v1 = self.int1.process(input + noise - fb1);
@@ -333,10 +341,20 @@ impl ChopperSiModulator {
         self.last_bit = self.quantizer.quantize(self.int2.output());
         // Input chopper (wire swap); circuit noise enters physically
         // *after* the chopper — this is what chopping protects against.
-        let chopped = input.chopped(self.chop_in.next_sign());
+        // `next_sign` and `quantize` only ever produce ±1, so the typed
+        // rejections below are unreachable from inside the loop.
+        let chopped = input
+            .chopped(self.chop_in.next_sign())
+            .expect("chop sequence sign is ±1");
         let noise = Diff::from_differential(self.noise.sample());
-        let fb1 = self.dac1.convert(self.last_bit);
-        let fb2 = self.dac2.convert(self.last_bit);
+        let fb1 = self
+            .dac1
+            .convert(self.last_bit)
+            .expect("quantizer bit is ±1");
+        let fb2 = self
+            .dac2
+            .convert(self.last_bit)
+            .expect("quantizer bit is ±1");
         let v1 = self.int1.process(chopped + noise - fb1);
         self.int2.process(v1 - fb2);
         self.last_bit

@@ -1,0 +1,90 @@
+//! `si-serve`: the simulation job service daemon.
+//!
+//! ```text
+//! si_serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms MS]
+//! ```
+//!
+//! Prints the bound address on stdout (`listening on <addr>`) once ready,
+//! so scripts can bind port 0 and scrape the real port. Runs until killed;
+//! every admitted job finishes before exit thanks to the pool's drain.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use si_service::http::HttpServer;
+use si_service::service::{ServiceConfig, SiService};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    timeout_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 4,
+        queue: 64,
+        timeout_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?;
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer".to_string())?;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms must be an integer".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: si_serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms MS]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let service = Arc::new(SiService::new(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        default_deadline: args.timeout_ms.map(Duration::from_millis),
+    }));
+    let server = match HttpServer::bind(&args.addr, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    // Serve until the process is killed; the accept thread owns the loop.
+    loop {
+        std::thread::park();
+    }
+}

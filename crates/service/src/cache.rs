@@ -1,0 +1,281 @@
+//! The content-addressed result cache with single-flight deduplication.
+//!
+//! Keys are [`JobSpec::job_key`](crate::jobspec::JobSpec::job_key) values;
+//! entries are `Arc`-shared [`JobOutput`](crate::jobspec::JobOutput)s.
+//! When several clients ask for the same key concurrently, exactly one
+//! (the *leader*) computes; the rest (*followers*) block on a condvar and
+//! receive the leader's result — the "single-flight" discipline that
+//! keeps a thundering herd of identical jobs from multiplying solver
+//! work. Errors are handed to waiting followers but never cached: a
+//! transient non-convergence should not poison the key forever.
+//!
+//! The map is sharded by the low bits of the key so unrelated jobs do not
+//! contend on one lock; each shard's critical sections only move `Arc`s.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::ServiceError;
+use crate::jobspec::JobOutput;
+
+const SHARDS: usize = 16;
+
+type JobResult = Result<Arc<JobOutput>, ServiceError>;
+
+/// One in-progress computation that followers wait on.
+#[derive(Debug)]
+struct Flight {
+    slot: Mutex<Option<JobResult>>,
+    done: Condvar,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Ready(Arc<JobOutput>),
+    InFlight(Arc<Flight>),
+}
+
+/// What [`ResultCache::get_or_lead`] tells the caller to do.
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// The result was already cached.
+    Hit(Arc<JobOutput>),
+    /// Another thread is computing this key; the caller was blocked until
+    /// it finished and this is its result.
+    Coalesced(JobResult),
+    /// The caller is the leader: it must compute and then call
+    /// [`ResultCache::complete`] with the outcome.
+    Lead(LeadGuard),
+}
+
+/// Proof of leadership for one key. The leader *must* consume the guard
+/// via [`ResultCache::complete`]; dropping it without completing would
+/// strand followers, so `Drop` completes with [`ServiceError::Canceled`]
+/// as a backstop (a panicking worker still wakes its followers).
+#[derive(Debug)]
+pub struct LeadGuard {
+    key: u64,
+    completed: bool,
+}
+
+/// Monotonic counters describing cache behavior since startup.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a ready entry.
+    pub hits: u64,
+    /// Lookups that became leaders (the job actually ran).
+    pub misses: u64,
+    /// Lookups that waited on another thread's in-flight computation.
+    pub coalesced: u64,
+    /// Ready entries currently resident.
+    pub entries: u64,
+}
+
+/// A sharded, single-flight, content-addressed cache of job results.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Looks up `key`; on a miss the caller becomes the leader and must
+    /// call [`ResultCache::complete`]. Blocks (briefly) if another thread
+    /// is already computing the key.
+    pub fn get_or_lead(&self, key: u64) -> CacheOutcome {
+        let flight = {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            match shard.get(&key) {
+                Some(Entry::Ready(out)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return CacheOutcome::Hit(Arc::clone(out));
+                }
+                Some(Entry::InFlight(flight)) => Arc::clone(flight),
+                None => {
+                    shard.insert(
+                        key,
+                        Entry::InFlight(Arc::new(Flight {
+                            slot: Mutex::new(None),
+                            done: Condvar::new(),
+                        })),
+                    );
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return CacheOutcome::Lead(LeadGuard {
+                        key,
+                        completed: false,
+                    });
+                }
+            }
+        };
+        // Follower: wait outside the shard lock.
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut slot = flight.slot.lock().expect("flight poisoned");
+        while slot.is_none() {
+            slot = flight.done.wait(slot).expect("flight poisoned");
+        }
+        CacheOutcome::Coalesced(slot.as_ref().expect("checked above").clone())
+    }
+
+    /// Publishes the leader's result: successes become ready entries,
+    /// failures evict the key. Either way, all followers wake with a
+    /// clone of `result`.
+    pub fn complete(&self, mut guard: LeadGuard, result: JobResult) {
+        guard.completed = true;
+        let key = guard.key;
+        let flight = {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            let prev = match &result {
+                Ok(out) => shard.insert(key, Entry::Ready(Arc::clone(out))),
+                Err(_) => shard.remove(&key),
+            };
+            match prev {
+                Some(Entry::InFlight(flight)) => Some(flight),
+                // A Ready entry can only appear here if the same key was
+                // completed twice, which leadership rules out; tolerate it.
+                _ => None,
+            }
+        };
+        if let Some(flight) = flight {
+            let mut slot = flight.slot.lock().expect("flight poisoned");
+            *slot = Some(result);
+            flight.done.notify_all();
+        }
+    }
+
+    /// A non-leading lookup: returns the cached result if ready, without
+    /// counting a hit or joining an in-flight computation. Used by
+    /// `GET /v1/jobs/:id`, which must not block or become a leader.
+    pub fn peek(&self, key: u64) -> Option<Arc<JobOutput>> {
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.get(&key) {
+            Some(Entry::Ready(out)) => Some(Arc::clone(out)),
+            _ => None,
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready(_)))
+                    .count() as u64
+            })
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+impl Drop for LeadGuard {
+    fn drop(&mut self) {
+        // `complete` marks the guard; reaching here un-completed means the
+        // leader unwound (panic or early return). There is no cache handle
+        // in the guard, so the service wraps leader execution in
+        // `catch_unwind`-free straight-line code and always completes; this
+        // flag is a debug tripwire rather than a recovery path.
+        debug_assert!(self.completed, "LeadGuard dropped without complete()");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn output(v: f64) -> Arc<JobOutput> {
+        Arc::new(JobOutput {
+            values: vec![v],
+            metrics: vec![],
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ResultCache::new();
+        let guard = match cache.get_or_lead(7) {
+            CacheOutcome::Lead(g) => g,
+            other => panic!("expected Lead, got {other:?}"),
+        };
+        cache.complete(guard, Ok(output(1.0)));
+        match cache.get_or_lead(7) {
+            CacheOutcome::Hit(out) => assert_eq!(out.values, vec![1.0]),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn followers_coalesce_onto_one_leader() {
+        let cache = Arc::new(ResultCache::new());
+        let guard = match cache.get_or_lead(42) {
+            CacheOutcome::Lead(g) => g,
+            other => panic!("expected Lead, got {other:?}"),
+        };
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            joins.push(thread::spawn(move || match cache.get_or_lead(42) {
+                CacheOutcome::Coalesced(Ok(out)) => out.values[0],
+                other => panic!("expected Coalesced, got {other:?}"),
+            }));
+        }
+        // Give followers time to park, then publish.
+        thread::sleep(std::time::Duration::from_millis(20));
+        cache.complete(guard, Ok(output(9.0)));
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 9.0);
+        }
+        assert_eq!(cache.stats().coalesced, 4);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn errors_propagate_but_are_not_cached() {
+        let cache = ResultCache::new();
+        let guard = match cache.get_or_lead(3) {
+            CacheOutcome::Lead(g) => g,
+            other => panic!("expected Lead, got {other:?}"),
+        };
+        cache.complete(guard, Err(ServiceError::Analysis("diverged".into())));
+        // The key is free again: the next lookup leads, not hits.
+        match cache.get_or_lead(3) {
+            CacheOutcome::Lead(g) => cache.complete(g, Ok(output(2.0))),
+            other => panic!("expected Lead after error, got {other:?}"),
+        }
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed service errors.
+//!
+//! Every failure mode a client can observe has its own variant, so both
+//! the HTTP layer (status codes) and in-process callers (soak tests,
+//! load generators) can match on *what* went wrong instead of parsing
+//! strings. The error is `Clone` because a single computation may be
+//! shared by many coalesced waiters: the leader's failure is handed to
+//! every follower of the same job key.
+
+use std::fmt;
+
+/// What went wrong with a job submission or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The bounded queue was full: the job was rejected at admission, not
+    /// queued. Clients should back off and retry.
+    Overloaded {
+        /// Queue capacity at the time of rejection.
+        queue_capacity: usize,
+    },
+    /// The job did not finish before its deadline. The result (if the
+    /// solve eventually completed) is discarded, not cached.
+    DeadlineExceeded,
+    /// The job was cancelled before a worker picked it up.
+    Canceled,
+    /// The job specification failed validation or could not be parsed.
+    InvalidSpec(String),
+    /// The underlying analysis failed (non-convergence, singular matrix,
+    /// bad parameters). Carries the stringified analog/modulator error.
+    Analysis(String),
+    /// The service is draining and no longer admits jobs.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_capacity } => {
+                write!(f, "overloaded: queue of {queue_capacity} jobs is full")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::Canceled => write!(f, "canceled"),
+            ServiceError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+            ServiceError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    /// The HTTP status code this error maps to on the wire.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::Overloaded { .. } => 429,
+            ServiceError::DeadlineExceeded => 504,
+            ServiceError::Canceled => 499,
+            ServiceError::InvalidSpec(_) => 400,
+            ServiceError::Analysis(_) => 422,
+            ServiceError::ShuttingDown => 503,
+        }
+    }
+
+    /// A short machine-readable code for the JSON error body.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline_exceeded",
+            ServiceError::Canceled => "canceled",
+            ServiceError::InvalidSpec(_) => "invalid_spec",
+            ServiceError::Analysis(_) => "analysis_failed",
+            ServiceError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_failure() {
+        let cases: Vec<(ServiceError, &str)> = vec![
+            (ServiceError::Overloaded { queue_capacity: 8 }, "queue of 8"),
+            (ServiceError::DeadlineExceeded, "deadline"),
+            (ServiceError::Canceled, "canceled"),
+            (ServiceError::InvalidSpec("bad stages".into()), "bad stages"),
+            (
+                ServiceError::Analysis("no convergence".into()),
+                "no convergence",
+            ),
+            (ServiceError::ShuttingDown, "shutting down"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn http_status_mapping_is_stable() {
+        assert_eq!(
+            ServiceError::Overloaded { queue_capacity: 1 }.http_status(),
+            429
+        );
+        assert_eq!(ServiceError::DeadlineExceeded.http_status(), 504);
+        assert_eq!(ServiceError::InvalidSpec(String::new()).http_status(), 400);
+        assert_eq!(ServiceError::ShuttingDown.http_status(), 503);
+    }
+}

@@ -1,0 +1,388 @@
+//! A hand-rolled HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! The build environment carries no network crates, and the service's
+//! needs are narrow: small JSON bodies, `Content-Length` framing,
+//! keep-alive, four routes. A thread per connection is plenty — real
+//! concurrency control lives in the worker pool behind the service, not
+//! in the listener.
+//!
+//! Routes:
+//!
+//! | Method | Path           | Behavior                                    |
+//! |--------|----------------|---------------------------------------------|
+//! | POST   | `/v1/jobs`     | Run (or fetch) a job; blocks until done     |
+//! | GET    | `/v1/jobs/:id` | Non-blocking lookup of a finished job       |
+//! | GET    | `/metrics`     | Service / cache / pool / engine counters    |
+//! | GET    | `/healthz`     | Liveness probe                              |
+//!
+//! `POST /v1/jobs` accepts an optional `"timeout_ms"` field beside the
+//! spec; admission-control rejections surface as `429` with a JSON error
+//! body, deadline misses as `504`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::error::ServiceError;
+use crate::jobspec::JobSpec;
+use crate::json::{self, Json};
+use crate::service::{job_response_body, SiService};
+
+const MAX_BODY_BYTES: usize = 1 << 20;
+const MAX_HEADER_LINES: usize = 100;
+
+/// A running HTTP server bound to a local address.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    service: Arc<SiService>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, service: Arc<SiService>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_service = Arc::clone(&service);
+        let accept_thread = thread::Builder::new()
+            .name("si-http-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&accept_service);
+                    let _ = thread::Builder::new()
+                        .name("si-http-conn".to_string())
+                        .spawn(move || handle_connection(stream, &service));
+                }
+            })?;
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            service,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and drains the service workers.
+    /// In-flight solves finish; new submissions are rejected.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.shutdown();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+}
+
+fn handle_connection(stream: TcpStream, service: &SiService) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) | Err(_) => return, // closed or malformed
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = route(&request, service);
+        if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for _ in 0..MAX_HEADER_LINES {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).unwrap_or_default();
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        499 => "Client Closed Request",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn error_body(err: &ServiceError) -> String {
+    Json::Object(vec![
+        ("error".to_string(), Json::String(err.code().to_string())),
+        ("message".to_string(), Json::String(err.to_string())),
+    ])
+    .to_string_compact()
+}
+
+fn route(request: &Request, service: &SiService) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => post_job(&request.body, service),
+        ("GET", "/metrics") => (200, service.metrics_json()),
+        ("GET", "/healthz") => (200, r#"{"status":"ok"}"#.to_string()),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            get_job(&path["/v1/jobs/".len()..], service)
+        }
+        ("POST" | "GET", _) => (
+            404,
+            r#"{"error":"not_found","message":"unknown route"}"#.to_string(),
+        ),
+        _ => (
+            405,
+            r#"{"error":"method_not_allowed","message":"use GET or POST"}"#.to_string(),
+        ),
+    }
+}
+
+fn post_job(body: &str, service: &SiService) -> (u16, String) {
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(msg) => {
+            let err = ServiceError::InvalidSpec(format!("body is not JSON: {msg}"));
+            return (err.http_status(), error_body(&err));
+        }
+    };
+    let spec = match JobSpec::from_json(&parsed) {
+        Ok(s) => s,
+        Err(err) => return (err.http_status(), error_body(&err)),
+    };
+    let deadline = parsed
+        .get("timeout_ms")
+        .and_then(Json::as_f64)
+        .filter(|ms| *ms > 0.0)
+        .map(|ms| Duration::from_secs_f64(ms / 1000.0));
+    match service.submit_blocking(&spec, deadline) {
+        Ok((out, cached)) => {
+            let id = SiService::job_id(&spec);
+            let body = job_response_body(&id, spec.kind(), cached, &out).to_string_compact();
+            (200, body)
+        }
+        Err(err) => (err.http_status(), error_body(&err)),
+    }
+}
+
+fn get_job(id: &str, service: &SiService) -> (u16, String) {
+    let Some(key) = SiService::parse_job_id(id) else {
+        let err = ServiceError::InvalidSpec("job ids are 16 hex digits".to_string());
+        return (err.http_status(), error_body(&err));
+    };
+    match service.lookup(key) {
+        Some((kind, Some(out))) => {
+            let body = job_response_body(id, kind, true, &out).to_string_compact();
+            (200, body)
+        }
+        Some((kind, None)) => (
+            404,
+            Json::Object(vec![
+                ("error".to_string(), Json::String("not_ready".to_string())),
+                ("kind".to_string(), Json::String(kind.to_string())),
+            ])
+            .to_string_compact(),
+        ),
+        None => (
+            404,
+            r#"{"error":"not_found","message":"unknown job id"}"#.to_string(),
+        ),
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client for tests and the load generator:
+/// one request per call, `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket errors; malformed responses yield
+/// `io::ErrorKind::InvalidData`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: si-serve\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+    let (head, payload) = response.split_once("\r\n\r\n").ok_or_else(bad)?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(bad)?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn serve() -> HttpServer {
+        let service = Arc::new(SiService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            default_deadline: None,
+        }));
+        HttpServer::bind("127.0.0.1:0", service).expect("bind loopback")
+    }
+
+    #[test]
+    fn health_and_404() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let (status, body) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+        let (status, _) = http_request(addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_then_get_round_trip() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let spec = r#"{"kind":"delay_line_dc","stages":3,"bias_ua":20,"input_ua":1}"#;
+        let (status, body) = http_request(addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("cached"), Some(&Json::Bool(false)));
+        let id = parsed.get("id").unwrap().as_str().unwrap().to_string();
+
+        // Second POST of the same spec: served from cache.
+        let (_, body2) = http_request(addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        let parsed2 = json::parse(&body2).unwrap();
+        assert_eq!(parsed2.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(parsed2.get("values"), parsed.get("values"));
+
+        // GET by id finds the cached job.
+        let (status, got) = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 200, "{got}");
+        // Metrics reflect one miss and one hit.
+        let (_, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
+        let m = json::parse(&metrics).unwrap();
+        assert_eq!(
+            m.get("cache").unwrap().get("hits").unwrap().as_f64(),
+            Some(1.0)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_bodies_get_400() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let (status, _) = http_request(addr, "POST", "/v1/jobs", Some("not json")).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) =
+            http_request(addr, "POST", "/v1/jobs", Some(r#"{"kind":"mystery"}"#)).unwrap();
+        assert_eq!(status, 400);
+        let bad_range = r#"{"kind":"delay_line_dc","stages":0,"bias_ua":20,"input_ua":1}"#;
+        let (status, _) = http_request(addr, "POST", "/v1/jobs", Some(bad_range)).unwrap();
+        assert_eq!(status, 400);
+        server.shutdown();
+    }
+}

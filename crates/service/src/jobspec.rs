@@ -1,0 +1,706 @@
+//! Job specifications: what a client asks the service to simulate.
+//!
+//! A [`JobSpec`] is a *value* — plain numbers, no handles — so two
+//! requests describing the same simulation are equal and hash to the same
+//! [`JobSpec::job_key`]. The key is the content address of the result:
+//! it folds the built circuit's structure fingerprint (MNA sparsity) and
+//! value fingerprint (element values, waveforms) together with the
+//! analysis parameters through the same process-stable FNV-1a used by
+//! [`si_analog::netlist::Circuit::structure_fingerprint`], so identical
+//! jobs coalesce across clients and runs while a one-ULP change to any
+//! parameter yields a different key.
+
+use si_analog::ac::{AcAnalysis, AcProbe, AcStimulus};
+use si_analog::cells::DelayLineDesign;
+use si_analog::dc::{set_current_source, DcSolver};
+use si_analog::device::switch::TwoPhaseClock;
+use si_analog::engine::EngineWorkspace;
+use si_analog::tran::{self, TranParams};
+use si_analog::units::{Amps, Farads, Seconds, Volts};
+use si_modulator::arch::SecondOrderTopology;
+use si_modulator::ideal::IdealModulator;
+use si_modulator::measure::MeasurementConfig;
+use si_modulator::sweep::sndr_sweep;
+
+use crate::error::ServiceError;
+use crate::json::Json;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher matching the netlist fingerprint constants.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Mixes a `u64` byte by byte (little-endian).
+    pub fn mix_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mixes a float through its bit pattern, so `-0.0 ≠ 0.0` and every
+    /// ULP counts — exactly the value-fingerprint convention.
+    pub fn mix_f64(&mut self, v: f64) {
+        self.mix_u64(v.to_bits());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The analyses the service can run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobSpec {
+    /// DC operating point of an N-stage SI delay line with a given input
+    /// current.
+    DelayLineDc {
+        /// Number of memory stages.
+        stages: usize,
+        /// Per-stage bias current, µA.
+        bias_ua: f64,
+        /// Input current, µA.
+        input_ua: f64,
+    },
+    /// Clocked transient of the delay line.
+    DelayLineTran {
+        /// Number of memory stages.
+        stages: usize,
+        /// Per-stage bias current, µA.
+        bias_ua: f64,
+        /// Input current, µA.
+        input_ua: f64,
+        /// Number of fixed time steps.
+        steps: usize,
+        /// Step size, ns.
+        dt_ns: f64,
+        /// Switch clock frequency, Hz.
+        clock_hz: f64,
+    },
+    /// Small-signal transimpedance of the delay line input stage over a
+    /// log frequency grid.
+    DelayLineAc {
+        /// Number of memory stages.
+        stages: usize,
+        /// Per-stage bias current, µA.
+        bias_ua: f64,
+        /// Input current (bias point), µA.
+        input_ua: f64,
+        /// Grid start, Hz.
+        f_lo_hz: f64,
+        /// Grid stop, Hz.
+        f_hi_hz: f64,
+        /// Number of log-spaced points.
+        points: usize,
+    },
+    /// SNDR-vs-level sweep of the ideal second-order ΔΣ modulator.
+    SndrSweep {
+        /// Full-scale input current, µA.
+        full_scale_ua: f64,
+        /// Input levels, dB relative to full scale.
+        levels_db: Vec<f64>,
+    },
+}
+
+/// The computed result of a job: a value vector (what was solved) and a
+/// list of named scalar metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Raw solved values — node voltages, |H(f)|, or per-level SINAD,
+    /// depending on the job kind. Bit-exact across identical runs.
+    pub values: Vec<f64>,
+    /// Named summary metrics, in a stable order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl JobSpec {
+    /// Validates ranges that the constructors of the underlying analyses
+    /// would reject anyway, but with a service-level error message that
+    /// maps to HTTP 400 instead of 422.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSpec`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        let bad = |msg: &str| Err(ServiceError::InvalidSpec(msg.to_string()));
+        match self {
+            JobSpec::DelayLineDc {
+                stages, bias_ua, ..
+            } => {
+                if *stages == 0 || *stages > 4096 {
+                    return bad("stages must be in 1..=4096");
+                }
+                if !(*bias_ua > 0.0) {
+                    return bad("bias_ua must be positive");
+                }
+            }
+            JobSpec::DelayLineTran {
+                stages,
+                bias_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+                ..
+            } => {
+                if *stages == 0 || *stages > 4096 {
+                    return bad("stages must be in 1..=4096");
+                }
+                if !(*bias_ua > 0.0) {
+                    return bad("bias_ua must be positive");
+                }
+                if *steps == 0 || *steps > 100_000 {
+                    return bad("steps must be in 1..=100000");
+                }
+                if !(*dt_ns > 0.0) {
+                    return bad("dt_ns must be positive");
+                }
+                if !(*clock_hz > 0.0) {
+                    return bad("clock_hz must be positive");
+                }
+            }
+            JobSpec::DelayLineAc {
+                stages,
+                bias_ua,
+                f_lo_hz,
+                f_hi_hz,
+                points,
+                ..
+            } => {
+                if *stages == 0 || *stages > 4096 {
+                    return bad("stages must be in 1..=4096");
+                }
+                if !(*bias_ua > 0.0) {
+                    return bad("bias_ua must be positive");
+                }
+                if !(*f_lo_hz > 0.0) || !(*f_hi_hz > *f_lo_hz) {
+                    return bad("need 0 < f_lo_hz < f_hi_hz");
+                }
+                if *points < 2 || *points > 10_000 {
+                    return bad("points must be in 2..=10000");
+                }
+            }
+            JobSpec::SndrSweep {
+                full_scale_ua,
+                levels_db,
+            } => {
+                if !(*full_scale_ua > 0.0) {
+                    return bad("full_scale_ua must be positive");
+                }
+                if levels_db.len() < 2 || levels_db.len() > 256 {
+                    return bad("levels_db needs 2..=256 entries");
+                }
+                if levels_db.iter().any(|l| !l.is_finite()) {
+                    return bad("levels_db entries must be finite");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The job's content address: identical specs — and only identical
+    /// specs — share a key.
+    ///
+    /// For circuit-backed jobs the key folds the built circuit's
+    /// structure *and* value fingerprints, so it inherits their
+    /// guarantees: retuning one element value moves the key, renaming a
+    /// node does not. Analysis parameters that are not part of the
+    /// netlist (step counts, frequency grids, deadlines excluded) are
+    /// mixed in afterwards.
+    #[must_use]
+    pub fn job_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        match self {
+            JobSpec::DelayLineDc {
+                stages,
+                bias_ua,
+                input_ua,
+            } => {
+                h.mix_u64(1);
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(line.circuit.structure_fingerprint());
+                    h.mix_u64(line.circuit.value_fingerprint());
+                } else {
+                    // Invalid specs still need a stable (never-cached) key.
+                    h.mix_u64(*stages as u64);
+                    h.mix_f64(*bias_ua);
+                    h.mix_f64(*input_ua);
+                }
+            }
+            JobSpec::DelayLineTran {
+                stages,
+                bias_ua,
+                input_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+            } => {
+                h.mix_u64(2);
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(line.circuit.structure_fingerprint());
+                    h.mix_u64(line.circuit.value_fingerprint());
+                } else {
+                    h.mix_u64(*stages as u64);
+                    h.mix_f64(*bias_ua);
+                    h.mix_f64(*input_ua);
+                }
+                h.mix_u64(*steps as u64);
+                h.mix_f64(*dt_ns);
+                h.mix_f64(*clock_hz);
+            }
+            JobSpec::DelayLineAc {
+                stages,
+                bias_ua,
+                input_ua,
+                f_lo_hz,
+                f_hi_hz,
+                points,
+            } => {
+                h.mix_u64(3);
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(line.circuit.structure_fingerprint());
+                    h.mix_u64(line.circuit.value_fingerprint());
+                } else {
+                    h.mix_u64(*stages as u64);
+                    h.mix_f64(*bias_ua);
+                    h.mix_f64(*input_ua);
+                }
+                h.mix_f64(*f_lo_hz);
+                h.mix_f64(*f_hi_hz);
+                h.mix_u64(*points as u64);
+            }
+            JobSpec::SndrSweep {
+                full_scale_ua,
+                levels_db,
+            } => {
+                h.mix_u64(4);
+                h.mix_f64(*full_scale_ua);
+                h.mix_u64(levels_db.len() as u64);
+                for &l in levels_db {
+                    h.mix_f64(l);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// The kind tag used on the wire.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::DelayLineDc { .. } => "delay_line_dc",
+            JobSpec::DelayLineTran { .. } => "delay_line_tran",
+            JobSpec::DelayLineAc { .. } => "delay_line_ac",
+            JobSpec::SndrSweep { .. } => "sndr_sweep",
+        }
+    }
+
+    /// Parses a spec from the `POST /v1/jobs` request body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSpec`] for unknown kinds, missing fields, or
+    /// out-of-range values (via [`JobSpec::validate`]).
+    pub fn from_json(v: &Json) -> Result<JobSpec, ServiceError> {
+        let invalid = |msg: String| ServiceError::InvalidSpec(msg);
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("missing \"kind\"".to_string()))?;
+        let num = |key: &str| -> Result<f64, ServiceError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| invalid(format!("missing numeric \"{key}\"")))
+        };
+        let int = |key: &str| -> Result<usize, ServiceError> {
+            let n = num(key)?;
+            if n < 0.0 || n.fract() != 0.0 || n > 9e15 {
+                return Err(invalid(format!("\"{key}\" must be a non-negative integer")));
+            }
+            Ok(n as usize)
+        };
+        let spec = match kind {
+            "delay_line_dc" => JobSpec::DelayLineDc {
+                stages: int("stages")?,
+                bias_ua: num("bias_ua")?,
+                input_ua: num("input_ua")?,
+            },
+            "delay_line_tran" => JobSpec::DelayLineTran {
+                stages: int("stages")?,
+                bias_ua: num("bias_ua")?,
+                input_ua: num("input_ua")?,
+                steps: int("steps")?,
+                dt_ns: num("dt_ns")?,
+                clock_hz: num("clock_hz")?,
+            },
+            "delay_line_ac" => JobSpec::DelayLineAc {
+                stages: int("stages")?,
+                bias_ua: num("bias_ua")?,
+                input_ua: num("input_ua")?,
+                f_lo_hz: num("f_lo_hz")?,
+                f_hi_hz: num("f_hi_hz")?,
+                points: int("points")?,
+            },
+            "sndr_sweep" => {
+                let levels = v
+                    .get("levels_db")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| invalid("missing array \"levels_db\"".to_string()))?;
+                let levels_db = levels
+                    .iter()
+                    .map(|l| {
+                        l.as_f64()
+                            .ok_or_else(|| invalid("levels_db entries must be numbers".to_string()))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                JobSpec::SndrSweep {
+                    full_scale_ua: num("full_scale_ua")?,
+                    levels_db,
+                }
+            }
+            other => return Err(invalid(format!("unknown kind {other:?}"))),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec back to its wire form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("kind".to_string(), Json::String(self.kind().to_string()))];
+        match self {
+            JobSpec::DelayLineDc {
+                stages,
+                bias_ua,
+                input_ua,
+            } => {
+                pairs.push(("stages".to_string(), Json::Number(*stages as f64)));
+                pairs.push(("bias_ua".to_string(), Json::Number(*bias_ua)));
+                pairs.push(("input_ua".to_string(), Json::Number(*input_ua)));
+            }
+            JobSpec::DelayLineTran {
+                stages,
+                bias_ua,
+                input_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+            } => {
+                pairs.push(("stages".to_string(), Json::Number(*stages as f64)));
+                pairs.push(("bias_ua".to_string(), Json::Number(*bias_ua)));
+                pairs.push(("input_ua".to_string(), Json::Number(*input_ua)));
+                pairs.push(("steps".to_string(), Json::Number(*steps as f64)));
+                pairs.push(("dt_ns".to_string(), Json::Number(*dt_ns)));
+                pairs.push(("clock_hz".to_string(), Json::Number(*clock_hz)));
+            }
+            JobSpec::DelayLineAc {
+                stages,
+                bias_ua,
+                input_ua,
+                f_lo_hz,
+                f_hi_hz,
+                points,
+            } => {
+                pairs.push(("stages".to_string(), Json::Number(*stages as f64)));
+                pairs.push(("bias_ua".to_string(), Json::Number(*bias_ua)));
+                pairs.push(("input_ua".to_string(), Json::Number(*input_ua)));
+                pairs.push(("f_lo_hz".to_string(), Json::Number(*f_lo_hz)));
+                pairs.push(("f_hi_hz".to_string(), Json::Number(*f_hi_hz)));
+                pairs.push(("points".to_string(), Json::Number(*points as f64)));
+            }
+            JobSpec::SndrSweep {
+                full_scale_ua,
+                levels_db,
+            } => {
+                pairs.push(("full_scale_ua".to_string(), Json::Number(*full_scale_ua)));
+                pairs.push((
+                    "levels_db".to_string(),
+                    Json::Array(levels_db.iter().map(|&l| Json::Number(l)).collect()),
+                ));
+            }
+        }
+        Json::Object(pairs)
+    }
+
+    /// Executes the job on the given workspace. Deterministic: identical
+    /// specs produce bit-identical [`JobOutput`]s regardless of which
+    /// worker (or how warm a workspace) runs them — the property the
+    /// content-addressed cache relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSpec`] for specs that fail validation,
+    /// [`ServiceError::Analysis`] for solver failures.
+    pub fn run(&self, ws: &mut EngineWorkspace) -> Result<JobOutput, ServiceError> {
+        self.validate()?;
+        let analysis = |e: si_analog::AnalogError| ServiceError::Analysis(e.to_string());
+        match self {
+            JobSpec::DelayLineDc {
+                stages,
+                bias_ua,
+                input_ua,
+            } => {
+                let line = build_line(*stages, *bias_ua, *input_ua).map_err(analysis)?;
+                let sol = DcSolver::new()
+                    .with_initial_guess(line.initial_guess.clone())
+                    .solve_with(&line.circuit, ws)
+                    .map_err(analysis)?;
+                let values: Vec<f64> = line.stage_nodes.iter().map(|&n| sol.voltage(n).0).collect();
+                let v_in = values.first().copied().unwrap_or(0.0);
+                let v_out = values.last().copied().unwrap_or(0.0);
+                Ok(JobOutput {
+                    values,
+                    metrics: vec![
+                        ("v_in".to_string(), v_in),
+                        ("v_out".to_string(), v_out),
+                        (
+                            "mna_dimension".to_string(),
+                            line.circuit.mna_dimension() as f64,
+                        ),
+                    ],
+                })
+            }
+            JobSpec::DelayLineTran {
+                stages,
+                bias_ua,
+                input_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+            } => {
+                let line = build_line(*stages, *bias_ua, *input_ua).map_err(analysis)?;
+                let dt = Seconds(dt_ns * 1e-9);
+                let t_stop = Seconds(dt.0 * (*steps as f64));
+                let clock = TwoPhaseClock::new(Seconds(1.0 / clock_hz), 0.0).map_err(analysis)?;
+                let params = TranParams::new(t_stop, dt)
+                    .map_err(analysis)?
+                    .with_clock(clock);
+                let result = tran::run_with(&line.circuit, &params, ws).map_err(analysis)?;
+                // The output stage's full waveform is the cached value
+                // vector; summary metrics describe the run size.
+                let last = *line.stage_nodes.last().expect("stages >= 1");
+                let values = result.voltage_waveform(last);
+                let final_v = values.last().copied().unwrap_or(0.0);
+                Ok(JobOutput {
+                    values,
+                    metrics: vec![
+                        ("steps".to_string(), result.len() as f64),
+                        ("final_v_out".to_string(), final_v),
+                    ],
+                })
+            }
+            JobSpec::DelayLineAc {
+                stages,
+                bias_ua,
+                input_ua,
+                f_lo_hz,
+                f_hi_hz,
+                points,
+            } => {
+                let line = build_line(*stages, *bias_ua, *input_ua).map_err(analysis)?;
+                let op = DcSolver::new()
+                    .with_initial_guess(line.initial_guess.clone())
+                    .solve_with(&line.circuit, ws)
+                    .map_err(analysis)?;
+                let freqs = si_analog::ac::log_frequencies(*f_lo_hz, *f_hi_hz, *points)
+                    .map_err(analysis)?;
+                let resp = AcAnalysis::default()
+                    .response_with(
+                        &line.circuit,
+                        &op,
+                        &AcStimulus::CurrentInto(line.input),
+                        &AcProbe::NodeVoltage(line.input),
+                        &freqs,
+                        ws,
+                    )
+                    .map_err(analysis)?;
+                let values: Vec<f64> = resp.iter().map(|c| c.abs()).collect();
+                let dc_gain = values.first().copied().unwrap_or(0.0);
+                let bw = si_analog::ac::bandwidth_3db(&freqs, &resp).unwrap_or(f64::NAN);
+                Ok(JobOutput {
+                    values,
+                    metrics: vec![
+                        ("transimpedance_dc_ohm".to_string(), dc_gain),
+                        ("bandwidth_3db_hz".to_string(), bw),
+                    ],
+                })
+            }
+            JobSpec::SndrSweep {
+                full_scale_ua,
+                levels_db,
+            } => {
+                let full_scale = full_scale_ua * 1e-6;
+                let config = MeasurementConfig::quick();
+                let sweep = sndr_sweep(
+                    || IdealModulator::new(SecondOrderTopology::default(), full_scale),
+                    levels_db,
+                    &config,
+                )
+                .map_err(|e| ServiceError::Analysis(e.to_string()))?;
+                let values: Vec<f64> = sweep.points.iter().map(|p| p.sinad_db).collect();
+                Ok(JobOutput {
+                    values,
+                    metrics: vec![
+                        ("dynamic_range_db".to_string(), sweep.dynamic_range_db),
+                        ("peak_sinad_db".to_string(), sweep.peak_sinad_db()),
+                    ],
+                })
+            }
+        }
+    }
+}
+
+/// Builds the delay line for the given knobs with the input source set.
+fn build_line(
+    stages: usize,
+    bias_ua: f64,
+    input_ua: f64,
+) -> Result<si_analog::cells::DelayLine, si_analog::AnalogError> {
+    let design = DelayLineDesign {
+        stages,
+        bias: Amps(bias_ua * 1e-6),
+        vov: Volts(0.25),
+        hold_cap: Farads(0.5e-12),
+    };
+    let mut line = design.build()?;
+    set_current_source(&mut line.circuit, &line.input_source, Amps(input_ua * 1e-6))?;
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc_spec() -> JobSpec {
+        JobSpec::DelayLineDc {
+            stages: 4,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+        }
+    }
+
+    #[test]
+    fn job_key_is_stable_and_value_sensitive() {
+        let a = dc_spec();
+        assert_eq!(a.job_key(), dc_spec().job_key());
+        let b = JobSpec::DelayLineDc {
+            stages: 4,
+            bias_ua: 20.0,
+            input_ua: 2.5,
+        };
+        assert_ne!(a.job_key(), b.job_key());
+        let c = JobSpec::DelayLineDc {
+            stages: 5,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+        };
+        assert_ne!(a.job_key(), c.job_key());
+    }
+
+    #[test]
+    fn kinds_never_collide_on_shared_params() {
+        let dc = dc_spec();
+        let ac = JobSpec::DelayLineAc {
+            stages: 4,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+            f_lo_hz: 1e3,
+            f_hi_hz: 1e6,
+            points: 4,
+        };
+        assert_ne!(dc.job_key(), ac.job_key());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_key() {
+        let specs = vec![
+            dc_spec(),
+            JobSpec::DelayLineTran {
+                stages: 3,
+                bias_ua: 20.0,
+                input_ua: 1.0,
+                steps: 8,
+                dt_ns: 100.0,
+                clock_hz: 1e6,
+            },
+            JobSpec::DelayLineAc {
+                stages: 2,
+                bias_ua: 20.0,
+                input_ua: 0.0,
+                f_lo_hz: 1e3,
+                f_hi_hz: 1e8,
+                points: 5,
+            },
+            JobSpec::SndrSweep {
+                full_scale_ua: 6.0,
+                levels_db: vec![-40.0, -20.0, -6.0],
+            },
+        ];
+        for spec in specs {
+            let wire = spec.to_json().to_string_compact();
+            let parsed = JobSpec::from_json(&crate::json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(parsed, spec);
+            assert_eq!(parsed.job_key(), spec.job_key());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_typed_error() {
+        let bad = JobSpec::DelayLineDc {
+            stages: 0,
+            bias_ua: 20.0,
+            input_ua: 0.0,
+        };
+        assert!(matches!(bad.validate(), Err(ServiceError::InvalidSpec(_))));
+        let parse_err = JobSpec::from_json(&crate::json::parse(r#"{"kind":"nope"}"#).unwrap());
+        assert!(matches!(parse_err, Err(ServiceError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn dc_job_runs_and_is_deterministic() {
+        let spec = dc_spec();
+        let mut ws1 = EngineWorkspace::new();
+        let mut ws2 = EngineWorkspace::new();
+        let a = spec.run(&mut ws1).unwrap();
+        let b = spec.run(&mut ws2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.values.len(), 4);
+        // Diode-connected NMOS nodes sit near Vgs = Vt + Vov ≈ 1.05 V.
+        assert!(a.values.iter().all(|v| *v > 0.5 && *v < 2.0), "{a:?}");
+    }
+
+    #[test]
+    fn sndr_job_reports_dynamic_range() {
+        let spec = JobSpec::SndrSweep {
+            full_scale_ua: 6.0,
+            levels_db: vec![-60.0, -40.0, -20.0, -6.0],
+        };
+        let mut ws = EngineWorkspace::new();
+        let out = spec.run(&mut ws).unwrap();
+        assert_eq!(out.values.len(), 4);
+        let dr = out
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "dynamic_range_db")
+            .unwrap()
+            .1;
+        assert!(dr > 20.0, "dynamic range {dr} dB implausibly low");
+    }
+}

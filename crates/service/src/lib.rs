@@ -1,0 +1,47 @@
+//! `si-service`: a concurrent simulation job service for the
+//! switched-current analysis engine.
+//!
+//! The engine crates solve one circuit at a time; this crate turns them
+//! into a long-running service shaped for many clients asking overlapping
+//! questions:
+//!
+//! - **Content-addressed results** — a job's identity is a process-stable
+//!   hash of the circuit's structure and values plus the analysis
+//!   parameters ([`jobspec::JobSpec::job_key`]). Ask the same question
+//!   twice, pay for one solve.
+//! - **Single-flight deduplication** — concurrent identical jobs coalesce
+//!   onto one computation ([`cache::ResultCache`]).
+//! - **Bounded admission** — a fixed worker pool behind a fixed-depth
+//!   queue sheds load with a typed [`error::ServiceError::Overloaded`]
+//!   instead of queueing without bound ([`pool::WorkerPool`]).
+//! - **A std-only wire** — hand-rolled HTTP/1.1 and JSON ([`http`],
+//!   [`json`]), because the build environment vendors no network or serde
+//!   crates.
+//!
+//! ```
+//! use si_service::jobspec::JobSpec;
+//! use si_service::service::{ServiceConfig, SiService};
+//!
+//! let svc = SiService::new(ServiceConfig::default());
+//! let spec = JobSpec::DelayLineDc { stages: 3, bias_ua: 20.0, input_ua: 1.0 };
+//! let (first, cached) = svc.submit_blocking(&spec, None).unwrap();
+//! assert!(!cached);
+//! let (again, cached) = svc.submit_blocking(&spec, None).unwrap();
+//! assert!(cached);
+//! assert_eq!(first, again);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod cache;
+pub mod error;
+pub mod http;
+pub mod jobspec;
+pub mod json;
+pub mod pool;
+pub mod service;
+
+pub use error::ServiceError;
+pub use jobspec::{JobOutput, JobSpec};
+pub use service::{ServiceConfig, SiService};

@@ -1,0 +1,339 @@
+//! The fixed worker pool with bounded-queue admission control.
+//!
+//! Each worker thread owns one [`EngineWorkspace`] for its whole life, so
+//! every job it runs reuses the same factorization buffers, sparse
+//! symbolic cache, and telemetry collector — the service-shaped version
+//! of the engine's "workspace reuse" discipline. The queue between the
+//! acceptor and the workers is a `sync_channel` of fixed depth: when it
+//! is full, [`WorkerPool::try_submit`] fails *immediately* with
+//! [`ServiceError::Overloaded`] instead of queueing unboundedly — load
+//! shedding at admission, where it is cheap, rather than at timeout,
+//! where it is not.
+//!
+//! Shutdown is graceful by construction: dropping the sender ends the
+//! channel, each worker drains what was already admitted, publishes its
+//! final telemetry snapshot, and exits; [`WorkerPool::shutdown`] joins
+//! them all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use si_analog::engine::EngineWorkspace;
+use si_analog::telemetry::{EngineStats, Merge};
+
+use crate::error::ServiceError;
+
+/// A unit of work: runs on a worker's workspace.
+pub type Task = Box<dyn FnOnce(&mut EngineWorkspace) + Send>;
+
+/// Pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker threads (each with its own workspace).
+    pub workers: usize,
+    /// Maximum number of admitted-but-unstarted jobs.
+    pub queue_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Live pool counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolStats {
+    /// Jobs accepted into the queue since startup.
+    pub submitted: u64,
+    /// Jobs a worker finished running.
+    pub executed: u64,
+    /// Jobs rejected by admission control.
+    pub rejected: u64,
+    /// Jobs admitted and currently waiting or running.
+    pub in_flight: u64,
+}
+
+/// A fixed pool of solver workers behind a bounded queue.
+///
+/// Shutdown state lives behind mutexes so a shared (`Arc`-held) pool can
+/// still be drained by any handle — the HTTP server and a signal handler
+/// both see the same pool without a `&mut`.
+pub struct WorkerPool {
+    sender: Mutex<Option<SyncSender<Task>>>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    stats_slots: Vec<Arc<Mutex<EngineStats>>>,
+    queue_capacity: usize,
+    submitted: AtomicU64,
+    executed: Arc<AtomicU64>,
+    rejected: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Spawns `config.workers` threads, each owning a stats-enabled
+    /// workspace.
+    #[must_use]
+    pub fn new(config: PoolConfig) -> Self {
+        let workers = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let (sender, receiver) = mpsc::sync_channel::<Task>(capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let executed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        let mut stats_slots = Vec::with_capacity(workers);
+        for k in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            let slot = Arc::new(Mutex::new(EngineStats::new()));
+            let slot_for_worker = Arc::clone(&slot);
+            let executed = Arc::clone(&executed);
+            stats_slots.push(slot);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("si-worker-{k}"))
+                    .spawn(move || worker_loop(&receiver, &slot_for_worker, &executed))
+                    .expect("spawn worker thread"),
+            );
+        }
+        WorkerPool {
+            sender: Mutex::new(Some(sender)),
+            handles: Mutex::new(handles),
+            stats_slots,
+            queue_capacity: capacity,
+            submitted: AtomicU64::new(0),
+            executed,
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The admission-control entry point: queues the task or rejects it
+    /// *now*.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when the queue is full,
+    /// [`ServiceError::ShuttingDown`] after [`WorkerPool::shutdown`].
+    pub fn try_submit(&self, task: Task) -> Result<(), ServiceError> {
+        // Clone the sender out so the solve-length send never holds the
+        // shutdown lock.
+        let sender = {
+            let guard = self.sender.lock().expect("sender poisoned");
+            match guard.as_ref() {
+                Some(s) => s.clone(),
+                None => return Err(ServiceError::ShuttingDown),
+            }
+        };
+        match sender.try_send(task) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Overloaded {
+                    queue_capacity: self.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// The configured queue depth.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.stats_slots.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let executed = self.executed.load(Ordering::Relaxed);
+        PoolStats {
+            submitted,
+            executed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            in_flight: submitted.saturating_sub(executed),
+        }
+    }
+
+    /// Engine telemetry merged across every worker's workspace — the
+    /// scheduling-independent totals (see [`Merge`]).
+    pub fn merged_engine_stats(&self) -> EngineStats {
+        let mut total = EngineStats::new();
+        for slot in &self.stats_slots {
+            let snap = slot.lock().expect("stats slot poisoned");
+            total.merge(&snap);
+        }
+        total
+    }
+
+    /// Stops admitting, drains the queue, and joins every worker. Safe to
+    /// call twice and from any handle.
+    pub fn shutdown(&self) {
+        drop(self.sender.lock().expect("sender poisoned").take());
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("handles poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    receiver: &Arc<Mutex<Receiver<Task>>>,
+    slot: &Arc<Mutex<EngineStats>>,
+    executed: &Arc<AtomicU64>,
+) {
+    let mut ws = EngineWorkspace::new();
+    ws.enable_stats();
+    loop {
+        // Hold the receiver lock only for the dequeue, not the solve.
+        let task = {
+            let rx = receiver.lock().expect("receiver poisoned");
+            rx.recv()
+        };
+        let Ok(task) = task else {
+            // Channel closed and drained: final snapshot, then exit.
+            publish_stats(&ws, slot);
+            return;
+        };
+        task(&mut ws);
+        executed.fetch_add(1, Ordering::Relaxed);
+        publish_stats(&ws, slot);
+    }
+}
+
+fn publish_stats(ws: &EngineWorkspace, slot: &Arc<Mutex<EngineStats>>) {
+    if let Some(stats) = ws.stats() {
+        *slot.lock().expect("stats slot poisoned") = stats.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_tasks_and_counts_them() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 2,
+            queue_capacity: 8,
+        });
+        let (tx, rx) = channel();
+        for k in 0..6 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |_ws| {
+                tx.send(k).unwrap();
+            }))
+            .unwrap();
+        }
+        let mut got: Vec<i32> = (0..6).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        pool.shutdown();
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 1,
+            queue_capacity: 1,
+        });
+        let (release_tx, release_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        // Occupy the single worker...
+        pool.try_submit(Box::new(move |_ws| {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap();
+        // ...fill the queue slot...
+        pool.try_submit(Box::new(|_ws| {})).unwrap();
+        // ...and overflow: this must be a typed, immediate rejection.
+        let err = pool
+            .try_submit(Box::new(|_ws| {}))
+            .expect_err("queue should be full");
+        assert_eq!(err, ServiceError::Overloaded { queue_capacity: 1 });
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(pool.stats().rejected, 1);
+        assert_eq!(pool.stats().executed, 2);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 1,
+            queue_capacity: 16,
+        });
+        let (tx, rx) = channel();
+        for _ in 0..10 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |_ws| {
+                std::thread::sleep(Duration::from_millis(1));
+                tx.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        // Every admitted task ran before shutdown returned.
+        assert_eq!(rx.try_iter().count(), 10);
+        assert!(pool.try_submit(Box::new(|_ws| {})).is_err());
+    }
+
+    #[test]
+    fn worker_stats_merge_across_workspaces() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 2,
+            queue_capacity: 8,
+        });
+        let (tx, rx) = channel();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |ws| {
+                let spec = crate::jobspec::JobSpec::DelayLineDc {
+                    stages: 2,
+                    bias_ua: 20.0,
+                    input_ua: 1.0,
+                };
+                let out = spec.run(ws).unwrap();
+                tx.send(out).unwrap();
+            }))
+            .unwrap();
+        }
+        for _ in 0..4 {
+            rx.recv().unwrap();
+        }
+        pool.shutdown();
+        let stats = pool.merged_engine_stats();
+        assert!(stats.solves >= 4, "merged solves {}", stats.solves);
+        assert_eq!(stats.convergence_failures, 0);
+    }
+}

@@ -1,0 +1,513 @@
+//! The service core: cache-aware job submission, deadlines, cancellation,
+//! and the `/metrics` aggregation.
+//!
+//! [`SiService`] glues the [`ResultCache`](crate::cache::ResultCache) in
+//! front of the [`WorkerPool`](crate::pool::WorkerPool):
+//!
+//! 1. A submission is first content-addressed. Cache hits return without
+//!    touching the pool; concurrent duplicates coalesce onto the one
+//!    in-flight computation.
+//! 2. Only a cache *leader* consumes a pool slot, so the bounded queue
+//!    measures distinct work, not request volume.
+//! 3. If admission control rejects the leader, the flight completes with
+//!    [`ServiceError::Overloaded`] so coalesced followers are released —
+//!    an overloaded service sheds whole job groups, it never deadlocks
+//!    them.
+//!
+//! Every job id is the 16-hex-digit job key, so ids are deterministic:
+//! the same spec maps to the same id on every run, which is what lets the
+//! golden wire-format tests pin exact response bytes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::{CacheOutcome, LeadGuard, ResultCache};
+use crate::error::ServiceError;
+use crate::jobspec::{JobOutput, JobSpec};
+use crate::json::Json;
+use crate::pool::{PoolConfig, WorkerPool};
+
+/// Service sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads (each with a persistent workspace).
+    pub workers: usize,
+    /// Bounded queue depth for admission control.
+    pub queue_capacity: usize,
+    /// Deadline applied when a submission does not carry its own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    canceled: AtomicU64,
+}
+
+type CancelFlags = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
+
+/// The in-process simulation job service.
+pub struct SiService {
+    cache: Arc<ResultCache>,
+    pool: WorkerPool,
+    default_deadline: Option<Duration>,
+    counters: ServiceCounters,
+    /// Kind tag of every job key ever admitted, for `GET /v1/jobs/:id`.
+    seen: Mutex<HashMap<u64, &'static str>>,
+    /// Cancellation flags of currently in-flight leaders.
+    cancel_flags: CancelFlags,
+}
+
+impl SiService {
+    /// Builds the service and spawns its workers.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        SiService {
+            cache: Arc::new(ResultCache::new()),
+            pool: WorkerPool::new(PoolConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+            }),
+            default_deadline: config.default_deadline,
+            counters: ServiceCounters::default(),
+            seen: Mutex::new(HashMap::new()),
+            cancel_flags: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The deterministic wire id of a spec.
+    #[must_use]
+    pub fn job_id(spec: &JobSpec) -> String {
+        format!("{:016x}", spec.job_key())
+    }
+
+    /// Parses a wire id back to a job key.
+    #[must_use]
+    pub fn parse_job_id(id: &str) -> Option<u64> {
+        if id.len() == 16 {
+            u64::from_str_radix(id, 16).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Submits a job and blocks until its result is available: from the
+    /// cache, from a coalesced flight, or from a worker. `deadline`
+    /// overrides the service default; `None` with no default waits
+    /// indefinitely.
+    ///
+    /// Returns the output plus `true` when it was served without running
+    /// the solve for this call (cache hit or coalesced onto another
+    /// caller's flight).
+    ///
+    /// # Errors
+    ///
+    /// Every [`ServiceError`] variant can surface here; see the module
+    /// docs for the overload path.
+    pub fn submit_blocking(
+        &self,
+        spec: &JobSpec,
+        deadline: Option<Duration>,
+    ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
+        spec.validate()?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = spec.job_key();
+        self.seen
+            .lock()
+            .expect("seen map poisoned")
+            .insert(key, spec.kind());
+
+        let guard = match self.cache.get_or_lead(key) {
+            CacheOutcome::Hit(out) => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                return Ok((out, true));
+            }
+            CacheOutcome::Coalesced(result) => {
+                return self.finish(result.map(|out| (out, true)));
+            }
+            CacheOutcome::Lead(guard) => guard,
+        };
+        self.lead(spec, key, guard, deadline.or(self.default_deadline))
+    }
+
+    /// Leader path: enqueue the solve, wait for the reply, enforce the
+    /// deadline on the waiting side too.
+    fn lead(
+        &self,
+        spec: &JobSpec,
+        key: u64,
+        guard: LeadGuard,
+        deadline: Option<Duration>,
+    ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
+        let deadline_at = deadline.map(|d| Instant::now() + d);
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.cancel_flags
+            .lock()
+            .expect("cancel map poisoned")
+            .insert(key, Arc::clone(&cancel));
+
+        // The guard travels to the worker inside a shared slot: exactly
+        // one side takes it — the worker on execution, or this thread if
+        // admission fails and the (never-run) task is dropped.
+        let guard_slot: Arc<Mutex<Option<LeadGuard>>> = Arc::new(Mutex::new(Some(guard)));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let task = {
+            let spec = spec.clone();
+            let cancel = Arc::clone(&cancel);
+            let cache = Arc::clone(&self.cache);
+            let cancel_flags = Arc::clone(&self.cancel_flags);
+            let guard_slot = Arc::clone(&guard_slot);
+            Box::new(move |ws: &mut si_analog::engine::EngineWorkspace| {
+                let Some(guard) = guard_slot.lock().expect("guard slot poisoned").take() else {
+                    return; // admission failure already completed the flight
+                };
+                let result = if cancel.load(Ordering::Relaxed) {
+                    Err(ServiceError::Canceled)
+                } else if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                    // Admitted but already stale: don't burn solver time
+                    // on a result nobody is waiting for.
+                    Err(ServiceError::DeadlineExceeded)
+                } else {
+                    spec.run(ws).map(Arc::new)
+                };
+                cache.complete(guard, result.clone());
+                cancel_flags
+                    .lock()
+                    .expect("cancel map poisoned")
+                    .remove(&key);
+                let _ = reply_tx.send(result);
+            })
+        };
+
+        if let Err(reject) = self.pool.try_submit(task) {
+            // Release any followers with the same typed rejection, then
+            // surface it to this caller.
+            if let Some(guard) = guard_slot.lock().expect("guard slot poisoned").take() {
+                self.cache.complete(guard, Err(reject.clone()));
+            }
+            self.cancel_flags
+                .lock()
+                .expect("cancel map poisoned")
+                .remove(&key);
+            return self.finish(Err(reject));
+        }
+
+        let result = match deadline_at {
+            None => reply_rx.recv().unwrap_or(Err(ServiceError::ShuttingDown)),
+            Some(at) => loop {
+                let now = Instant::now();
+                if now >= at {
+                    // Tell the worker not to start; if it already did, its
+                    // result still lands in the cache for future callers.
+                    cancel.store(true, Ordering::Relaxed);
+                    break Err(ServiceError::DeadlineExceeded);
+                }
+                match reply_rx.recv_timeout(at - now) {
+                    Ok(result) => break result,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break Err(ServiceError::ShuttingDown),
+                }
+            },
+        };
+        self.finish(result.map(|out| (out, false)))
+    }
+
+    /// Requests cancellation of an in-flight job. Returns `true` if the
+    /// job was in flight (the flag was set), `false` if unknown or done.
+    pub fn cancel(&self, key: u64) -> bool {
+        match self
+            .cancel_flags
+            .lock()
+            .expect("cancel map poisoned")
+            .get(&key)
+        {
+            Some(flag) => {
+                flag.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up a previously submitted job by key: its kind tag and, if
+    /// finished successfully, its cached output. Never blocks.
+    pub fn lookup(&self, key: u64) -> Option<(&'static str, Option<Arc<JobOutput>>)> {
+        let kind = *self.seen.lock().expect("seen map poisoned").get(&key)?;
+        Some((kind, self.cache.peek(key)))
+    }
+
+    /// Stops admitting jobs and drains the workers. Safe to call twice.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+
+    /// Engine telemetry merged across all workers — what `/metrics`
+    /// reports under `"engine"`, as a typed struct.
+    #[must_use]
+    pub fn engine_stats(&self) -> si_analog::telemetry::EngineStats {
+        self.pool.merged_engine_stats()
+    }
+
+    /// The `/metrics` document: service counters, cache behavior, pool
+    /// occupancy, and engine telemetry merged across every worker.
+    #[must_use]
+    pub fn metrics(&self) -> Json {
+        let cache = self.cache.stats();
+        let pool = self.pool.stats();
+        let lookups = cache.hits + cache.misses + cache.coalesced;
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            (cache.hits + cache.coalesced) as f64 / lookups as f64
+        };
+        let engine = self.pool.merged_engine_stats();
+        let engine_json =
+            crate::json::parse(&engine.to_json()).expect("EngineStats::to_json emits valid JSON");
+        let num = |v: u64| Json::Number(v as f64);
+        Json::Object(vec![
+            (
+                "service".to_string(),
+                Json::Object(vec![
+                    (
+                        "submitted".to_string(),
+                        num(self.counters.submitted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "completed".to_string(),
+                        num(self.counters.completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "failed".to_string(),
+                        num(self.counters.failed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "deadline_exceeded".to_string(),
+                        num(self.counters.deadline_exceeded.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "canceled".to_string(),
+                        num(self.counters.canceled.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "cache".to_string(),
+                Json::Object(vec![
+                    ("hits".to_string(), num(cache.hits)),
+                    ("misses".to_string(), num(cache.misses)),
+                    ("coalesced".to_string(), num(cache.coalesced)),
+                    ("entries".to_string(), num(cache.entries)),
+                    ("hit_ratio".to_string(), Json::Number(hit_ratio)),
+                ]),
+            ),
+            (
+                "pool".to_string(),
+                Json::Object(vec![
+                    ("workers".to_string(), num(self.pool.workers() as u64)),
+                    (
+                        "queue_capacity".to_string(),
+                        num(self.pool.queue_capacity() as u64),
+                    ),
+                    ("submitted".to_string(), num(pool.submitted)),
+                    ("executed".to_string(), num(pool.executed)),
+                    ("rejected".to_string(), num(pool.rejected)),
+                    ("in_flight".to_string(), num(pool.in_flight)),
+                ]),
+            ),
+            ("engine".to_string(), engine_json),
+        ])
+    }
+
+    /// [`SiService::metrics`] serialized for the wire.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_string_compact()
+    }
+
+    fn finish(
+        &self,
+        result: Result<(Arc<JobOutput>, bool), ServiceError>,
+    ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
+        match &result {
+            Ok(_) => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::DeadlineExceeded) => {
+                self.counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::Canceled) => {
+                self.counters.canceled.fetch_add(1, Ordering::Relaxed);
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+}
+
+impl Drop for SiService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builds the wire body shared by `POST /v1/jobs` and `GET /v1/jobs/:id`.
+#[must_use]
+pub fn job_response_body(id: &str, kind: &str, cached: bool, out: &JobOutput) -> Json {
+    Json::Object(vec![
+        ("id".to_string(), Json::String(id.to_string())),
+        ("kind".to_string(), Json::String(kind.to_string())),
+        ("cached".to_string(), Json::Bool(cached)),
+        (
+            "metrics".to_string(),
+            Json::Object(
+                out.metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Number(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "n_values".to_string(),
+            Json::Number(out.values.len() as f64),
+        ),
+        (
+            "values".to_string(),
+            Json::Array(out.values.iter().map(|&v| Json::Number(v)).collect()),
+        ),
+    ])
+}
+
+/// Recursively zeroes every `*_ns` field — the wire-format analogue of
+/// [`si_analog::telemetry::EngineStats::normalized`], used by the golden
+/// snapshot tests to strip wall-clock noise.
+#[must_use]
+pub fn normalize_timings(v: &Json) -> Json {
+    match v {
+        Json::Object(pairs) => Json::Object(
+            pairs
+                .iter()
+                .map(|(k, val)| {
+                    if k.ends_with("_ns") {
+                        (k.clone(), Json::Number(0.0))
+                    } else {
+                        (k.clone(), normalize_timings(val))
+                    }
+                })
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(normalize_timings).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc_spec(input_ua: f64) -> JobSpec {
+        JobSpec::DelayLineDc {
+            stages: 3,
+            bias_ua: 20.0,
+            input_ua,
+        }
+    }
+
+    #[test]
+    fn second_submission_is_a_cache_hit() {
+        let svc = SiService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            default_deadline: None,
+        });
+        let (first, cached1) = svc.submit_blocking(&dc_spec(1.0), None).unwrap();
+        let (second, cached2) = svc.submit_blocking(&dc_spec(1.0), None).unwrap();
+        assert!(!cached1);
+        assert!(cached2);
+        assert_eq!(first, second);
+        let m = svc.metrics();
+        assert_eq!(
+            m.get("cache").unwrap().get("hits").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            m.get("cache").unwrap().get("misses").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn lookup_returns_cached_output_without_blocking() {
+        let svc = SiService::new(ServiceConfig::default());
+        let spec = dc_spec(2.0);
+        let key = spec.job_key();
+        assert!(svc.lookup(key).is_none());
+        let (out, _) = svc.submit_blocking(&spec, None).unwrap();
+        let (kind, cached) = svc.lookup(key).unwrap();
+        assert_eq!(kind, "delay_line_dc");
+        assert_eq!(cached.unwrap(), out);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs_with_typed_error() {
+        let svc = SiService::new(ServiceConfig::default());
+        svc.shutdown();
+        let err = svc.submit_blocking(&dc_spec(1.0), None).unwrap_err();
+        assert_eq!(err, ServiceError::ShuttingDown);
+    }
+
+    #[test]
+    fn job_ids_round_trip() {
+        let spec = dc_spec(1.5);
+        let id = SiService::job_id(&spec);
+        assert_eq!(id.len(), 16);
+        assert_eq!(SiService::parse_job_id(&id), Some(spec.job_key()));
+        assert_eq!(SiService::parse_job_id("nope"), None);
+    }
+
+    #[test]
+    fn normalize_timings_zeroes_ns_fields_recursively() {
+        let v =
+            crate::json::parse(r#"{"a_ns":123,"b":{"solve_time_ns":9,"c":1},"d":[{"t_ns":4}]}"#)
+                .unwrap();
+        let n = normalize_timings(&v);
+        assert_eq!(
+            n.to_string_compact(),
+            r#"{"a_ns":0,"b":{"solve_time_ns":0,"c":1},"d":[{"t_ns":0}]}"#
+        );
+    }
+
+    #[test]
+    fn metrics_document_has_all_sections() {
+        let svc = SiService::new(ServiceConfig::default());
+        svc.submit_blocking(&dc_spec(1.0), None).unwrap();
+        let m = svc.metrics();
+        for section in ["service", "cache", "pool", "engine"] {
+            assert!(m.get(section).is_some(), "missing {section}");
+        }
+        // Engine telemetry flowed from the worker's workspace.
+        let solves = m.get("engine").unwrap().get("solves").unwrap().as_f64();
+        assert!(solves.unwrap() >= 1.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Concurrency soak tests for the job service: single-flight accounting,
+//! bit-identical results, typed overload rejection, and graceful drain.
+//!
+//! These tests drive [`SiService`] the way a fleet of clients would —
+//! many threads, duplicate-heavy workloads, saturated queues — and then
+//! check the *conservation laws* the design promises:
+//!
+//! - every distinct job key is solved exactly once (`pool.executed` ==
+//!   distinct jobs), no matter how many clients raced on it;
+//! - every cached answer is bit-identical to a direct
+//!   [`EngineWorkspace`] solve of the same spec;
+//! - a full queue rejects with [`ServiceError::Overloaded`] immediately
+//!   rather than deadlocking waiters;
+//! - shutdown drains admitted work and then refuses new work with a
+//!   typed error.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use si_analog::engine::EngineWorkspace;
+use si_service::error::ServiceError;
+use si_service::jobspec::JobSpec;
+use si_service::service::{ServiceConfig, SiService};
+
+fn dc_spec(input_ua: f64) -> JobSpec {
+    JobSpec::DelayLineDc {
+        stages: 4,
+        bias_ua: 20.0,
+        input_ua,
+    }
+}
+
+fn slow_tran(seed: usize) -> JobSpec {
+    JobSpec::DelayLineTran {
+        stages: 48,
+        bias_ua: 20.0,
+        input_ua: 1.0 + seed as f64 * 0.125,
+        steps: 64,
+        dt_ns: 50.0,
+        clock_hz: 1e6,
+    }
+}
+
+fn metric(service: &SiService, section: &str, name: &str) -> f64 {
+    service
+        .metrics()
+        .get(section)
+        .and_then(|s| s.get(name))
+        .and_then(si_service::json::Json::as_f64)
+        .unwrap_or_else(|| panic!("missing metric {section}.{name}"))
+}
+
+/// Polls until the pool has executed everything it admitted (the
+/// executed counter increments just after the reply is sent, so a reader
+/// can briefly observe in-flight work).
+fn wait_for_drain(service: &SiService) {
+    for _ in 0..500 {
+        if metric(service, "pool", "in_flight") == 0.0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("pool never drained");
+}
+
+#[test]
+fn soak_distinct_jobs_solved_exactly_once() {
+    const CLIENTS: usize = 8;
+    const DISTINCT: usize = 6;
+    const ROUNDS: usize = 4;
+
+    let service = Arc::new(SiService::new(ServiceConfig {
+        workers: 4,
+        queue_capacity: 16,
+        default_deadline: None,
+    }));
+
+    // Every client submits every distinct job ROUNDS times, interleaved
+    // differently per client so leaders and followers mix.
+    let outputs: Vec<Vec<(usize, Arc<si_service::jobspec::JobOutput>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let service = Arc::clone(&service);
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        for round in 0..ROUNDS {
+                            for j in 0..DISTINCT {
+                                let j = (j + c + round) % DISTINCT; // client-specific order
+                                let spec = dc_spec(1.0 + j as f64 * 0.25);
+                                let (out, _cached) =
+                                    service.submit_blocking(&spec, None).expect("job solves");
+                                got.push((j, out));
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    wait_for_drain(&service);
+    let total = (CLIENTS * DISTINCT * ROUNDS) as f64;
+
+    // Conservation: one solve per distinct key, everything else served by
+    // the cache (hits after completion, coalesced while in flight).
+    assert_eq!(metric(&service, "pool", "executed"), DISTINCT as f64);
+    assert_eq!(metric(&service, "cache", "misses"), DISTINCT as f64);
+    let hits = metric(&service, "cache", "hits");
+    let coalesced = metric(&service, "cache", "coalesced");
+    assert_eq!(hits + coalesced, total - DISTINCT as f64);
+    assert_eq!(metric(&service, "service", "completed"), total);
+    assert_eq!(metric(&service, "service", "failed"), 0.0);
+
+    // Bit-identity: every returned output equals a direct solve of the
+    // same spec on a fresh workspace.
+    let mut reference = Vec::new();
+    for j in 0..DISTINCT {
+        let mut ws = EngineWorkspace::new();
+        reference.push(dc_spec(1.0 + j as f64 * 0.25).run(&mut ws).unwrap());
+    }
+    for per_client in &outputs {
+        assert_eq!(per_client.len(), DISTINCT * ROUNDS);
+        for (j, out) in per_client {
+            assert_eq!(
+                **out, reference[*j],
+                "job {j} diverged from its direct solve"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturated_queue_rejects_typed_and_never_deadlocks() {
+    const CLIENTS: usize = 8;
+
+    let service = Arc::new(SiService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        default_deadline: None,
+    }));
+
+    // 8 distinct slow jobs race for 1 worker + 1 queue slot: at least one
+    // must be shed. Every thread must return (no deadlock) with either a
+    // result or the typed overload.
+    let results: Vec<Result<(), ServiceError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || service.submit_blocking(&slow_tran(c), None).map(|_| ()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let solved = results.iter().filter(|r| r.is_ok()).count();
+    let overloaded = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServiceError::Overloaded { queue_capacity: 1 })))
+        .count();
+    assert_eq!(
+        solved + overloaded,
+        CLIENTS,
+        "unexpected error kinds: {results:?}"
+    );
+    assert!(
+        overloaded >= 1,
+        "queue of 1 never overflowed under 8 clients"
+    );
+    assert!(solved >= 1, "the admitted leader must still be served");
+    assert_eq!(metric(&service, "pool", "rejected"), overloaded as f64);
+
+    // Overloaded keys were evicted, not poisoned: resubmitting one that
+    // was shed must now succeed.
+    let shed = (0..CLIENTS).find(|c| matches!(results[*c], Err(ServiceError::Overloaded { .. })));
+    if let Some(c) = shed {
+        service
+            .submit_blocking(&slow_tran(c), None)
+            .expect("shed job resubmits cleanly");
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_then_refuses() {
+    let service = Arc::new(SiService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 8,
+        default_deadline: None,
+    }));
+    // Load up some work and let it finish.
+    for j in 0..4 {
+        service
+            .submit_blocking(&dc_spec(2.0 + j as f64), None)
+            .unwrap();
+    }
+    service.shutdown();
+    // Drained: counters intact, new work refused with the typed error.
+    assert_eq!(metric(&service, "service", "completed"), 4.0);
+    let err = service.submit_blocking(&dc_spec(99.0), None).unwrap_err();
+    assert_eq!(err, ServiceError::ShuttingDown);
+    // Idempotent.
+    service.shutdown();
+}
+
+#[test]
+fn deadline_is_enforced_for_slow_jobs() {
+    let service = SiService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        default_deadline: None,
+    });
+    // A 1 ns deadline cannot fit a 48-stage transient.
+    let err = service
+        .submit_blocking(&slow_tran(0), Some(Duration::from_nanos(1)))
+        .unwrap_err();
+    assert_eq!(err, ServiceError::DeadlineExceeded);
+    assert_eq!(metric(&service, "service", "deadline_exceeded"), 1.0);
+}
+
+#[test]
+fn errors_are_typed_not_cached() {
+    let service = SiService::new(ServiceConfig::default());
+    let bad = JobSpec::DelayLineDc {
+        stages: 0,
+        bias_ua: 20.0,
+        input_ua: 1.0,
+    };
+    let err = service.submit_blocking(&bad, None).unwrap_err();
+    assert!(matches!(err, ServiceError::InvalidSpec(_)));
+    // Rejected before touching cache or pool.
+    assert_eq!(metric(&service, "cache", "misses"), 0.0);
+    assert_eq!(metric(&service, "pool", "submitted"), 0.0);
+}
