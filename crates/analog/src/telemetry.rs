@@ -229,6 +229,10 @@ pub struct EngineStats {
     /// Largest factor-nonzero (fill-in) count of any factored sparse
     /// system.
     pub max_factor_nonzeros: u64,
+    /// Workspaces retired and rebuilt after a caught panic or injected
+    /// fault (incremented by harnesses that own workspaces, e.g. the
+    /// service worker pool — the engine itself never resets).
+    pub workspace_resets: u64,
     /// Wall-clock time spent inside Newton solves.
     pub solve_time: Duration,
 }
@@ -260,6 +264,7 @@ impl Default for EngineStats {
             symbolic_cache_misses: 0,
             max_matrix_nonzeros: 0,
             max_factor_nonzeros: 0,
+            workspace_resets: 0,
             solve_time: Duration::ZERO,
         }
     }
@@ -353,6 +358,7 @@ impl EngineStats {
             "\"max_matrix_nonzeros\":{},\"max_factor_nonzeros\":{},",
             self.max_matrix_nonzeros, self.max_factor_nonzeros
         );
+        let _ = write!(s, "\"workspace_resets\":{},", self.workspace_resets);
         let _ = write!(s, "\"solve_time_ns\":{}", self.solve_time.as_nanos());
         s.push('}');
         s
@@ -385,6 +391,7 @@ impl Merge for EngineStats {
         self.symbolic_cache_misses += other.symbolic_cache_misses;
         self.max_matrix_nonzeros = self.max_matrix_nonzeros.max(other.max_matrix_nonzeros);
         self.max_factor_nonzeros = self.max_factor_nonzeros.max(other.max_factor_nonzeros);
+        self.workspace_resets += other.workspace_resets;
         self.solve_time += other.solve_time;
     }
 }
@@ -510,6 +517,7 @@ mod tests {
             symbolic_cache_misses: k % 2 + k % 5,
             max_matrix_nonzeros: 11 * k % 23,
             max_factor_nonzeros: 13 * k % 29,
+            workspace_resets: k % 3,
             solve_time: Duration::from_nanos(17 * k),
         }
     }
@@ -567,6 +575,7 @@ mod tests {
             "symbolic_cache_misses",
             "max_matrix_nonzeros",
             "max_factor_nonzeros",
+            "workspace_resets",
             "solve_time_ns",
         ] {
             assert!(

@@ -1,0 +1,488 @@
+//! `si_chaos`: fault-injection soak harness for the job service.
+//!
+//! Installs a deterministic, seeded [`FaultPlan`] into a live service and
+//! drives a concurrent workload through the resulting storm of worker
+//! panics, stalls, and transient failures — plus, in `--http` mode,
+//! client connections dropped mid-request-body. The run then disarms the
+//! injector and verifies full recovery:
+//!
+//! 1. **No wedged requests** — every submission completes (possibly with
+//!    a typed error after retries); the pool drains to zero in-flight.
+//! 2. **No leaked state** — the cancellation-flag map is empty and no
+//!    cache shard is poisoned.
+//! 3. **Bit-identical cache** — after recovery, every distinct job's
+//!    cached values equal a fresh solve on a brand-new workspace,
+//!    bit for bit.
+//!
+//! ```text
+//! si_chaos [--http] [--jobs N] [--clients N] [--seed N] [--min-faults N]
+//!          [--stages N] [--steps N] [--workers N] [--queue N]
+//! ```
+//!
+//! Exit code 0 only when at least `--min-faults` faults were injected
+//! AND every gate above holds; the [`RunReport`] records the full tally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use si_bench::run_report::{experiments_dir, RunReport};
+use si_service::http::{http_drop_mid_body, http_request, HttpConfig, HttpServer};
+use si_service::jobspec::JobSpec;
+use si_service::service::{ServiceConfig, SiService};
+use si_service::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, ServiceError};
+
+struct Args {
+    http: bool,
+    jobs: usize,
+    clients: usize,
+    seed: u64,
+    min_faults: u64,
+    stages: usize,
+    steps: usize,
+    workers: usize,
+    queue: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            http: false,
+            jobs: 300,
+            clients: 4,
+            seed: 42,
+            min_faults: 50,
+            stages: 16,
+            steps: 48,
+            workers: 4,
+            queue: 64,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut int = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse()
+                .map_err(|_| format!("{name} must be an integer"))
+        };
+        match flag.as_str() {
+            "--http" => args.http = true,
+            "--jobs" => args.jobs = int("--jobs")?.max(1),
+            "--clients" => args.clients = int("--clients")?.max(1),
+            "--seed" => args.seed = int("--seed")? as u64,
+            "--min-faults" => args.min_faults = int("--min-faults")? as u64,
+            "--stages" => args.stages = int("--stages")?.max(1),
+            "--steps" => args.steps = int("--steps")?.max(1),
+            "--workers" => args.workers = int("--workers")?.max(1),
+            "--queue" => args.queue = int("--queue")?.max(1),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `k`-th distinct job of the working set.
+fn job(args: &Args, k: usize) -> JobSpec {
+    JobSpec::DelayLineTran {
+        stages: args.stages,
+        bias_ua: 20.0,
+        input_ua: 0.5 + 0.01 * k as f64,
+        steps: args.steps,
+        dt_ns: 50.0,
+        clock_hz: 1e6,
+    }
+}
+
+/// Maps a non-200 HTTP error body back to a typed error so the client
+/// retry loop can reuse [`ServiceError::is_client_retryable`].
+fn typed_http_error(status: u16, payload: &str) -> ServiceError {
+    for (code, err) in [
+        (
+            "\"overloaded\"",
+            ServiceError::Overloaded { queue_capacity: 0 },
+        ),
+        (
+            "\"transient\"",
+            ServiceError::Transient("http transient".to_string()),
+        ),
+        (
+            "\"internal\"",
+            ServiceError::Internal("http internal".to_string()),
+        ),
+        ("\"shutting_down\"", ServiceError::ShuttingDown),
+    ] {
+        if payload.contains(code) {
+            return err;
+        }
+    }
+    ServiceError::Analysis(format!("status {status}: {payload}"))
+}
+
+/// One client submission with client-side retry/backoff on retryable
+/// errors (`Overloaded`, `Transient`, `Internal`, injected drops).
+/// Returns the retries it spent, or the final error.
+struct ChaosClient {
+    service: Arc<SiService>,
+    addr: Option<std::net::SocketAddr>,
+    /// Client-side fault schedule (connection drops); `None` in-process.
+    drops: Option<Arc<FaultInjector>>,
+    policy: RetryPolicy,
+}
+
+impl ChaosClient {
+    fn submit(&self, spec: &JobSpec) -> Result<u64, ServiceError> {
+        let mut retries = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.addr {
+                None => self.service.submit_blocking(spec, None).map(|_| ()),
+                Some(addr) => self.submit_http(addr, spec),
+            };
+            match result {
+                Ok(()) => return Ok(retries),
+                Err(e) if e.is_client_retryable() => match self.policy.delay(attempt) {
+                    Some(delay) => {
+                        retries += 1;
+                        attempt += 1;
+                        std::thread::sleep(delay);
+                    }
+                    None => return Err(e),
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn submit_http(&self, addr: std::net::SocketAddr, spec: &JobSpec) -> Result<(), ServiceError> {
+        let body = spec.to_json().to_string_compact();
+        // Client-side fault: drop a connection mid-body first, then issue
+        // the real request (the drop itself never carries the job).
+        if let Some(drops) = &self.drops {
+            if drops.next_fault() == Some(FaultKind::DropConnection) {
+                let _ = http_drop_mid_body(addr, "/v1/jobs", &body, body.len() / 2);
+            }
+        }
+        let (status, payload) = http_request(addr, "POST", "/v1/jobs", Some(&body))
+            .map_err(|e| ServiceError::Internal(format!("http: {e}")))?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(typed_http_error(status, payload.as_str()))
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Injected worker panics are expected by the hundred; keep their
+    // backtraces out of the report while letting real panics print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected fault"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let service = Arc::new(SiService::new(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        default_deadline: None,
+        retry: RetryPolicy::default(),
+    }));
+    // Worker-side chaos: panics, stalls, transients.
+    let worker_faults = Arc::new(FaultInjector::new(FaultPlan::balanced(args.seed, u64::MAX)));
+    service.install_fault_injector(Arc::clone(&worker_faults));
+    // Client-side chaos (HTTP only): dropped connections mid-body.
+    let client_drops = args.http.then(|| {
+        Arc::new(FaultInjector::new(FaultPlan {
+            seed: args.seed.wrapping_add(1),
+            panic_pm: 0,
+            stall_pm: 0,
+            transient_pm: 0,
+            drop_pm: 160,
+            stall: Duration::ZERO,
+            max_faults: u64::MAX,
+        }))
+    });
+
+    let mut server = None;
+    let addr = if args.http {
+        let srv = HttpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            HttpConfig {
+                read_timeout: Duration::from_secs(10),
+                ..HttpConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let a = srv.local_addr();
+        server = Some(srv);
+        Some(a)
+    } else {
+        None
+    };
+    let client = ChaosClient {
+        service: Arc::clone(&service),
+        addr,
+        drops: client_drops.clone(),
+        policy: RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            multiplier: 2,
+        },
+    };
+
+    // ---- Chaos phase: batches under fault injection until the fault
+    // budget is met (the schedule is deterministic per seed; batch count
+    // only depends on how many events the rates actually hit).
+    let started = Instant::now();
+    let client_retries = AtomicU64::new(0);
+    let unrecovered = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let mut submitted_jobs = 0usize;
+    let mut batches = 0usize;
+    let injected = |client_drops: &Option<Arc<FaultInjector>>| {
+        worker_faults.stats().injected + client_drops.as_ref().map_or(0, |d| d.stats().injected)
+    };
+    while injected(&client_drops) < args.min_faults && batches < 16 {
+        let base = submitted_jobs;
+        std::thread::scope(|scope| {
+            for c in 0..args.clients {
+                let client = &client;
+                let client_retries = &client_retries;
+                let unrecovered = &unrecovered;
+                let completed = &completed;
+                let a = &args;
+                scope.spawn(move || {
+                    for k in (base..base + a.jobs).skip(c).step_by(a.clients) {
+                        match client.submit(&job(a, k)) {
+                            Ok(r) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                client_retries.fetch_add(r, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                unrecovered.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        submitted_jobs += args.jobs;
+        batches += 1;
+    }
+    let chaos_wall = started.elapsed();
+
+    // ---- Recovery: disarm everything, then verify.
+    worker_faults.disarm();
+    if let Some(d) = &client_drops {
+        d.disarm();
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Gate: the pool drains — nothing is stuck on a worker.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    let in_flight = loop {
+        let m = service.metrics();
+        let in_flight = m
+            .get("pool")
+            .and_then(|p| p.get("in_flight"))
+            .and_then(si_service::json::Json::as_f64)
+            .unwrap_or(f64::NAN);
+        if in_flight == 0.0 || Instant::now() > drain_deadline {
+            break in_flight;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    if in_flight != 0.0 {
+        failures.push(format!("pool never drained: {in_flight} in flight"));
+    }
+
+    // Gate: no leaked cancellation flags.
+    let leak_deadline = Instant::now() + Duration::from_secs(10);
+    while service.cancel_flags_len() > 0 && Instant::now() < leak_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let leaked_flags = service.cancel_flags_len();
+    if leaked_flags > 0 {
+        failures.push(format!("{leaked_flags} cancel flags leaked"));
+    }
+
+    // Gate: every distinct key resolves post-recovery (no poisoned shard
+    // can serve, no flight is wedged), and the cached values are
+    // bit-identical to a fresh solve on a brand-new workspace.
+    let mut verified = 0u64;
+    let mut resolve_failures = 0u64;
+    let mut bit_mismatches = 0u64;
+    let mut fresh_ws = si_analog::engine::EngineWorkspace::new();
+    for k in 0..submitted_jobs {
+        let spec = job(&args, k);
+        match service.submit_blocking(&spec, None) {
+            Ok((out, _)) => {
+                verified += 1;
+                let fresh = spec.run(&mut fresh_ws).expect("fresh solve");
+                let identical = out.values.len() == fresh.values.len()
+                    && out
+                        .values
+                        .iter()
+                        .zip(fresh.values.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !identical {
+                    bit_mismatches += 1;
+                }
+            }
+            Err(e) => {
+                resolve_failures += 1;
+                if resolve_failures <= 3 {
+                    eprintln!("post-recovery resolve of job {k} failed: {e}");
+                }
+            }
+        }
+    }
+    if resolve_failures > 0 {
+        failures.push(format!(
+            "{resolve_failures} keys failed to resolve after recovery"
+        ));
+    }
+    if bit_mismatches > 0 {
+        failures.push(format!(
+            "{bit_mismatches} cached results differ bitwise from a fresh solve"
+        ));
+    }
+
+    let worker_stats = worker_faults.stats();
+    let drop_stats = client_drops.as_ref().map(|d| d.stats()).unwrap_or_default();
+    let total_injected = worker_stats.injected + drop_stats.injected;
+    if total_injected < args.min_faults {
+        failures.push(format!(
+            "only {total_injected} faults injected (< {} required)",
+            args.min_faults
+        ));
+    }
+    if unrecovered.load(Ordering::Relaxed) > 0 {
+        failures.push(format!(
+            "{} requests failed even after client-side retries",
+            unrecovered.load(Ordering::Relaxed)
+        ));
+    }
+    // Every injected fault belonged to a request that ultimately
+    // completed (nothing unrecovered) and to a key that re-verified.
+    if failures.is_empty() {
+        worker_faults.record_survival(worker_stats.injected);
+        if let Some(d) = &client_drops {
+            d.record_survival(drop_stats.injected);
+        }
+    }
+
+    let metrics = service.metrics();
+    let svc_metric = |section: &str, key: &str| {
+        metrics
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(si_service::json::Json::as_f64)
+            .unwrap_or(0.0)
+    };
+
+    let mut report = RunReport::new("si_chaos");
+    report.note("mode", if args.http { "http" } else { "in_process" });
+    report.note(
+        "plan",
+        format!(
+            "seed {} balanced worker faults{}, {} jobs/batch x {} batches, {} clients",
+            args.seed,
+            if args.http { " + client drops" } else { "" },
+            args.jobs,
+            batches,
+            args.clients
+        ),
+    );
+    report.metric("faults_injected", total_injected as f64);
+    report.metric("faults_panics", worker_stats.panics as f64);
+    report.metric("faults_stalls", worker_stats.stalls as f64);
+    report.metric("faults_transients", worker_stats.transients as f64);
+    report.metric("faults_dropped_connections", drop_stats.injected as f64);
+    report.metric(
+        "faults_survived",
+        (worker_faults.stats().survived + client_drops.as_ref().map_or(0, |d| d.stats().survived))
+            as f64,
+    );
+    report.metric("jobs_submitted", submitted_jobs as f64);
+    report.metric("jobs_completed", completed.load(Ordering::Relaxed) as f64);
+    report.metric(
+        "jobs_unrecovered",
+        unrecovered.load(Ordering::Relaxed) as f64,
+    );
+    report.metric(
+        "client_retries",
+        client_retries.load(Ordering::Relaxed) as f64,
+    );
+    report.metric("service_retries", svc_metric("service", "retries"));
+    report.metric("pool_panics_caught", svc_metric("pool", "panics_caught"));
+    report.metric(
+        "cache_abandoned_flights",
+        svc_metric("cache", "abandoned_flights"),
+    );
+    report.metric(
+        "cache_poison_recoveries",
+        svc_metric("cache", "poison_recoveries"),
+    );
+    report.metric("workspace_resets", svc_metric("engine", "workspace_resets"));
+    report.metric("verified_keys", verified as f64);
+    report.metric("bit_mismatches", bit_mismatches as f64);
+    report.metric("leaked_cancel_flags", leaked_flags as f64);
+    report.metric("chaos_wall_s", chaos_wall.as_secs_f64());
+    report.set_solver(service.engine_stats());
+
+    let dir = experiments_dir();
+    match report.write(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!(
+        "chaos: {total_injected} faults injected ({} panics, {} stalls, {} transients, {} drops) \
+         | {} jobs, {} unrecovered | {verified} keys verified, {bit_mismatches} bit mismatches",
+        worker_stats.panics,
+        worker_stats.stalls,
+        worker_stats.transients,
+        drop_stats.injected,
+        submitted_jobs,
+        unrecovered.load(Ordering::Relaxed),
+    );
+
+    if let Some(mut srv) = server.take() {
+        srv.shutdown();
+    } else {
+        service.shutdown();
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("chaos run survived: all gates passed");
+}

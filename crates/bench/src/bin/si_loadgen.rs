@@ -118,7 +118,9 @@ impl Client for OverHttp {
         let (status, payload) = http_request(self.0, "POST", "/v1/jobs", Some(&body))
             .map_err(|e| ServiceError::Analysis(format!("http: {e}")))?;
         let elapsed = start.elapsed();
-        if status == 429 {
+        // Load shedding (admission control or the connection cap) is a
+        // 503 with an "overloaded" error code.
+        if status == 503 && payload.contains("\"overloaded\"") {
             return Err(ServiceError::Overloaded { queue_capacity: 0 });
         }
         if status != 200 {
@@ -213,6 +215,7 @@ fn main() {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline: None,
+        ..ServiceConfig::default()
     }));
     let mut server = None;
     let client: Box<dyn Client> = if args.http {

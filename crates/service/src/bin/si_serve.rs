@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! si_serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms MS]
+//!          [--max-conns N] [--read-timeout-ms MS] [--max-body-bytes N]
 //! ```
 //!
 //! Prints the bound address on stdout (`listening on <addr>`) once ready,
 //! so scripts can bind port 0 and scrape the real port. Runs until killed;
 //! every admitted job finishes before exit thanks to the pool's drain.
+//!
+//! The listener hardening knobs (`--max-conns`, `--read-timeout-ms`,
+//! `--max-body-bytes`) map straight onto
+//! [`HttpConfig`](si_service::http::HttpConfig); see its docs for what
+//! each bound rejects (`503`, `408`, `413` respectively).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use si_service::http::HttpServer;
+use si_service::http::{HttpConfig, HttpServer};
 use si_service::service::{ServiceConfig, SiService};
 
 struct Args {
@@ -19,30 +25,33 @@ struct Args {
     workers: usize,
     queue: usize,
     timeout_ms: Option<u64>,
+    max_conns: usize,
+    read_timeout_ms: u64,
+    max_body_bytes: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let http_defaults = HttpConfig::default();
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
         workers: 4,
         queue: 64,
         timeout_ms: None,
+        max_conns: http_defaults.max_connections,
+        read_timeout_ms: http_defaults.read_timeout.as_millis() as u64,
+        max_body_bytes: http_defaults.max_body_bytes,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let parse_usize = |name: &str, v: String| {
+            v.parse::<usize>()
+                .map_err(|_| format!("{name} must be an integer"))
+        };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
-            "--workers" => {
-                args.workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers must be an integer".to_string())?;
-            }
-            "--queue" => {
-                args.queue = value("--queue")?
-                    .parse()
-                    .map_err(|_| "--queue must be an integer".to_string())?;
-            }
+            "--workers" => args.workers = parse_usize("--workers", value("--workers")?)?,
+            "--queue" => args.queue = parse_usize("--queue", value("--queue")?)?,
             "--timeout-ms" => {
                 args.timeout_ms = Some(
                     value("--timeout-ms")?
@@ -50,11 +59,22 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--timeout-ms must be an integer".to_string())?,
                 );
             }
+            "--max-conns" => args.max_conns = parse_usize("--max-conns", value("--max-conns")?)?,
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms must be an integer".to_string())?;
+            }
+            "--max-body-bytes" => {
+                args.max_body_bytes = parse_usize("--max-body-bytes", value("--max-body-bytes")?)?;
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: si_serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms MS]"
-                        .to_string(),
-                );
+                return Err([
+                    "usage: si_serve [--addr HOST:PORT] [--workers N] [--queue N]",
+                    "                [--timeout-ms MS] [--max-conns N]",
+                    "                [--read-timeout-ms MS] [--max-body-bytes N]",
+                ]
+                .join("\n"));
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -74,8 +94,15 @@ fn main() {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline: args.timeout_ms.map(Duration::from_millis),
+        ..ServiceConfig::default()
     }));
-    let server = match HttpServer::bind(&args.addr, service) {
+    let http = HttpConfig {
+        read_timeout: Duration::from_millis(args.read_timeout_ms.max(1)),
+        max_connections: args.max_conns,
+        max_body_bytes: args.max_body_bytes,
+        ..HttpConfig::default()
+    };
+    let server = match HttpServer::bind_with(&args.addr, service, http) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind {}: {e}", args.addr);

@@ -11,10 +11,27 @@
 //!
 //! The map is sharded by the low bits of the key so unrelated jobs do not
 //! contend on one lock; each shard's critical sections only move `Arc`s.
+//!
+//! # Crash safety
+//!
+//! Two independent mechanisms make a panicking leader survivable:
+//!
+//! 1. [`LeadGuard`] owns a handle back to the cache. If the leader
+//!    unwinds without calling [`ResultCache::complete`], the guard's
+//!    `Drop` completes the flight with [`ServiceError::Internal`], so
+//!    followers are *released with a typed error* — never stranded, and
+//!    never handed a poisoned mutex.
+//! 2. Every lock acquisition recovers from poisoning via
+//!    [`std::sync::PoisonError::into_inner`]. The shard maps and flight
+//!    slots hold only `Arc`s and plain enums whose invariants are
+//!    re-established by the completing write, so a poisoned lock carries
+//!    no torn state worth propagating; recoveries are counted in
+//!    [`CacheStats::poison_recoveries`] so chaos runs can assert they
+//!    stay observable.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::error::ServiceError;
 use crate::jobspec::JobOutput;
@@ -49,13 +66,15 @@ pub enum CacheOutcome {
     Lead(LeadGuard),
 }
 
-/// Proof of leadership for one key. The leader *must* consume the guard
-/// via [`ResultCache::complete`]; dropping it without completing would
-/// strand followers, so `Drop` completes with [`ServiceError::Canceled`]
-/// as a backstop (a panicking worker still wakes its followers).
+/// Proof of leadership for one key. The leader normally consumes the
+/// guard via [`ResultCache::complete`]; if it unwinds instead (panic,
+/// early return), `Drop` completes the flight with
+/// [`ServiceError::Internal`] so followers wake with a typed error
+/// instead of waiting forever.
 #[derive(Debug)]
 pub struct LeadGuard {
     key: u64,
+    cache: Arc<CacheInner>,
     completed: bool,
 }
 
@@ -70,15 +89,66 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Ready entries currently resident.
     pub entries: u64,
+    /// Flights completed by [`LeadGuard`]'s drop backstop because the
+    /// leader unwound without publishing (worker panic).
+    pub abandoned_flights: u64,
+    /// Poisoned locks recovered via `into_inner` (a thread panicked while
+    /// holding a cache lock; the data survived).
+    pub poison_recoveries: u64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    abandoned_flights: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl CacheInner {
+    /// Locks `m`, recovering (and counting) mutex poisoning: the caller
+    /// gets a usable guard either way.
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Publishes a flight's result: successes become ready entries,
+    /// failures evict the key; all followers wake with a clone.
+    fn publish(&self, key: u64, result: JobResult) {
+        let flight = {
+            let mut shard = self.lock(self.shard(key));
+            let prev = match &result {
+                Ok(out) => shard.insert(key, Entry::Ready(Arc::clone(out))),
+                Err(_) => shard.remove(&key),
+            };
+            match prev {
+                Some(Entry::InFlight(flight)) => Some(flight),
+                // A Ready entry can only appear here if the same key was
+                // completed twice, which leadership rules out; tolerate it.
+                _ => None,
+            }
+        };
+        if let Some(flight) = flight {
+            let mut slot = self.lock(&flight.slot);
+            *slot = Some(result);
+            flight.done.notify_all();
+        }
+    }
 }
 
 /// A sharded, single-flight, content-addressed cache of job results.
 #[derive(Debug)]
 pub struct ResultCache {
-    shards: Vec<Mutex<HashMap<u64, Entry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
+    inner: Arc<CacheInner>,
 }
 
 impl Default for ResultCache {
@@ -92,26 +162,27 @@ impl ResultCache {
     #[must_use]
     pub fn new() -> Self {
         ResultCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
+            inner: Arc::new(CacheInner {
+                shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                abandoned_flights: AtomicU64::new(0),
+                poison_recoveries: AtomicU64::new(0),
+            }),
         }
-    }
-
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
-        &self.shards[(key as usize) % SHARDS]
     }
 
     /// Looks up `key`; on a miss the caller becomes the leader and must
     /// call [`ResultCache::complete`]. Blocks (briefly) if another thread
     /// is already computing the key.
     pub fn get_or_lead(&self, key: u64) -> CacheOutcome {
+        let inner = &self.inner;
         let flight = {
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            let mut shard = inner.lock(inner.shard(key));
             match shard.get(&key) {
                 Some(Entry::Ready(out)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.hits.fetch_add(1, Ordering::Relaxed);
                     return CacheOutcome::Hit(Arc::clone(out));
                 }
                 Some(Entry::InFlight(flight)) => Arc::clone(flight),
@@ -123,19 +194,25 @@ impl ResultCache {
                             done: Condvar::new(),
                         })),
                     );
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    inner.misses.fetch_add(1, Ordering::Relaxed);
                     return CacheOutcome::Lead(LeadGuard {
                         key,
+                        cache: Arc::clone(inner),
                         completed: false,
                     });
                 }
             }
         };
-        // Follower: wait outside the shard lock.
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
-        let mut slot = flight.slot.lock().expect("flight poisoned");
+        // Follower: wait outside the shard lock. The leader always
+        // publishes — by `complete` or by its guard's drop backstop — so
+        // this wait cannot strand; poisoned waits recover the guard.
+        inner.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut slot = inner.lock(&flight.slot);
         while slot.is_none() {
-            slot = flight.done.wait(slot).expect("flight poisoned");
+            slot = flight.done.wait(slot).unwrap_or_else(|poisoned| {
+                inner.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                poisoned.into_inner()
+            });
         }
         CacheOutcome::Coalesced(slot.as_ref().expect("checked above").clone())
     }
@@ -145,32 +222,14 @@ impl ResultCache {
     /// clone of `result`.
     pub fn complete(&self, mut guard: LeadGuard, result: JobResult) {
         guard.completed = true;
-        let key = guard.key;
-        let flight = {
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-            let prev = match &result {
-                Ok(out) => shard.insert(key, Entry::Ready(Arc::clone(out))),
-                Err(_) => shard.remove(&key),
-            };
-            match prev {
-                Some(Entry::InFlight(flight)) => Some(flight),
-                // A Ready entry can only appear here if the same key was
-                // completed twice, which leadership rules out; tolerate it.
-                _ => None,
-            }
-        };
-        if let Some(flight) = flight {
-            let mut slot = flight.slot.lock().expect("flight poisoned");
-            *slot = Some(result);
-            flight.done.notify_all();
-        }
+        self.inner.publish(guard.key, result);
     }
 
     /// A non-leading lookup: returns the cached result if ready, without
     /// counting a hit or joining an in-flight computation. Used by
     /// `GET /v1/jobs/:id`, which must not block or become a leader.
     pub fn peek(&self, key: u64) -> Option<Arc<JobOutput>> {
-        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let shard = self.inner.lock(self.inner.shard(key));
         match shard.get(&key) {
             Some(Entry::Ready(out)) => Some(Arc::clone(out)),
             _ => None,
@@ -179,34 +238,61 @@ impl ResultCache {
 
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let entries = self
+        let inner = &self.inner;
+        let entries = inner
             .shards
             .iter()
             .map(|s| {
-                s.lock()
-                    .expect("cache shard poisoned")
+                inner
+                    .lock(s)
                     .values()
                     .filter(|e| matches!(e, Entry::Ready(_)))
                     .count() as u64
             })
             .sum();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            hits: inner.hits.load(Ordering::Relaxed),
+            misses: inner.misses.load(Ordering::Relaxed),
+            coalesced: inner.coalesced.load(Ordering::Relaxed),
             entries,
+            abandoned_flights: inner.abandoned_flights.load(Ordering::Relaxed),
+            poison_recoveries: inner.poison_recoveries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Test/chaos hook: poisons the mutex of `key`'s shard by panicking a
+    /// throwaway thread while it holds the lock. Regression tests use
+    /// this to prove lookups recover instead of propagating the panic.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, key: u64) {
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::spawn(move || {
+            let _guard = inner
+                .shard(key)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("deliberate poison for test");
+        });
+        assert!(handle.join().is_err(), "poison thread must panic");
     }
 }
 
 impl Drop for LeadGuard {
     fn drop(&mut self) {
-        // `complete` marks the guard; reaching here un-completed means the
-        // leader unwound (panic or early return). There is no cache handle
-        // in the guard, so the service wraps leader execution in
-        // `catch_unwind`-free straight-line code and always completes; this
-        // flag is a debug tripwire rather than a recovery path.
-        debug_assert!(self.completed, "LeadGuard dropped without complete()");
+        if self.completed {
+            return;
+        }
+        // The leader unwound (panic or early return) without publishing.
+        // Complete with a typed error so followers are released and the
+        // key is evicted — the crash-safe half of single-flight.
+        self.completed = true;
+        self.cache.abandoned_flights.fetch_add(1, Ordering::Relaxed);
+        self.cache.publish(
+            self.key,
+            Err(ServiceError::Internal(
+                "leader abandoned the flight (worker panic or unwind)".to_string(),
+            )),
+        );
     }
 }
 
@@ -277,5 +363,82 @@ mod tests {
             other => panic!("expected Lead after error, got {other:?}"),
         }
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    /// Regression (ISSUE 5): a leader that panics mid-job must release
+    /// its followers with a typed error and leave the key usable, not
+    /// strand them or poison the shard for every later request.
+    #[test]
+    fn panicking_leader_releases_followers_and_frees_the_key() {
+        let cache = Arc::new(ResultCache::new());
+        let guard = match cache.get_or_lead(11) {
+            CacheOutcome::Lead(g) => g,
+            other => panic!("expected Lead, got {other:?}"),
+        };
+        let mut followers = Vec::new();
+        for _ in 0..3 {
+            let cache = Arc::clone(&cache);
+            followers.push(thread::spawn(move || match cache.get_or_lead(11) {
+                CacheOutcome::Coalesced(result) => result,
+                other => panic!("expected Coalesced, got {other:?}"),
+            }));
+        }
+        thread::sleep(std::time::Duration::from_millis(20));
+        // The "worker": panics while owning the guard.
+        let leader = thread::spawn(move || {
+            let _guard = guard;
+            panic!("injected worker panic");
+        });
+        assert!(leader.join().is_err());
+        for f in followers {
+            let result = f.join().expect("follower must not be stranded");
+            assert!(
+                matches!(result, Err(ServiceError::Internal(_))),
+                "followers get the typed abandonment error, got {result:?}"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.abandoned_flights, 1);
+        // The key is free: the next caller leads and can cache normally.
+        match cache.get_or_lead(11) {
+            CacheOutcome::Lead(g) => cache.complete(g, Ok(output(5.0))),
+            other => panic!("expected Lead after abandonment, got {other:?}"),
+        }
+        match cache.get_or_lead(11) {
+            CacheOutcome::Hit(out) => assert_eq!(out.values, vec![5.0]),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+    }
+
+    /// Regression (ISSUE 5): a poisoned shard mutex — a thread panicked
+    /// while holding it — must not turn every later lookup on that shard
+    /// into a panic. The old code `.expect("cache shard poisoned")`ed.
+    #[test]
+    fn poisoned_shard_recovers_instead_of_panicking() {
+        let cache = ResultCache::new();
+        // Seed an entry, then poison its shard.
+        match cache.get_or_lead(21) {
+            CacheOutcome::Lead(g) => cache.complete(g, Ok(output(7.0))),
+            other => panic!("expected Lead, got {other:?}"),
+        }
+        cache.poison_shard_for_test(21);
+        // Data survives the poison: hit still served, peek still works,
+        // stats still readable, new keys on the shard still lead.
+        match cache.get_or_lead(21) {
+            CacheOutcome::Hit(out) => assert_eq!(out.values, vec![7.0]),
+            other => panic!("expected Hit through poisoned shard, got {other:?}"),
+        }
+        assert_eq!(cache.peek(21).unwrap().values, vec![7.0]);
+        let same_shard_key = 21 + 16; // SHARDS = 16
+        match cache.get_or_lead(same_shard_key) {
+            CacheOutcome::Lead(g) => cache.complete(g, Ok(output(8.0))),
+            other => panic!("expected Lead, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.poison_recoveries >= 1,
+            "recovery must be counted: {stats:?}"
+        );
+        assert_eq!(stats.entries, 2);
     }
 }

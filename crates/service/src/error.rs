@@ -29,6 +29,14 @@ pub enum ServiceError {
     /// The underlying analysis failed (non-convergence, singular matrix,
     /// bad parameters). Carries the stringified analog/modulator error.
     Analysis(String),
+    /// A *transient* analysis failure (the solver ran out of Newton
+    /// budget). Unlike [`ServiceError::Analysis`], this is worth
+    /// retrying: a warmer workspace or a later attempt may converge.
+    /// Injected faults also surface here.
+    Transient(String),
+    /// The worker computing this job panicked or disappeared before
+    /// replying. The flight was released, nothing was cached.
+    Internal(String),
     /// The service is draining and no longer admits jobs.
     ShuttingDown,
 }
@@ -43,6 +51,8 @@ impl fmt::Display for ServiceError {
             ServiceError::Canceled => write!(f, "canceled"),
             ServiceError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
             ServiceError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            ServiceError::Transient(msg) => write!(f, "transient failure: {msg}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -52,14 +62,22 @@ impl std::error::Error for ServiceError {}
 
 impl ServiceError {
     /// The HTTP status code this error maps to on the wire.
+    ///
+    /// Load-shed rejections ([`ServiceError::Overloaded`],
+    /// [`ServiceError::ShuttingDown`]) and transient failures are `503`
+    /// so well-behaved clients back off and retry (the response carries a
+    /// `Retry-After` header); permanent failures keep their 4xx/5xx
+    /// classes.
     #[must_use]
     pub fn http_status(&self) -> u16 {
         match self {
-            ServiceError::Overloaded { .. } => 429,
+            ServiceError::Overloaded { .. } => 503,
             ServiceError::DeadlineExceeded => 504,
             ServiceError::Canceled => 499,
             ServiceError::InvalidSpec(_) => 400,
             ServiceError::Analysis(_) => 422,
+            ServiceError::Transient(_) => 503,
+            ServiceError::Internal(_) => 500,
             ServiceError::ShuttingDown => 503,
         }
     }
@@ -73,8 +91,29 @@ impl ServiceError {
             ServiceError::Canceled => "canceled",
             ServiceError::InvalidSpec(_) => "invalid_spec",
             ServiceError::Analysis(_) => "analysis_failed",
+            ServiceError::Transient(_) => "transient",
+            ServiceError::Internal(_) => "internal",
             ServiceError::ShuttingDown => "shutting_down",
         }
+    }
+
+    /// Whether a retry of the same submission can plausibly succeed.
+    ///
+    /// Transient solver failures and worker crashes are retryable (the
+    /// flight was released and nothing was cached); overload is retryable
+    /// *by clients* after backing off, but the service itself does not
+    /// re-enqueue overloaded work — that would defeat admission control —
+    /// so [`crate::service::SiService`] only auto-retries the first two.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServiceError::Transient(_) | ServiceError::Internal(_))
+    }
+
+    /// Whether a *client* should back off and resubmit: everything
+    /// [`ServiceError::is_retryable`] covers plus load-shed rejections.
+    #[must_use]
+    pub fn is_client_retryable(&self) -> bool {
+        self.is_retryable() || matches!(self, ServiceError::Overloaded { .. })
     }
 }
 
@@ -93,6 +132,14 @@ mod tests {
                 ServiceError::Analysis("no convergence".into()),
                 "no convergence",
             ),
+            (
+                ServiceError::Transient("iteration budget".into()),
+                "transient",
+            ),
+            (
+                ServiceError::Internal("worker panicked".into()),
+                "worker panicked",
+            ),
             (ServiceError::ShuttingDown, "shutting down"),
         ];
         for (e, needle) in cases {
@@ -104,10 +151,24 @@ mod tests {
     fn http_status_mapping_is_stable() {
         assert_eq!(
             ServiceError::Overloaded { queue_capacity: 1 }.http_status(),
-            429
+            503
         );
         assert_eq!(ServiceError::DeadlineExceeded.http_status(), 504);
         assert_eq!(ServiceError::InvalidSpec(String::new()).http_status(), 400);
+        assert_eq!(ServiceError::Transient(String::new()).http_status(), 503);
+        assert_eq!(ServiceError::Internal(String::new()).http_status(), 500);
         assert_eq!(ServiceError::ShuttingDown.http_status(), 503);
+    }
+
+    #[test]
+    fn retryability_is_typed() {
+        assert!(ServiceError::Transient(String::new()).is_retryable());
+        assert!(ServiceError::Internal(String::new()).is_retryable());
+        assert!(!ServiceError::Overloaded { queue_capacity: 4 }.is_retryable());
+        assert!(ServiceError::Overloaded { queue_capacity: 4 }.is_client_retryable());
+        assert!(!ServiceError::InvalidSpec(String::new()).is_retryable());
+        assert!(!ServiceError::Analysis(String::new()).is_client_retryable());
+        assert!(!ServiceError::DeadlineExceeded.is_retryable());
+        assert!(!ServiceError::ShuttingDown.is_retryable());
     }
 }

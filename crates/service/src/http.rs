@@ -4,7 +4,21 @@
 //! needs are narrow: small JSON bodies, `Content-Length` framing,
 //! keep-alive, four routes. A thread per connection is plenty — real
 //! concurrency control lives in the worker pool behind the service, not
-//! in the listener.
+//! in the listener — but the listener is still **bounded and hardened**:
+//!
+//! - a global connection cap ([`HttpConfig::max_connections`]); excess
+//!   connections are shed immediately with `503` + `Retry-After` instead
+//!   of spawning threads without bound,
+//! - per-connection read *and* write timeouts, so a stalled peer cannot
+//!   pin a connection thread forever (slow requests get a typed `408`),
+//! - a body-size cap enforced **before** the body is read; oversized
+//!   `Content-Length` gets a typed `413`,
+//! - malformed framing (missing or garbage `Content-Length` on a POST,
+//!   a non-UTF-8 body, a garbled request line) gets a typed `400`
+//!   instead of a silent hang-up,
+//! - the accept loop polls a nonblocking listener, so
+//!   [`HttpServer::shutdown`] never needs the old dial-yourself trick to
+//!   unblock it (which could hang when the listener was unreachable).
 //!
 //! Routes:
 //!
@@ -12,16 +26,16 @@
 //! |--------|----------------|---------------------------------------------|
 //! | POST   | `/v1/jobs`     | Run (or fetch) a job; blocks until done     |
 //! | GET    | `/v1/jobs/:id` | Non-blocking lookup of a finished job       |
-//! | GET    | `/metrics`     | Service / cache / pool / engine counters    |
+//! | GET    | `/metrics`     | Service / cache / pool / engine / http      |
 //! | GET    | `/healthz`     | Liveness probe                              |
 //!
 //! `POST /v1/jobs` accepts an optional `"timeout_ms"` field beside the
-//! spec; admission-control rejections surface as `429` with a JSON error
-//! body, deadline misses as `504`.
+//! spec; admission-control rejections surface as `503` with `Retry-After`
+//! and a JSON error body, deadline misses as `504`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -31,8 +45,99 @@ use crate::jobspec::JobSpec;
 use crate::json::{self, Json};
 use crate::service::{job_response_body, SiService};
 
-const MAX_BODY_BYTES: usize = 1 << 20;
 const MAX_HEADER_LINES: usize = 100;
+/// How long the accept loop sleeps between polls of the nonblocking
+/// listener (also the shutdown-latency bound).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Listener hardening knobs. The defaults suit tests and small
+/// deployments; `si_serve` exposes each as a flag.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpConfig {
+    /// Per-connection read timeout (request line, headers, and body);
+    /// expiry yields a typed `408`.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout; a peer that stops draining its
+    /// socket gets disconnected instead of pinning the thread.
+    pub write_timeout: Duration,
+    /// Largest accepted request body; a bigger `Content-Length` is
+    /// rejected with `413` before any body byte is read.
+    pub max_body_bytes: usize,
+    /// Concurrent-connection cap; excess connections are shed with `503`
+    /// + `Retry-After` without spawning a thread.
+    pub max_connections: usize,
+    /// The `Retry-After` value (seconds) sent with every `503`.
+    pub retry_after_secs: u64,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_body_bytes: 1 << 20,
+            max_connections: 256,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Listener-level counters, surfaced as the `"http"` section of
+/// `/metrics`.
+#[derive(Debug, Default)]
+pub struct HttpStats {
+    /// Connections accepted and served.
+    pub accepted: AtomicU64,
+    /// Connections shed at the cap with `503`.
+    pub shed_connections: AtomicU64,
+    /// Requests rejected with `400` (malformed framing or body).
+    pub bad_requests: AtomicU64,
+    /// Requests rejected with `413` (body over the cap).
+    pub too_large: AtomicU64,
+    /// Requests that timed out mid-read (`408`).
+    pub timeouts: AtomicU64,
+    /// Connections the peer dropped mid-request (truncated body or
+    /// vanished before the response was written).
+    pub dropped_mid_request: AtomicU64,
+    /// Responses successfully written.
+    pub responses: AtomicU64,
+}
+
+impl HttpStats {
+    fn to_json(&self) -> Json {
+        let num = |v: &AtomicU64| Json::Number(v.load(Ordering::Relaxed) as f64);
+        Json::Object(vec![
+            ("accepted".to_string(), num(&self.accepted)),
+            ("shed_connections".to_string(), num(&self.shed_connections)),
+            ("bad_requests".to_string(), num(&self.bad_requests)),
+            ("too_large".to_string(), num(&self.too_large)),
+            ("timeouts".to_string(), num(&self.timeouts)),
+            (
+                "dropped_mid_request".to_string(),
+                num(&self.dropped_mid_request),
+            ),
+            ("responses".to_string(), num(&self.responses)),
+        ])
+    }
+}
+
+/// Everything one connection thread needs.
+struct ConnCtx {
+    service: Arc<SiService>,
+    stats: Arc<HttpStats>,
+    config: HttpConfig,
+    active: Arc<AtomicUsize>,
+}
+
+/// Decrements the active-connection count when a connection thread
+/// exits, however it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A running HTTP server bound to a local address.
 pub struct HttpServer {
@@ -40,40 +145,59 @@ pub struct HttpServer {
     stop: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
     service: Arc<SiService>,
+    stats: Arc<HttpStats>,
 }
 
 impl HttpServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting.
+    /// Binds `addr` (use port 0 for an ephemeral port) with the default
+    /// [`HttpConfig`] and starts accepting.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, service: Arc<SiService>) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with(addr, service, HttpConfig::default())
+    }
+
+    /// [`HttpServer::bind`] with explicit listener hardening knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        addr: &str,
+        service: Arc<SiService>,
+        config: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
+        // Nonblocking so the accept loop can observe the stop flag
+        // without being woken by a connection.
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(HttpStats::default());
+        let active = Arc::new(AtomicUsize::new(0));
         let accept_stop = Arc::clone(&stop);
         let accept_service = Arc::clone(&service);
+        let accept_stats = Arc::clone(&stats);
         let accept_thread = thread::Builder::new()
             .name("si-http-accept".to_string())
             .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let service = Arc::clone(&accept_service);
-                    let _ = thread::Builder::new()
-                        .name("si-http-conn".to_string())
-                        .spawn(move || handle_connection(stream, &service));
-                }
+                accept_loop(
+                    &listener,
+                    &accept_stop,
+                    &accept_service,
+                    &accept_stats,
+                    &active,
+                    config,
+                );
             })?;
         Ok(HttpServer {
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
             service,
+            stats,
         })
     }
 
@@ -83,12 +207,16 @@ impl HttpServer {
         self.addr
     }
 
+    /// Listener counter snapshot (shared with the accept loop).
+    #[must_use]
+    pub fn http_stats(&self) -> &HttpStats {
+        &self.stats
+    }
+
     /// Stops accepting connections and drains the service workers.
     /// In-flight solves finish; new submissions are rejected.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -102,6 +230,70 @@ impl Drop for HttpServer {
     }
 }
 
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    service: &Arc<SiService>,
+    stats: &Arc<HttpStats>,
+    active: &Arc<AtomicUsize>,
+    config: HttpConfig,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => continue,
+        };
+        // Accepted sockets may inherit the listener's nonblocking mode;
+        // connection threads want plain blocking reads with timeouts.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+        // Global connection cap: shed *before* spawning a thread.
+        if active.fetch_add(1, Ordering::SeqCst) >= config.max_connections {
+            active.fetch_sub(1, Ordering::SeqCst);
+            stats.shed_connections.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let err = ServiceError::Overloaded {
+                queue_capacity: config.max_connections,
+            };
+            let _ = write_response(
+                &mut stream,
+                503,
+                &error_body(&err),
+                false,
+                Some(config.retry_after_secs),
+            );
+            continue;
+        }
+        stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let ctx = ConnCtx {
+            service: Arc::clone(service),
+            stats: Arc::clone(stats),
+            config,
+            active: Arc::clone(active),
+        };
+        let spawned = thread::Builder::new()
+            .name("si-http-conn".to_string())
+            .spawn(move || {
+                let _guard = ConnGuard(Arc::clone(&ctx.active));
+                handle_connection(stream, &ctx);
+            });
+        if spawned.is_err() {
+            active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 struct Request {
     method: String,
     path: String,
@@ -109,47 +301,125 @@ struct Request {
     keep_alive: bool,
 }
 
-fn handle_connection(stream: TcpStream, service: &SiService) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+/// What one attempt to read a request produced.
+enum ReadOutcome {
+    /// A well-formed request.
+    Request(Request),
+    /// Clean EOF between requests — the peer is done.
+    Closed,
+    /// The peer vanished mid-request (truncated body, reset).
+    Dropped,
+    /// The read timeout expired → `408`.
+    TimedOut,
+    /// Broken framing or body → `400` with this message.
+    Bad(String),
+    /// `Content-Length` over the cap → `413`.
+    TooLarge,
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut stream = stream;
     loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) | Err(_) => return, // closed or malformed
+        let (status, body, keep_alive) = match read_request(&mut reader, ctx.config.max_body_bytes)
+        {
+            ReadOutcome::Request(request) => {
+                let keep_alive = request.keep_alive;
+                let (status, body) = route(&request, ctx);
+                (status, body, keep_alive)
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Dropped => {
+                ctx.stats
+                    .dropped_mid_request
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::TimedOut => {
+                ctx.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::InvalidSpec("request not received in time".to_string());
+                (408, error_body(&err), false)
+            }
+            ReadOutcome::Bad(msg) => {
+                ctx.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::InvalidSpec(msg);
+                // Framing is unreliable after a parse failure: close.
+                (400, error_body(&err), false)
+            }
+            ReadOutcome::TooLarge => {
+                ctx.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::InvalidSpec(format!(
+                    "request body exceeds {} bytes",
+                    ctx.config.max_body_bytes
+                ));
+                // The unread body is still in the pipe: close.
+                (413, error_body(&err), false)
+            }
         };
-        let keep_alive = request.keep_alive;
-        let (status, body) = route(&request, service);
-        if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+        let retry_after = (status == 503).then_some(ctx.config.retry_after_secs);
+        match write_response(&mut stream, status, &body, keep_alive, retry_after) {
+            Ok(()) => {
+                ctx.stats.responses.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                ctx.stats
+                    .dropped_mid_request
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if !keep_alive {
             return;
         }
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max_body_bytes: usize) -> ReadOutcome {
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+    match reader.read_line(&mut line) {
+        Ok(0) => return ReadOutcome::Closed,
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => return ReadOutcome::TimedOut,
+        // Non-UTF-8 garbage on the wire surfaces as InvalidData here.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return ReadOutcome::Bad("request line is not valid UTF-8".to_string())
+        }
+        Err(_) => return ReadOutcome::Dropped,
     }
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Ok(None);
+        return ReadOutcome::Bad("malformed request line".to_string());
     };
     let method = method.to_string();
     let path = path.to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<Result<usize, ()>> = None;
     let mut keep_alive = true; // HTTP/1.1 default
+    let mut terminated = false;
     for _ in 0..MAX_HEADER_LINES {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(None);
+        match reader.read_line(&mut header) {
+            Ok(0) => return ReadOutcome::Dropped,
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => return ReadOutcome::TimedOut,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return ReadOutcome::Bad("header is not valid UTF-8".to_string())
+            }
+            Err(_) => return ReadOutcome::Dropped,
         }
         let header = header.trim_end();
         if header.is_empty() {
+            terminated = true;
             break;
         }
         let Some((name, value)) = header.split_once(':') else {
@@ -157,23 +427,45 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.parse().unwrap_or(0);
+            content_length = Some(value.parse::<usize>().map_err(|_| ()));
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Ok(None);
+    if !terminated {
+        return ReadOutcome::Bad(format!("more than {MAX_HEADER_LINES} header lines"));
+    }
+    let content_length = match content_length {
+        // Methods that carry a body must declare its length; without it
+        // the framing of everything after is guesswork.
+        None if method == "POST" || method == "PUT" => {
+            return ReadOutcome::Bad("POST requires a Content-Length header".to_string())
+        }
+        None => 0,
+        Some(Err(())) => {
+            return ReadOutcome::Bad("Content-Length is not a non-negative integer".to_string())
+        }
+        Some(Ok(n)) => n,
+    };
+    if content_length > max_body_bytes {
+        return ReadOutcome::TooLarge;
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body).unwrap_or_default();
-    Ok(Some(Request {
+    match reader.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return ReadOutcome::TimedOut,
+        // Fewer body bytes than promised: the peer hung up mid-body.
+        Err(_) => return ReadOutcome::Dropped,
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return ReadOutcome::Bad("request body is not valid UTF-8".to_string());
+    };
+    ReadOutcome::Request(Request {
         method,
         path,
         body,
         keep_alive,
-    }))
+    })
 }
 
 fn write_response(
@@ -181,23 +473,30 @@ fn write_response(
     status: u16,
     body: &str,
     keep_alive: bool,
+    retry_after_secs: Option<u64>,
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         499 => "Client Closed Request",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry_after = retry_after_secs
+        .map(|s| format!("Retry-After: {s}\r\n"))
+        .unwrap_or_default();
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -211,10 +510,11 @@ fn error_body(err: &ServiceError) -> String {
     .to_string_compact()
 }
 
-fn route(request: &Request, service: &SiService) -> (u16, String) {
+fn route(request: &Request, ctx: &ConnCtx) -> (u16, String) {
+    let service = ctx.service.as_ref();
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/jobs") => post_job(&request.body, service),
-        ("GET", "/metrics") => (200, service.metrics_json()),
+        ("GET", "/metrics") => (200, metrics_with_http(ctx)),
         ("GET", "/healthz") => (200, r#"{"status":"ok"}"#.to_string()),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             get_job(&path["/v1/jobs/".len()..], service)
@@ -228,6 +528,16 @@ fn route(request: &Request, service: &SiService) -> (u16, String) {
             r#"{"error":"method_not_allowed","message":"use GET or POST"}"#.to_string(),
         ),
     }
+}
+
+/// The service `/metrics` document with the listener's `"http"` section
+/// appended.
+fn metrics_with_http(ctx: &ConnCtx) -> String {
+    let mut doc = ctx.service.metrics();
+    if let Json::Object(pairs) = &mut doc {
+        pairs.push(("http".to_string(), ctx.stats.to_json()));
+    }
+    doc.to_string_compact()
 }
 
 fn post_job(body: &str, service: &SiService) -> (u16, String) {
@@ -316,18 +626,49 @@ pub fn http_request(
     Ok((status, payload.to_string()))
 }
 
+/// Chaos-harness client fault: sends a request that *promises*
+/// `body.len()` bytes but transmits only the first `sent_bytes` before
+/// dropping the connection. The server must count a dropped-mid-request
+/// connection and move on — no response is expected.
+///
+/// # Errors
+///
+/// Propagates connect/write errors (the deliberate drop itself is not an
+/// error).
+pub fn http_drop_mid_body(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    sent_bytes: usize,
+) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let partial = &body[..sent_bytes.min(body.len())];
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: si-serve\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{partial}",
+        body.len()
+    )?;
+    stream.flush()?;
+    // Dropping the stream here closes the socket mid-body.
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::service::ServiceConfig;
 
     fn serve() -> HttpServer {
+        serve_with(HttpConfig::default())
+    }
+
+    fn serve_with(config: HttpConfig) -> HttpServer {
         let service = Arc::new(SiService::new(ServiceConfig {
             workers: 2,
             queue_capacity: 8,
-            default_deadline: None,
+            ..ServiceConfig::default()
         }));
-        HttpServer::bind("127.0.0.1:0", service).expect("bind loopback")
+        HttpServer::bind_with("127.0.0.1:0", service, config).expect("bind loopback")
     }
 
     #[test]
@@ -361,13 +702,15 @@ mod tests {
         // GET by id finds the cached job.
         let (status, got) = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
         assert_eq!(status, 200, "{got}");
-        // Metrics reflect one miss and one hit.
+        // Metrics reflect one miss and one hit, and carry the listener
+        // section.
         let (_, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
         let m = json::parse(&metrics).unwrap();
         assert_eq!(
             m.get("cache").unwrap().get("hits").unwrap().as_f64(),
             Some(1.0)
         );
+        assert!(m.get("http").is_some(), "metrics missing http section");
         server.shutdown();
     }
 
@@ -383,6 +726,193 @@ mod tests {
         let bad_range = r#"{"kind":"delay_line_dc","stages":0,"bias_ua":20,"input_ua":1}"#;
         let (status, _) = http_request(addr, "POST", "/v1/jobs", Some(bad_range)).unwrap();
         assert_eq!(status, 400);
+        server.shutdown();
+    }
+
+    /// Writes `raw` verbatim and returns the status line's code, if any
+    /// response arrives at all.
+    fn raw_request(addr: SocketAddr, raw: &[u8]) -> Option<u16> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .ok()?;
+        stream.write_all(raw).ok()?;
+        stream.flush().ok()?;
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response).ok()?;
+        response.split_whitespace().nth(1)?.parse().ok()
+    }
+
+    /// Regression (ISSUE 5): a POST with no `Content-Length` used to be
+    /// parsed as a zero-length body; now it is a typed `400`.
+    #[test]
+    fn post_without_content_length_is_400() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let status = raw_request(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, Some(400));
+        assert_eq!(server.http_stats().bad_requests.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// Regression (ISSUE 5): garbage `Content-Length` used to be treated
+    /// as zero; now it is a typed `400`.
+    #[test]
+    fn garbage_content_length_is_400() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let status = raw_request(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: banana\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, Some(400));
+        let status = raw_request(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: -3\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, Some(400));
+        server.shutdown();
+    }
+
+    /// Regression (ISSUE 5): an oversized `Content-Length` used to close
+    /// the socket silently; now it is a typed `413` sent before any body
+    /// byte is read.
+    #[test]
+    fn oversized_body_is_413() {
+        let mut server = serve_with(HttpConfig {
+            max_body_bytes: 64,
+            ..HttpConfig::default()
+        });
+        let addr = server.local_addr();
+        let status = raw_request(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 1048576\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, Some(413));
+        assert_eq!(server.http_stats().too_large.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// Regression (ISSUE 5): a slow client that never finishes its body
+    /// gets a typed `408` when the read timeout expires, instead of
+    /// pinning the connection thread for the 30 s default.
+    #[test]
+    fn truncated_body_past_timeout_is_408() {
+        let mut server = serve_with(HttpConfig {
+            read_timeout: Duration::from_millis(100),
+            ..HttpConfig::default()
+        });
+        let addr = server.local_addr();
+        // Promise 100 bytes, send 5, keep the socket open.
+        let status = raw_request(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 100\r\nConnection: close\r\n\r\nhello",
+        );
+        assert_eq!(status, Some(408));
+        assert_eq!(server.http_stats().timeouts.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// Regression (ISSUE 5): a client dropping its connection mid-body is
+    /// counted and cleaned up, never wedging a worker.
+    #[test]
+    fn dropped_mid_body_is_counted() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let body = r#"{"kind":"delay_line_dc","stages":3,"bias_ua":20,"input_ua":1}"#;
+        http_drop_mid_body(addr, "/v1/jobs", body, body.len() / 2).unwrap();
+        // The drop is asynchronous; poll the counter briefly.
+        let mut dropped = 0;
+        for _ in 0..200 {
+            dropped = server
+                .http_stats()
+                .dropped_mid_request
+                .load(Ordering::Relaxed);
+            if dropped > 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dropped, 1);
+        // The server still answers.
+        let (status, _) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    /// Regression (ISSUE 5): connections beyond the cap are shed with
+    /// `503` + `Retry-After` instead of spawning unbounded threads.
+    #[test]
+    fn connection_cap_sheds_with_503() {
+        let mut server = serve_with(HttpConfig {
+            max_connections: 1,
+            retry_after_secs: 7,
+            // Keep the held connection's handler parked (and its slot
+            // occupied) for the whole probing window.
+            read_timeout: Duration::from_secs(120),
+            ..HttpConfig::default()
+        });
+        let addr = server.local_addr();
+        // Hold one connection open (no request yet) to occupy the cap,
+        // and wait until the accept loop has registered it.
+        let held = TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.http_stats().accepted.load(Ordering::Relaxed) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "held connection never accepted"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Generous fresh deadline: under a fully loaded test machine the
+        // accept loop can be starved for seconds at a time.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        let mut shed = None;
+        while std::time::Instant::now() < deadline {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            if BufReader::new(stream).read_to_string(&mut response).is_ok() {
+                if let Some(code) = response.split_whitespace().nth(1) {
+                    if code == "503" {
+                        assert!(
+                            response.contains("Retry-After: 7"),
+                            "503 without Retry-After: {response}"
+                        );
+                        shed = Some(());
+                        break;
+                    }
+                }
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(shed.is_some(), "cap of 1 never shed a connection");
+        assert!(server.http_stats().shed_connections.load(Ordering::Relaxed) >= 1);
+        drop(held);
+        server.shutdown();
+    }
+
+    /// Regression (ISSUE 5): `shutdown()` returns promptly without the
+    /// old dial-yourself unblocking trick.
+    #[test]
+    fn shutdown_is_prompt() {
+        let mut server = serve();
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?}",
+            started.elapsed()
+        );
+        // Idempotent.
         server.shutdown();
     }
 }

@@ -450,7 +450,13 @@ impl JobSpec {
     /// [`ServiceError::Analysis`] for solver failures.
     pub fn run(&self, ws: &mut EngineWorkspace) -> Result<JobOutput, ServiceError> {
         self.validate()?;
-        let analysis = |e: si_analog::AnalogError| ServiceError::Analysis(e.to_string());
+        // Newton budget exhaustion is the one analog failure a retry can
+        // plausibly clear (warmer workspace, different gmin path), so it
+        // gets the retryable variant; everything else is permanent.
+        let analysis = |e: si_analog::AnalogError| match &e {
+            si_analog::AnalogError::NoConvergence { .. } => ServiceError::Transient(e.to_string()),
+            _ => ServiceError::Analysis(e.to_string()),
+        };
         match self {
             JobSpec::DelayLineDc {
                 stages,

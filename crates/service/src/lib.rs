@@ -17,6 +17,11 @@
 //! - **A std-only wire** — hand-rolled HTTP/1.1 and JSON ([`http`],
 //!   [`json`]), because the build environment vendors no network or serde
 //!   crates.
+//! - **Fault tolerance** — worker panics are contained and retried,
+//!   mutex poisoning is recovered instead of cascading, transient
+//!   failures back off deterministically ([`retry::RetryPolicy`]), and a
+//!   seedable chaos hook ([`fault::FaultInjector`]) proves it all under
+//!   injected failure.
 //!
 //! ```
 //! use si_service::jobspec::JobSpec;
@@ -36,12 +41,16 @@
 
 pub mod cache;
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod jobspec;
 pub mod json;
 pub mod pool;
+pub mod retry;
 pub mod service;
 
 pub use error::ServiceError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use jobspec::{JobOutput, JobSpec};
+pub use retry::RetryPolicy;
 pub use service::{ServiceConfig, SiService};

@@ -14,10 +14,21 @@
 //! channel, each worker drains what was already admitted, publishes its
 //! final telemetry snapshot, and exits; [`WorkerPool::shutdown`] joins
 //! them all.
+//!
+//! Workers are **panic-proof**: each task runs under `catch_unwind`, so a
+//! panicking job can neither kill its worker thread (shrinking the pool
+//! one crash at a time) nor take the whole process down. After a panic
+//! the worker retires its possibly-corrupt [`EngineWorkspace`] — its
+//! telemetry is merged into a retired-stats accumulator first, and the
+//! swap is counted in [`EngineStats::workspace_resets`] — and continues
+//! with a fresh one. Cleanup owed by the task itself (releasing cache
+//! followers, dropping cancellation flags) happens via drop guards inside
+//! the task closure, which run during the unwind.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 
 use si_analog::engine::EngineWorkspace;
@@ -57,6 +68,8 @@ pub struct PoolStats {
     pub rejected: u64,
     /// Jobs admitted and currently waiting or running.
     pub in_flight: u64,
+    /// Task panics caught by workers (each one also retired a workspace).
+    pub panics_caught: u64,
 }
 
 /// A fixed pool of solver workers behind a bounded queue.
@@ -72,6 +85,7 @@ pub struct WorkerPool {
     submitted: AtomicU64,
     executed: Arc<AtomicU64>,
     rejected: AtomicU64,
+    panics_caught: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -84,6 +98,7 @@ impl WorkerPool {
         let (sender, receiver) = mpsc::sync_channel::<Task>(capacity);
         let receiver = Arc::new(Mutex::new(receiver));
         let executed = Arc::new(AtomicU64::new(0));
+        let panics_caught = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(workers);
         let mut stats_slots = Vec::with_capacity(workers);
         for k in 0..workers {
@@ -91,11 +106,12 @@ impl WorkerPool {
             let slot = Arc::new(Mutex::new(EngineStats::new()));
             let slot_for_worker = Arc::clone(&slot);
             let executed = Arc::clone(&executed);
+            let panics = Arc::clone(&panics_caught);
             stats_slots.push(slot);
             handles.push(
                 thread::Builder::new()
                     .name(format!("si-worker-{k}"))
-                    .spawn(move || worker_loop(&receiver, &slot_for_worker, &executed))
+                    .spawn(move || worker_loop(&receiver, &slot_for_worker, &executed, &panics))
                     .expect("spawn worker thread"),
             );
         }
@@ -107,6 +123,7 @@ impl WorkerPool {
             submitted: AtomicU64::new(0),
             executed,
             rejected: AtomicU64::new(0),
+            panics_caught,
         }
     }
 
@@ -121,7 +138,7 @@ impl WorkerPool {
         // Clone the sender out so the solve-length send never holds the
         // shutdown lock.
         let sender = {
-            let guard = self.sender.lock().expect("sender poisoned");
+            let guard = lock_recover(&self.sender);
             match guard.as_ref() {
                 Some(s) => s.clone(),
                 None => return Err(ServiceError::ShuttingDown),
@@ -163,6 +180,7 @@ impl WorkerPool {
             executed,
             rejected: self.rejected.load(Ordering::Relaxed),
             in_flight: submitted.saturating_sub(executed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
         }
     }
 
@@ -171,7 +189,7 @@ impl WorkerPool {
     pub fn merged_engine_stats(&self) -> EngineStats {
         let mut total = EngineStats::new();
         for slot in &self.stats_slots {
-            let snap = slot.lock().expect("stats slot poisoned");
+            let snap = lock_recover(slot);
             total.merge(&snap);
         }
         total
@@ -180,17 +198,19 @@ impl WorkerPool {
     /// Stops admitting, drains the queue, and joins every worker. Safe to
     /// call twice and from any handle.
     pub fn shutdown(&self) {
-        drop(self.sender.lock().expect("sender poisoned").take());
-        let handles: Vec<_> = self
-            .handles
-            .lock()
-            .expect("handles poisoned")
-            .drain(..)
-            .collect();
+        drop(lock_recover(&self.sender).take());
+        let handles: Vec<_> = lock_recover(&self.handles).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
     }
+}
+
+/// Locks `m`, recovering from poisoning: pool state (the sender `Option`,
+/// join handles, stats snapshots) stays consistent across a panicking
+/// holder, so the data inside a poisoned lock is still sound.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Drop for WorkerPool {
@@ -203,30 +223,50 @@ fn worker_loop(
     receiver: &Arc<Mutex<Receiver<Task>>>,
     slot: &Arc<Mutex<EngineStats>>,
     executed: &Arc<AtomicU64>,
+    panics_caught: &Arc<AtomicU64>,
 ) {
     let mut ws = EngineWorkspace::new();
     ws.enable_stats();
+    // Telemetry of workspaces this worker retired after a panic; the
+    // published snapshot is always `retired + live`, so counters never
+    // move backwards when a workspace is replaced.
+    let mut retired = EngineStats::new();
     loop {
         // Hold the receiver lock only for the dequeue, not the solve.
         let task = {
-            let rx = receiver.lock().expect("receiver poisoned");
+            let rx = lock_recover(receiver);
             rx.recv()
         };
         let Ok(task) = task else {
             // Channel closed and drained: final snapshot, then exit.
-            publish_stats(&ws, slot);
+            publish_stats(&ws, &retired, slot);
             return;
         };
-        task(&mut ws);
+        // A panicking task must not kill the worker: catch the unwind,
+        // retire the (possibly mid-solve) workspace, and keep serving.
+        // The workspace is only observed through its telemetry after a
+        // panic — never solved with again — so the unwind-safety assert
+        // is sound.
+        if catch_unwind(AssertUnwindSafe(|| task(&mut ws))).is_err() {
+            panics_caught.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = ws.stats() {
+                retired.merge(stats);
+            }
+            retired.workspace_resets += 1;
+            ws = EngineWorkspace::new();
+            ws.enable_stats();
+        }
         executed.fetch_add(1, Ordering::Relaxed);
-        publish_stats(&ws, slot);
+        publish_stats(&ws, &retired, slot);
     }
 }
 
-fn publish_stats(ws: &EngineWorkspace, slot: &Arc<Mutex<EngineStats>>) {
+fn publish_stats(ws: &EngineWorkspace, retired: &EngineStats, slot: &Arc<Mutex<EngineStats>>) {
+    let mut snapshot = retired.clone();
     if let Some(stats) = ws.stats() {
-        *slot.lock().expect("stats slot poisoned") = stats.clone();
+        snapshot.merge(stats);
     }
+    *lock_recover(slot) = snapshot;
 }
 
 #[cfg(test)]
@@ -306,6 +346,88 @@ mod tests {
         // Every admitted task ran before shutdown returned.
         assert_eq!(rx.try_iter().count(), 10);
         assert!(pool.try_submit(Box::new(|_ws| {})).is_err());
+    }
+
+    /// Regression (ISSUE 5): a panicking task must not kill its worker
+    /// thread — the pool keeps executing later tasks at full strength.
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 1, // a single worker: if the panic killed it, nothing runs after
+            queue_capacity: 8,
+        });
+        let (tx, rx) = channel();
+        pool.try_submit(Box::new(|_ws| panic!("injected task panic")))
+            .unwrap();
+        for k in 0..3 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |_ws| tx.send(k).unwrap()))
+                .unwrap();
+        }
+        let mut got: Vec<i32> = (0..3)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(10))
+                    .expect("worker died after the panic")
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        pool.shutdown();
+        let stats = pool.stats();
+        assert_eq!(stats.panics_caught, 1);
+        assert_eq!(
+            stats.executed, 4,
+            "the panicked task still counts as executed"
+        );
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    /// Telemetry from before a panic survives the workspace swap: the
+    /// merged counters include the retired workspace's solves plus the
+    /// reset marker.
+    #[test]
+    fn workspace_reset_preserves_retired_telemetry() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let spec = crate::jobspec::JobSpec::DelayLineDc {
+            stages: 2,
+            bias_ua: 20.0,
+            input_ua: 1.0,
+        };
+        let (tx, rx) = channel();
+        let solve = |tx: std::sync::mpsc::Sender<()>, spec: crate::jobspec::JobSpec| {
+            Box::new(move |ws: &mut EngineWorkspace| {
+                spec.run(ws).unwrap();
+                tx.send(()).unwrap();
+            })
+        };
+        pool.try_submit(solve(tx.clone(), spec.clone())).unwrap();
+        rx.recv().unwrap();
+        // The task's send fires before the worker publishes its stats
+        // snapshot; poll rather than racing the publication.
+        let mut before = pool.merged_engine_stats();
+        for _ in 0..200 {
+            if before.solves >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            before = pool.merged_engine_stats();
+        }
+        assert!(before.solves >= 1);
+        pool.try_submit(Box::new(|_ws| panic!("injected"))).unwrap();
+        pool.try_submit(solve(tx, spec)).unwrap();
+        rx.recv().unwrap();
+        pool.shutdown();
+        let after = pool.merged_engine_stats();
+        assert_eq!(after.workspace_resets, 1);
+        assert!(
+            after.solves > before.solves,
+            "pre-panic solves were lost: {} -> {}",
+            before.solves,
+            after.solves
+        );
     }
 
     #[test]

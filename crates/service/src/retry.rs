@@ -1,0 +1,128 @@
+//! Deterministic retry with capped exponential backoff.
+//!
+//! Every delay in a schedule is a pure function of the attempt index —
+//! no wall clock, no randomness — so a retried workload replays
+//! identically and the chaos harness can assert exact retry counts.
+//! Jitter is deliberately absent: the service's callers are a handful of
+//! in-process worker threads or a test load generator, not a fleet of
+//! independent clients whose synchronized retries need decorrelating,
+//! and a jitter-free schedule is what keeps [`FaultPlan`] runs
+//! reproducible end to end.
+//!
+//! [`FaultPlan`]: crate::fault::FaultPlan
+
+use std::time::Duration;
+
+/// A capped exponential backoff schedule: attempt `k` (zero-based) waits
+/// `min(base * multiplier^k, cap)` before retrying, for at most
+/// `max_retries` retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed *after* the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling any single delay is clamped to.
+    pub max_delay: Duration,
+    /// Geometric growth factor between consecutive delays.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            multiplier: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (zero-based), or `None`
+    /// once the retry budget is exhausted.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Option<Duration> {
+        if attempt >= self.max_retries {
+            return None;
+        }
+        let factor = self
+            .multiplier
+            .max(1)
+            .checked_pow(attempt)
+            .unwrap_or(u32::MAX);
+        Some((self.base_delay * factor).min(self.max_delay))
+    }
+
+    /// The whole schedule, for policy tables and tests.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.max_retries)
+            .filter_map(|k| self.delay(k))
+            .collect()
+    }
+
+    /// Worst-case total time spent sleeping if every retry fires.
+    #[must_use]
+    pub fn total_backoff(&self) -> Duration {
+        self.schedule().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_grows_geometrically_to_the_cap() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(120),
+            multiplier: 2,
+        };
+        assert_eq!(
+            p.schedule(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(80),
+                Duration::from_millis(120), // capped, not 160
+            ]
+        );
+        assert_eq!(p.total_backoff(), Duration::from_millis(270));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_none() {
+        let p = RetryPolicy::default();
+        assert!(p.delay(p.max_retries).is_none());
+        assert!(p.delay(u32::MAX).is_none());
+        assert_eq!(RetryPolicy::none().schedule(), Vec::<Duration>::new());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.schedule(), p.schedule());
+        // Huge attempt indices must not overflow.
+        let wide = RetryPolicy {
+            max_retries: u32::MAX,
+            base_delay: Duration::from_secs(1),
+            max_delay: Duration::from_secs(3),
+            multiplier: 1000,
+        };
+        assert_eq!(wide.delay(31), Some(Duration::from_secs(3)));
+    }
+}

@@ -73,6 +73,7 @@ fn soak_distinct_jobs_solved_exactly_once() {
         workers: 4,
         queue_capacity: 16,
         default_deadline: None,
+        ..ServiceConfig::default()
     }));
 
     // Every client submits every distinct job ROUNDS times, interleaved
@@ -139,6 +140,7 @@ fn saturated_queue_rejects_typed_and_never_deadlocks() {
         workers: 1,
         queue_capacity: 1,
         default_deadline: None,
+        ..ServiceConfig::default()
     }));
 
     // 8 distinct slow jobs race for 1 worker + 1 queue slot: at least one
@@ -187,6 +189,7 @@ fn graceful_shutdown_drains_then_refuses() {
         workers: 2,
         queue_capacity: 8,
         default_deadline: None,
+        ..ServiceConfig::default()
     }));
     // Load up some work and let it finish.
     for j in 0..4 {
@@ -209,6 +212,7 @@ fn deadline_is_enforced_for_slow_jobs() {
         workers: 1,
         queue_capacity: 4,
         default_deadline: None,
+        ..ServiceConfig::default()
     });
     // A 1 ns deadline cannot fit a 48-stage transient.
     let err = service

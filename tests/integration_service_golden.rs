@@ -49,6 +49,23 @@ fn normalized_compact(payload: &str) -> String {
     s
 }
 
+/// The `"http"` section counts listener traffic, which includes however
+/// many `/metrics` polls the settling loop needed — volatile, so it is
+/// stripped before pinning (its keys are asserted separately).
+fn strip_http_section(payload: &str) -> String {
+    let v = parse(payload).expect("wire payload parses as JSON");
+    match v {
+        Json::Object(pairs) => Json::Object(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "http")
+                .collect::<Vec<_>>(),
+        )
+        .to_string_compact(),
+        other => other.to_string_compact(),
+    }
+}
+
 fn pool_metric(payload: &str, name: &str) -> f64 {
     parse(payload)
         .ok()
@@ -66,6 +83,7 @@ fn post_and_metrics_match_golden_snapshots() {
         workers: 2,
         queue_capacity: 8,
         default_deadline: None,
+        ..ServiceConfig::default()
     }));
     let mut server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
     let addr = server.local_addr();
@@ -106,10 +124,28 @@ fn post_and_metrics_match_golden_snapshots() {
         assert!(!last.is_empty(), "pool never settled for the snapshot");
         last
     };
+    // The listener's own section is live traffic counters (it counts
+    // these very polls); assert its shape here, pin everything else.
+    let parsed = parse(&metrics).unwrap();
+    let http = parsed.get("http").expect("metrics carry an http section");
+    for key in [
+        "accepted",
+        "shed_connections",
+        "bad_requests",
+        "too_large",
+        "timeouts",
+        "dropped_mid_request",
+        "responses",
+    ] {
+        assert!(
+            http.get(key).and_then(Json::as_f64).is_some(),
+            "http section missing {key}"
+        );
+    }
     check_or_update(
         "service_metrics.json",
         GOLDEN_METRICS,
-        &normalized_compact(&metrics),
+        &normalized_compact(&strip_http_section(&metrics)),
     );
 
     server.shutdown();
@@ -133,7 +169,7 @@ fn golden_snapshots_carry_real_payload_not_hollow_shells() {
         .all(|v| v.as_f64().is_some_and(|x| x.is_finite() && x != 0.0)));
 
     let metrics = parse(GOLDEN_METRICS.trim()).expect("metrics snapshot parses");
-    for section in ["service", "cache", "pool", "engine"] {
+    for section in ["service", "cache", "pool", "faults", "engine"] {
         assert!(metrics.get(section).is_some(), "missing {section}");
     }
     let cache = metrics.get("cache").unwrap();
