@@ -215,9 +215,16 @@ impl Analysis for DcSolver {
 /// once, and every point after the first warm-starts from the previous
 /// solution inside one reused [`EngineWorkspace`] — no per-point cloning.
 ///
+/// A point whose warm start diverges is retried from the cold start (the
+/// solver's initial guess, or all zeros) and the rejection is recorded on
+/// the workspace probe as `warm_start_rejected` — a stale seed never fails
+/// the whole sweep. Only a point that also fails from cold propagates its
+/// error.
+///
 /// # Errors
 ///
-/// Propagates solver errors; the sweep stops at the first failing point.
+/// Propagates solver errors; the sweep stops at the first point that fails
+/// from both the warm and the cold start.
 pub fn sweep_current_source<T>(
     circuit: &Circuit,
     source_name: &str,
@@ -226,15 +233,47 @@ pub fn sweep_current_source<T>(
     mut read: impl FnMut(&Solution) -> T,
 ) -> Result<Vec<T>, AnalogError> {
     let mut ws = EngineWorkspace::for_circuit(circuit);
+    sweep_current_source_with(circuit, source_name, values, solver, &mut ws, &mut read)
+}
+
+/// [`sweep_current_source`] against a caller-provided workspace, so sweeps
+/// compose with an installed telemetry probe and with outer batch drivers.
+///
+/// # Errors
+///
+/// As [`sweep_current_source`].
+pub fn sweep_current_source_with<T>(
+    circuit: &Circuit,
+    source_name: &str,
+    values: &[crate::units::Amps],
+    solver: &DcSolver,
+    ws: &mut EngineWorkspace,
+    read: &mut impl FnMut(&Solution) -> T,
+) -> Result<Vec<T>, AnalogError> {
     let mut out = Vec::with_capacity(values.len());
     let mut ckt = circuit.clone();
-    let mut guess = match &solver.initial {
+    let cold = match &solver.initial {
         Some(g) => g.clone(),
         None => vec![0.0; circuit.node_count()],
     };
-    for &value in values {
+    let mut guess = cold.clone();
+    for (k, &value) in values.iter().enumerate() {
         set_current_source(&mut ckt, source_name, value)?;
-        let sol = solver.solve_from_with(&ckt, &guess, &mut ws)?;
+        if k > 0 {
+            ws.probe_event(crate::telemetry::Probe::warm_start);
+        }
+        let sol = match solver.solve_from_with(&ckt, &guess, ws) {
+            Ok(sol) => sol,
+            Err(AnalogError::NoConvergence { .. } | AnalogError::SingularMatrix { .. })
+                if k > 0 =>
+            {
+                // The previous point's solution was a bad seed here; retry
+                // from cold rather than failing the sweep.
+                ws.probe_event(crate::telemetry::Probe::warm_start_rejected);
+                solver.solve_from_with(&ckt, &cold, ws)?
+            }
+            Err(e) => return Err(e),
+        };
         guess.clear();
         guess.extend_from_slice(ws.node_voltages());
         out.push(read(&sol));
@@ -454,5 +493,81 @@ mod tests {
         // Square-law check at the last point.
         let expected = m.vt0.0 + m.saturation_overdrive(Amps(50e-6)).0;
         assert!((vgs[4] - expected).abs() < 1e-3);
+    }
+
+    fn diode_cell() -> (Circuit, crate::netlist::NodeId) {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.current_source("Ib", Circuit::GROUND, d, Amps(10e-6))
+            .unwrap();
+        let m = MosParams::nmos_08um(20.0, 2.0).with_lambda(0.0);
+        c.mosfet(
+            "M1",
+            MosTerminals {
+                drain: d,
+                gate: d,
+                source: Circuit::GROUND,
+                bulk: Circuit::GROUND,
+            },
+            m,
+        )
+        .unwrap();
+        (c, d)
+    }
+
+    #[test]
+    fn sweep_records_warm_start_telemetry() {
+        let (c, d) = diode_cell();
+        let values: Vec<Amps> = (1..=5).map(|k| Amps(k as f64 * 10e-6)).collect();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        ws.enable_stats();
+        let vgs = sweep_current_source_with(
+            &c,
+            "Ib",
+            &values,
+            &DcSolver::new(),
+            &mut ws,
+            &mut |sol: &Solution| sol.voltage(d).0,
+        )
+        .unwrap();
+        assert_eq!(vgs.len(), 5);
+        let stats = ws.stats().unwrap();
+        assert_eq!(stats.warm_starts, 4, "every point after the first is warm");
+        assert_eq!(stats.warm_start_rejected, 0);
+        // Identical to the workspace-free entry point.
+        let plain =
+            sweep_current_source(&c, "Ib", &values, &DcSolver::new(), |sol| sol.voltage(d).0)
+                .unwrap();
+        for (a, b) in vgs.iter().zip(&plain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_retries_rejected_warm_start_from_cold_before_failing() {
+        // Point 2 pulls current *out* of the diode-connected NMOS: no DC
+        // solution exists, so the warm attempt diverges, the sweep records
+        // the rejection, retries from cold, and only then propagates the
+        // cold failure.
+        let (c, d) = diode_cell();
+        let values = [Amps(10e-6), Amps(-10e-6)];
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        ws.enable_stats();
+        let solver = DcSolver::new().with_max_iterations(20);
+        let r = sweep_current_source_with(
+            &c,
+            "Ib",
+            &values,
+            &solver,
+            &mut ws,
+            &mut |sol: &Solution| sol.voltage(d).0,
+        );
+        assert!(matches!(r, Err(AnalogError::NoConvergence { .. })));
+        let stats = ws.stats().unwrap();
+        assert_eq!(stats.warm_starts, 1);
+        assert_eq!(
+            stats.warm_start_rejected, 1,
+            "divergent warm start must be recorded before the cold retry"
+        );
     }
 }

@@ -172,6 +172,15 @@ impl EngineWorkspace {
         self.policy
     }
 
+    /// The real linear solver, holding the most recently assembled and
+    /// factored system. Exposed so batched callers can run panel solves
+    /// ([`RealSolver::solve_panel`]) against factors an analysis already
+    /// computed through this workspace.
+    #[must_use]
+    pub fn real_solver(&self) -> &RealSolver {
+        &self.real
+    }
+
     /// Removes and returns the installed probe, disabling telemetry.
     pub fn clear_probe(&mut self) -> Option<Box<dyn Probe>> {
         self.probe.take()
@@ -472,6 +481,202 @@ impl EngineWorkspace {
     }
 }
 
+/// A batched multi-scenario solve: many perturbed-value variants of one
+/// topology driven through a single workspace, so the sparse backend
+/// performs one symbolic analysis for the whole batch and every scenario
+/// after the first replays the cached structure.
+///
+/// Scenarios are applied by a caller closure that mutates element values in
+/// place (never the topology) and solved by a caller closure — typically
+/// [`crate::dc::DcSolver::solve_from_with`] — so the runner stays agnostic
+/// of the analysis. Each scenario's Newton loop is warm-started from the
+/// nearest already-converged neighbour: nearest by the optional scenario
+/// keys ([`Self::with_keys`]), by index distance otherwise. A warm start
+/// that fails to converge is retried from the cold start and recorded as
+/// `warm_start_rejected` telemetry instead of failing the batch.
+///
+/// With warm starting disabled ([`Self::with_warm_start`]) the runner
+/// performs exactly the sequential per-point solves, so its results are
+/// bit-identical to a hand-written per-scenario loop — the property
+/// `tests/integration_batch.rs` pins down.
+///
+/// ```
+/// use si_analog::dc::{set_current_source, DcSolver};
+/// use si_analog::engine::{BatchRun, EngineWorkspace};
+/// use si_analog::netlist::Circuit;
+/// use si_analog::units::{Amps, Ohms};
+///
+/// let mut c = Circuit::new();
+/// let n = c.node("n");
+/// c.current_source("I", Circuit::GROUND, n, Amps(1e-3)).unwrap();
+/// c.resistor("R", n, Circuit::GROUND, Ohms(1e3)).unwrap();
+/// let solver = DcSolver::new();
+/// let mut ws = EngineWorkspace::for_circuit(&c);
+/// let sols = BatchRun::new(3)
+///     .run_with(
+///         &c,
+///         &mut ws,
+///         |ckt, i| set_current_source(ckt, "I", Amps((i + 1) as f64 * 1e-3)),
+///         |ckt, start, ws| solver.solve_from_with(ckt, start, ws),
+///     )
+///     .unwrap();
+/// assert!((sols[2].voltage(n).0 - 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    scenarios: usize,
+    warm_start: bool,
+    keys: Option<Vec<f64>>,
+    cold_start: Option<Vec<f64>>,
+}
+
+impl BatchRun {
+    /// A batch of `scenarios` variants with warm starting on and index
+    /// distance as the neighbour metric.
+    #[must_use]
+    pub fn new(scenarios: usize) -> Self {
+        BatchRun {
+            scenarios,
+            warm_start: true,
+            keys: None,
+            cold_start: None,
+        }
+    }
+
+    /// Number of scenarios in the batch.
+    #[must_use]
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// Enables or disables warm starting. Off, every scenario starts from
+    /// the cold start — the bit-identical-to-sequential reference mode.
+    #[must_use]
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Supplies one scalar key per scenario (a bias current, a supply
+    /// voltage, …); the warm-start seed becomes the converged scenario with
+    /// the nearest key instead of the nearest index. Length is checked at
+    /// run time.
+    #[must_use]
+    pub fn with_keys(mut self, keys: Vec<f64>) -> Self {
+        self.keys = Some(keys);
+        self
+    }
+
+    /// Sets the cold starting point (full node-voltage vector, ground at
+    /// index 0) used for the first scenario and for warm-start retries.
+    /// Defaults to all zeros.
+    #[must_use]
+    pub fn with_cold_start(mut self, start: Vec<f64>) -> Self {
+        self.cold_start = Some(start);
+        self
+    }
+
+    fn key(&self, i: usize) -> f64 {
+        self.keys.as_ref().map_or(i as f64, |k| k[i])
+    }
+
+    /// Index of the already-converged scenario nearest to scenario `i`
+    /// (ties break toward the earlier scenario); `None` before the first
+    /// convergence.
+    fn nearest_seed(&self, i: usize, converged: usize) -> Option<usize> {
+        let ki = self.key(i);
+        let mut best: Option<(f64, usize)> = None;
+        for j in 0..converged {
+            let d = (ki - self.key(j)).abs();
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, j));
+            }
+        }
+        best.map(|(_, j)| j)
+    }
+
+    /// Runs the batch: for each scenario index, `apply` perturbs the
+    /// (internally cloned) circuit in place, then `solve` is driven from
+    /// the warm or cold starting vector. Solutions are returned in
+    /// scenario order.
+    ///
+    /// Telemetry: reports `batch_run(n)` once, `warm_start` per
+    /// warm-started scenario, and `warm_start_rejected` per warm start
+    /// that had to fall back to the cold start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a key vector or cold
+    /// start of the wrong length, and propagates `apply` errors and
+    /// cold-start solve failures (a cold failure fails the batch; a warm
+    /// failure only falls back).
+    pub fn run_with<A, S>(
+        &self,
+        circuit: &Circuit,
+        ws: &mut EngineWorkspace,
+        mut apply: A,
+        mut solve: S,
+    ) -> Result<Vec<Solution>, AnalogError>
+    where
+        A: FnMut(&mut Circuit, usize) -> Result<(), AnalogError>,
+        S: FnMut(&Circuit, &[f64], &mut EngineWorkspace) -> Result<Solution, AnalogError>,
+    {
+        if let Some(keys) = &self.keys {
+            if keys.len() != self.scenarios {
+                return Err(AnalogError::InvalidParameter {
+                    name: "keys",
+                    constraint: "one warm-start key per scenario",
+                });
+            }
+        }
+        if let Some(cold) = &self.cold_start {
+            if cold.len() != circuit.node_count() {
+                return Err(AnalogError::InvalidParameter {
+                    name: "cold_start",
+                    constraint: "cold start length must equal circuit node count",
+                });
+            }
+        }
+        let n = self.scenarios;
+        ws.probe_event(|p| p.batch_run(n as u64));
+        let cold = match &self.cold_start {
+            Some(c) => c.clone(),
+            None => vec![0.0; circuit.node_count()],
+        };
+        let mut ckt = circuit.clone();
+        let mut out: Vec<Solution> = Vec::with_capacity(n);
+        // Converged node voltages per solved scenario, reused as seeds.
+        let mut seeds: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            apply(&mut ckt, i)?;
+            let warm = if self.warm_start {
+                self.nearest_seed(i, seeds.len())
+            } else {
+                None
+            };
+            let sol = match warm {
+                Some(j) => {
+                    ws.probe_event(Probe::warm_start);
+                    match solve(&ckt, &seeds[j], ws) {
+                        Ok(sol) => sol,
+                        Err(
+                            AnalogError::NoConvergence { .. } | AnalogError::SingularMatrix { .. },
+                        ) => {
+                            ws.probe_event(Probe::warm_start_rejected);
+                            solve(&ckt, &cold, ws)?
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => solve(&ckt, &cold, ws)?,
+            };
+            seeds.push(ws.node_voltages().to_vec());
+            out.push(sol);
+        }
+        Ok(out)
+    }
+}
+
 /// An analysis that can run against a caller-provided workspace.
 ///
 /// All five analyses implement this: [`crate::dc::DcSolver`] and
@@ -682,6 +887,161 @@ mod tests {
             clone.stats().unwrap().normalized(),
             ws.stats().unwrap().normalized()
         );
+    }
+
+    fn square_law_cell() -> Circuit {
+        // Diode-connected NMOS fed by a current source: genuinely nonlinear,
+        // so warm vs cold Newton trajectories actually differ.
+        use crate::device::mos::MosParams;
+        use crate::netlist::MosTerminals;
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.current_source("Ib", Circuit::GROUND, d, Amps(10e-6))
+            .unwrap();
+        let m = MosParams::nmos_08um(20.0, 2.0).with_lambda(0.0);
+        c.mosfet(
+            "M1",
+            MosTerminals {
+                drain: d,
+                gate: d,
+                source: Circuit::GROUND,
+                bulk: Circuit::GROUND,
+            },
+            m,
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn batch_run_warm_off_is_bit_identical_to_per_point() {
+        use crate::dc::{set_current_source, DcSolver};
+        let c = square_law_cell();
+        let solver = DcSolver::new();
+        let values: Vec<f64> = (1..=6).map(|k| k as f64 * 10e-6).collect();
+
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        let batched = BatchRun::new(values.len())
+            .with_warm_start(false)
+            .run_with(
+                &c,
+                &mut ws,
+                |ckt, i| set_current_source(ckt, "Ib", Amps(values[i])),
+                |ckt, start, ws| solver.solve_from_with(ckt, start, ws),
+            )
+            .unwrap();
+
+        for (i, &v) in values.iter().enumerate() {
+            let mut ckt = c.clone();
+            set_current_source(&mut ckt, "Ib", Amps(v)).unwrap();
+            let mut fresh = EngineWorkspace::for_circuit(&ckt);
+            let cold = vec![0.0; ckt.node_count()];
+            let reference = solver.solve_from_with(&ckt, &cold, &mut fresh).unwrap();
+            for (a, b) in batched[i].raw().iter().zip(reference.raw()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "scenario {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_run_counts_batch_and_warm_start_telemetry() {
+        use crate::dc::{set_current_source, DcSolver};
+        let c = square_law_cell();
+        let solver = DcSolver::new();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        ws.enable_stats();
+        let n = 5;
+        BatchRun::new(n)
+            .run_with(
+                &c,
+                &mut ws,
+                |ckt, i| set_current_source(ckt, "Ib", Amps((i + 1) as f64 * 10e-6)),
+                |ckt, start, ws| solver.solve_from_with(ckt, start, ws),
+            )
+            .unwrap();
+        let stats = ws.stats().unwrap();
+        assert_eq!(stats.batch_runs, 1);
+        assert_eq!(stats.batch_scenarios, n as u64);
+        assert_eq!(stats.warm_starts, (n - 1) as u64);
+        assert_eq!(stats.warm_start_rejected, 0);
+    }
+
+    #[test]
+    fn batch_run_rejected_warm_start_falls_back_to_cold() {
+        use crate::dc::{set_current_source, DcSolver};
+        let c = square_law_cell();
+        let solver = DcSolver::new();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        ws.enable_stats();
+        // A solve stub that refuses every warm (nonzero) start, so each
+        // scenario after the first exercises the cold fallback.
+        let sols = BatchRun::new(3)
+            .run_with(
+                &c,
+                &mut ws,
+                |ckt, i| set_current_source(ckt, "Ib", Amps((i + 1) as f64 * 10e-6)),
+                |ckt, start, ws| {
+                    if start.iter().any(|&v| v != 0.0) {
+                        return Err(AnalogError::NoConvergence {
+                            iterations: 0,
+                            residual: f64::INFINITY,
+                            gmin: 1e-12,
+                            residual_history: Vec::new(),
+                        });
+                    }
+                    solver.solve_from_with(ckt, start, ws)
+                },
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 3);
+        let stats = ws.stats().unwrap();
+        assert_eq!(stats.warm_starts, 2);
+        assert_eq!(stats.warm_start_rejected, 2);
+    }
+
+    #[test]
+    fn batch_run_keys_pick_the_nearest_converged_neighbour() {
+        use crate::dc::{set_current_source, DcSolver};
+        let c = square_law_cell();
+        let solver = DcSolver::new();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        // Keys deliberately out of order: scenario 2's key (11.0) is nearest
+        // scenario 1 (10.0), not scenario 0 (1.0).
+        let values = [10e-6, 100e-6, 90e-6];
+        let mut starts: Vec<Vec<f64>> = Vec::new();
+        let mut seeds: Vec<Vec<f64>> = Vec::new();
+        BatchRun::new(3)
+            .with_keys(vec![1.0, 10.0, 11.0])
+            .run_with(
+                &c,
+                &mut ws,
+                |ckt, i| set_current_source(ckt, "Ib", Amps(values[i])),
+                |ckt, start, ws| {
+                    starts.push(start.to_vec());
+                    let sol = solver.solve_from_with(ckt, start, ws)?;
+                    seeds.push(ws.node_voltages().to_vec());
+                    Ok(sol)
+                },
+            )
+            .unwrap();
+        assert_eq!(starts.len(), 3);
+        assert_eq!(starts[2], seeds[1], "scenario 2 should seed from 1");
+        assert_ne!(seeds[0], seeds[1]);
+    }
+
+    #[test]
+    fn batch_run_rejects_mislengthed_keys() {
+        use crate::dc::DcSolver;
+        let (c, _) = divider();
+        let solver = DcSolver::new();
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        let r = BatchRun::new(2).with_keys(vec![0.0]).run_with(
+            &c,
+            &mut ws,
+            |_, _| Ok(()),
+            |ckt, start, ws| solver.solve_from_with(ckt, start, ws),
+        );
+        assert!(matches!(r, Err(AnalogError::InvalidParameter { .. })));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::complexmat::{CMatrix, C64};
 use crate::linalg::Matrix;
 use crate::mna::{assemble_into_target, mna_pattern, StampContext};
 use crate::netlist::Circuit;
-use crate::sparse::{CscMatrix, Scalar, SparseLu};
+use crate::sparse::{CscMatrix, RhsPanel, Scalar, SparseLu};
 use crate::telemetry::{BackendKind, Probe};
 use crate::AnalogError;
 
@@ -340,6 +340,38 @@ impl RealSolver {
                 .solve_into(b, x),
         }
     }
+
+    /// Solves the factored system for a whole panel of right-hand sides —
+    /// the batched counterpart of [`Self::solve`]. The sparse arm streams
+    /// the factors once per block ([`crate::sparse::PANEL_BLOCK`]); the
+    /// dense arm solves column by column with the same dense kernel, so
+    /// either way each scenario's solution is bit-identical to a
+    /// sequential [`Self::solve`] of that column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors; must follow a successful
+    /// [`Self::assemble_and_factor`].
+    pub fn solve_panel(&self, b: &RhsPanel<f64>, x: &mut RhsPanel<f64>) -> Result<(), AnalogError> {
+        match self.active {
+            ActiveBackend::Dense => {
+                x.reset(b.dim(), b.cols());
+                let mut scratch = Vec::with_capacity(b.dim());
+                for s in 0..b.cols() {
+                    self.dense
+                        .lu_solve_into(&self.dense_perm, b.col(s), &mut scratch)?;
+                    x.col_mut(s).copy_from_slice(&scratch);
+                }
+                Ok(())
+            }
+            ActiveBackend::Sparse => self
+                .sparse
+                .as_ref()
+                .expect("sparse backend active without state")
+                .lu
+                .solve_panel_into(b, x),
+        }
+    }
 }
 
 /// The complex linear solver of a workspace (AC / noise). Assembly is a
@@ -444,6 +476,34 @@ impl ComplexSolver {
                 .expect("sparse backend active without state")
                 .lu
                 .solve_into(b, x),
+        }
+    }
+
+    /// Panel counterpart of [`Self::solve`]; see
+    /// [`RealSolver::solve_panel`] for the bit-identity contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors; must follow a successful
+    /// [`Self::assemble_and_factor`].
+    pub fn solve_panel(&self, b: &RhsPanel<C64>, x: &mut RhsPanel<C64>) -> Result<(), AnalogError> {
+        match self.active {
+            ActiveBackend::Dense => {
+                x.reset(b.dim(), b.cols());
+                let mut scratch = Vec::with_capacity(b.dim());
+                for s in 0..b.cols() {
+                    self.dense
+                        .lu_solve_into(&self.dense_perm, b.col(s), &mut scratch)?;
+                    x.col_mut(s).copy_from_slice(&scratch);
+                }
+                Ok(())
+            }
+            ActiveBackend::Sparse => self
+                .sparse
+                .as_ref()
+                .expect("sparse backend active without state")
+                .lu
+                .solve_panel_into(b, x),
         }
     }
 }
@@ -557,6 +617,38 @@ mod tests {
         };
         let (_, backend) = solve_with(&policy, &circuit);
         assert_eq!(backend, ActiveBackend::Dense);
+    }
+
+    #[test]
+    fn panel_solve_matches_sequential_on_both_backends() {
+        let circuit = ladder(40);
+        let guess = vec![0.0; circuit.node_count()];
+        let ctx = StampContext::dc(&guess);
+        for mode in [BackendMode::ForceDense, BackendMode::ForceSparse] {
+            let policy = BackendPolicy {
+                mode,
+                ..BackendPolicy::default()
+            };
+            let mut solver = RealSolver::new();
+            let mut rhs = Vec::new();
+            solver
+                .assemble_and_factor(&circuit, &ctx, &mut rhs, &policy)
+                .unwrap();
+            // A scenario family: the assembled RHS scaled per scenario.
+            let columns: Vec<Vec<f64>> = (0..11)
+                .map(|s| rhs.iter().map(|v| v * (1.0 + 0.1 * s as f64)).collect())
+                .collect();
+            let b = RhsPanel::from_columns(&columns).unwrap();
+            let mut x = RhsPanel::default();
+            solver.solve_panel(&b, &mut x).unwrap();
+            for (s, column) in columns.iter().enumerate() {
+                let mut seq = Vec::new();
+                solver.solve(column, &mut seq).unwrap();
+                for (u, v) in x.col(s).iter().zip(&seq) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{mode:?} scenario {s}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -236,6 +236,101 @@ impl<S: Scalar> CscMatrix<S> {
     }
 }
 
+/// How many right-hand sides a panel solve processes per pass over the
+/// factors. Each pass streams `L` and `U` once while the block's columns
+/// stay cache-resident, which is where the batched speedup comes from.
+pub const PANEL_BLOCK: usize = 8;
+
+/// A panel of right-hand sides (or solutions) in structure-of-arrays
+/// form: scenario `s` occupies the contiguous slice `[s·n, (s+1)·n)`.
+/// This is the batch currency of the solve stack — one allocation for a
+/// whole scenario family, handed to [`SparseLu::solve_panel_into`] and the
+/// backend dispatchers in [`crate::solver`].
+#[derive(Debug, Clone, Default)]
+pub struct RhsPanel<S: Scalar> {
+    n: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> RhsPanel<S> {
+    /// An all-zero `n × cols` panel.
+    #[must_use]
+    pub fn zeros(n: usize, cols: usize) -> Self {
+        RhsPanel {
+            n,
+            cols,
+            data: vec![S::ZERO; n * cols],
+        }
+    }
+
+    /// Builds a panel from per-scenario vectors, which must all have the
+    /// same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] when column lengths
+    /// disagree.
+    pub fn from_columns(columns: &[Vec<S>]) -> Result<Self, AnalogError> {
+        let n = columns.first().map_or(0, Vec::len);
+        if columns.iter().any(|c| c.len() != n) {
+            return Err(AnalogError::InvalidParameter {
+                name: "columns",
+                constraint: "every panel column must have the same length",
+            });
+        }
+        let mut data = Vec::with_capacity(n * columns.len());
+        for c in columns {
+            data.extend_from_slice(c);
+        }
+        Ok(RhsPanel {
+            n,
+            cols: columns.len(),
+            data,
+        })
+    }
+
+    /// Rows per scenario (the matrix dimension).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of scenarios in the panel.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Scenario `s` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn col(&self, s: usize) -> &[S] {
+        &self.data[s * self.n..(s + 1) * self.n]
+    }
+
+    /// Mutable view of scenario `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn col_mut(&mut self, s: usize) -> &mut [S] {
+        &mut self.data[s * self.n..(s + 1) * self.n]
+    }
+
+    /// Resizes to `n × cols` and zeroes every value, reusing the
+    /// allocation when it suffices.
+    pub fn reset(&mut self, n: usize, cols: usize) {
+        self.n = n;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(n * cols, S::ZERO);
+    }
+}
+
 /// One triangular factor in compressed-sparse-column form, with row
 /// indices in the *pivot-permuted* space. `L` columns are sorted ascending
 /// with the unit diagonal first; `U` columns are sorted ascending with the
@@ -593,6 +688,73 @@ impl<S: Scalar> SparseLu<S> {
         Ok(())
     }
 
+    /// Solves `A·X = B` for a whole panel of right-hand sides with one
+    /// factorization, streaming the factors once per [`PANEL_BLOCK`]
+    /// scenarios instead of once per scenario.
+    ///
+    /// Per scenario the arithmetic — operand values and evaluation order —
+    /// is exactly that of [`Self::solve_into`], so the panel result is
+    /// bit-identical to solving each column separately; only the memory
+    /// traffic over `L`/`U` is amortized across the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] on a dimension mismatch or
+    /// if no factorization exists.
+    pub fn solve_panel_into(
+        &self,
+        b: &RhsPanel<S>,
+        x: &mut RhsPanel<S>,
+    ) -> Result<(), AnalogError> {
+        if !self.has_symbolic || b.dim() != self.n {
+            return Err(AnalogError::InvalidParameter {
+                name: "b",
+                constraint: "panel row count must equal factored matrix dimension",
+            });
+        }
+        let n = self.n;
+        x.reset(n, b.cols());
+        for block_start in (0..b.cols()).step_by(PANEL_BLOCK) {
+            let block = block_start..(block_start + PANEL_BLOCK).min(b.cols());
+            // X = P·B, column by column (pinv is a bijection, so every
+            // position of each x column is written).
+            for s in block.clone() {
+                let bcol = b.col(s);
+                let xcol = x.col_mut(s);
+                for (i, &bi) in bcol.iter().enumerate() {
+                    xcol[self.pinv[i]] = bi;
+                }
+            }
+            // Forward substitution: each L column is fetched once and
+            // applied to every scenario in the block.
+            for k in 0..n {
+                let (l_rows, l_vals) = self.lower.column(k);
+                for s in block.clone() {
+                    let xcol = x.col_mut(s);
+                    let xk = xcol[k];
+                    for (&row, &lv) in l_rows.iter().zip(l_vals).skip(1) {
+                        xcol[row] -= lv * xk;
+                    }
+                }
+            }
+            // Back substitution, same blocking.
+            for k in (0..n).rev() {
+                let (u_rows, u_vals) = self.upper.column(k);
+                let last = u_rows.len() - 1;
+                debug_assert_eq!(u_rows[last], k);
+                for s in block.clone() {
+                    let xcol = x.col_mut(s);
+                    let xk = xcol[k] / u_vals[last];
+                    xcol[k] = xk;
+                    for (&row, &uv) in u_rows[..last].iter().zip(&u_vals[..last]) {
+                        xcol[row] -= uv * xk;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Iterative depth-first search from original row `start` over the
     /// graph of built L columns, appending finished nodes to `self.reach`
     /// (reverse topological order).
@@ -914,6 +1076,45 @@ mod tests {
         for (u, v) in x.iter().zip(&dense_x) {
             assert!((*u - *v).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn panel_solve_is_bit_identical_to_sequential_solves() {
+        let mut rng = Rng(0x5151_5151_DADA_0001);
+        for n in [1, 3, 9, 33] {
+            // More scenarios than one block, plus a ragged tail.
+            for cols in [1, 7, 8, 19] {
+                let a = random_tridiagonal(n, &mut rng);
+                let mut lu = SparseLu::new();
+                lu.factorize(&a).unwrap();
+                let columns: Vec<Vec<f64>> = (0..cols)
+                    .map(|_| (0..n).map(|_| rng.next()).collect())
+                    .collect();
+                let b = RhsPanel::from_columns(&columns).unwrap();
+                let mut x = RhsPanel::default();
+                lu.solve_panel_into(&b, &mut x).unwrap();
+                for (s, column) in columns.iter().enumerate() {
+                    let mut seq = Vec::new();
+                    lu.solve_into(column, &mut seq).unwrap();
+                    for (u, v) in x.col(s).iter().zip(&seq) {
+                        assert_eq!(
+                            u.to_bits(),
+                            v.to_bits(),
+                            "n={n} cols={cols} scenario {s}: panel {u} vs sequential {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_rejects_mismatched_columns() {
+        assert!(RhsPanel::from_columns(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let lu = SparseLu::<f64>::new();
+        let b = RhsPanel::zeros(2, 2);
+        let mut x = RhsPanel::default();
+        assert!(lu.solve_panel_into(&b, &mut x).is_err());
     }
 
     #[test]

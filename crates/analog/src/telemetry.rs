@@ -146,6 +146,20 @@ pub trait Probe: Any + Send + fmt::Debug {
         let _ = (nonzeros, factor_nonzeros);
     }
 
+    /// A batched scenario run ([`crate::engine::BatchRun`]) started,
+    /// covering `scenarios` scenarios over one topology.
+    fn batch_run(&mut self, scenarios: u64) {
+        let _ = scenarios;
+    }
+
+    /// A batch scenario's Newton solve was warm-started from an already
+    /// converged neighbour's solution instead of the cold start.
+    fn warm_start(&mut self) {}
+
+    /// A warm-started solve diverged; the scenario was retried from the
+    /// cold operating point instead of failing the batch.
+    fn warm_start_rejected(&mut self) {}
+
     /// Clones the probe behind the trait object (used when a workspace is
     /// cloned).
     fn box_clone(&self) -> Box<dyn Probe>;
@@ -229,6 +243,14 @@ pub struct EngineStats {
     /// Largest factor-nonzero (fill-in) count of any factored sparse
     /// system.
     pub max_factor_nonzeros: u64,
+    /// Batched scenario runs ([`crate::engine::BatchRun`]) started.
+    pub batch_runs: u64,
+    /// Scenarios covered by batched runs.
+    pub batch_scenarios: u64,
+    /// Batch scenarios warm-started from a converged neighbour.
+    pub warm_starts: u64,
+    /// Warm-started solves that diverged and fell back to the cold start.
+    pub warm_start_rejected: u64,
     /// Workspaces retired and rebuilt after a caught panic or injected
     /// fault (incremented by harnesses that own workspaces, e.g. the
     /// service worker pool — the engine itself never resets).
@@ -264,6 +286,10 @@ impl Default for EngineStats {
             symbolic_cache_misses: 0,
             max_matrix_nonzeros: 0,
             max_factor_nonzeros: 0,
+            batch_runs: 0,
+            batch_scenarios: 0,
+            warm_starts: 0,
+            warm_start_rejected: 0,
             workspace_resets: 0,
             solve_time: Duration::ZERO,
         }
@@ -358,6 +384,16 @@ impl EngineStats {
             "\"max_matrix_nonzeros\":{},\"max_factor_nonzeros\":{},",
             self.max_matrix_nonzeros, self.max_factor_nonzeros
         );
+        let _ = write!(
+            s,
+            "\"batch_runs\":{},\"batch_scenarios\":{},",
+            self.batch_runs, self.batch_scenarios
+        );
+        let _ = write!(
+            s,
+            "\"warm_starts\":{},\"warm_start_rejected\":{},",
+            self.warm_starts, self.warm_start_rejected
+        );
         let _ = write!(s, "\"workspace_resets\":{},", self.workspace_resets);
         let _ = write!(s, "\"solve_time_ns\":{}", self.solve_time.as_nanos());
         s.push('}');
@@ -391,6 +427,10 @@ impl Merge for EngineStats {
         self.symbolic_cache_misses += other.symbolic_cache_misses;
         self.max_matrix_nonzeros = self.max_matrix_nonzeros.max(other.max_matrix_nonzeros);
         self.max_factor_nonzeros = self.max_factor_nonzeros.max(other.max_factor_nonzeros);
+        self.batch_runs += other.batch_runs;
+        self.batch_scenarios += other.batch_scenarios;
+        self.warm_starts += other.warm_starts;
+        self.warm_start_rejected += other.warm_start_rejected;
         self.workspace_resets += other.workspace_resets;
         self.solve_time += other.solve_time;
     }
@@ -470,6 +510,19 @@ impl Probe for EngineStats {
         self.max_factor_nonzeros = self.max_factor_nonzeros.max(factor_nonzeros);
     }
 
+    fn batch_run(&mut self, scenarios: u64) {
+        self.batch_runs += 1;
+        self.batch_scenarios += scenarios;
+    }
+
+    fn warm_start(&mut self) {
+        self.warm_starts += 1;
+    }
+
+    fn warm_start_rejected(&mut self) {
+        self.warm_start_rejected += 1;
+    }
+
     fn box_clone(&self) -> Box<dyn Probe> {
         Box::new(self.clone())
     }
@@ -517,6 +570,10 @@ mod tests {
             symbolic_cache_misses: k % 2 + k % 5,
             max_matrix_nonzeros: 11 * k % 23,
             max_factor_nonzeros: 13 * k % 29,
+            batch_runs: k % 4,
+            batch_scenarios: 5 * k % 17,
+            warm_starts: 4 * k % 13,
+            warm_start_rejected: k % 5,
             workspace_resets: k % 3,
             solve_time: Duration::from_nanos(17 * k),
         }
@@ -575,6 +632,10 @@ mod tests {
             "symbolic_cache_misses",
             "max_matrix_nonzeros",
             "max_factor_nonzeros",
+            "batch_runs",
+            "batch_scenarios",
+            "warm_starts",
+            "warm_start_rejected",
             "workspace_resets",
             "solve_time_ns",
         ] {
@@ -660,5 +721,21 @@ mod tests {
         assert_eq!(s.symbolic_cache_misses, 1);
         assert_eq!(s.max_matrix_nonzeros, 40);
         assert_eq!(s.max_factor_nonzeros, 90);
+    }
+
+    #[test]
+    fn batch_events_route_to_their_counters() {
+        let mut s = EngineStats::new();
+        s.batch_run(12);
+        s.batch_run(4);
+        s.warm_start();
+        s.warm_start();
+        s.warm_start();
+        s.warm_start_rejected();
+
+        assert_eq!(s.batch_runs, 2);
+        assert_eq!(s.batch_scenarios, 16);
+        assert_eq!(s.warm_starts, 3);
+        assert_eq!(s.warm_start_rejected, 1);
     }
 }

@@ -220,6 +220,10 @@ fn stats_sample(draw: (u64, u64, u64, u64, u32)) -> si_analog::telemetry::Engine
         symbolic_cache_misses: factor.min(7),
         max_matrix_nonzeros: (11 * iters) % 97,
         max_factor_nonzeros: (13 * iters) % 131,
+        batch_runs: solves % 3,
+        batch_scenarios: (7 * solves) % 41,
+        warm_starts: iters % 11,
+        warm_start_rejected: iters % 4,
         workspace_resets: solves % 2,
         solve_time: std::time::Duration::from_nanos(13 * iters),
     }

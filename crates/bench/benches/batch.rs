@@ -1,0 +1,70 @@
+//! Batched-vs-per-point Criterion pair (ISSUE 6): a Monte Carlo style
+//! spread of delay-line DC operating points solved two ways.
+//!
+//! * `dc_monte_carlo_per_point`: one `DelayLineDc` job per input, each on
+//!   a **fresh** workspace — every scenario pays symbolic analysis plus a
+//!   cold Newton solve. This is the pre-batch service behaviour.
+//! * `dc_monte_carlo_batched`: one `DelayLineDcBatch` job on **one**
+//!   workspace — a single symbolic factorization replayed across the
+//!   batch, each Newton loop warm-started from the nearest converged
+//!   neighbour.
+//!
+//! The acceptance gate for the batched scenario engine is the batched
+//! variant running at least ~3× faster than per-point at equal results
+//! (bit-identity is asserted separately in `tests/integration_batch.rs`);
+//! compare the two `dc_monte_carlo_*` lines in the Criterion report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use si_analog::engine::EngineWorkspace;
+use si_service::jobspec::JobSpec;
+
+const STAGES: usize = 24;
+const BIAS_UA: f64 = 20.0;
+const SCENARIOS: usize = 32;
+
+/// The Monte Carlo input spread: seeded, so both variants and every
+/// Criterion iteration solve the identical scenario set.
+fn monte_carlo_inputs() -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    (0..SCENARIOS).map(|_| rng.gen_range(0.2..4.0)).collect()
+}
+
+fn bench_batched_vs_per_point(c: &mut Criterion) {
+    let inputs = monte_carlo_inputs();
+
+    c.bench_function("dc_monte_carlo_per_point", |b| {
+        b.iter(|| {
+            let mut values = Vec::new();
+            for &input_ua in &inputs {
+                // A fresh workspace per scenario: no cached symbolic
+                // structure, no warm start — the unbatched baseline.
+                let mut ws = EngineWorkspace::new();
+                let spec = JobSpec::DelayLineDc {
+                    stages: STAGES,
+                    bias_ua: BIAS_UA,
+                    input_ua,
+                };
+                let out = spec.run(black_box(&mut ws)).unwrap();
+                values.extend(out.values);
+            }
+            values
+        })
+    });
+
+    c.bench_function("dc_monte_carlo_batched", |b| {
+        let spec = JobSpec::DelayLineDcBatch {
+            stages: STAGES,
+            bias_ua: BIAS_UA,
+            inputs_ua: inputs.clone(),
+        };
+        let mut ws = EngineWorkspace::new();
+        b.iter(|| spec.run(black_box(&mut ws)).unwrap().values)
+    });
+}
+
+criterion_group!(benches, bench_batched_vs_per_point);
+criterion_main!(benches);

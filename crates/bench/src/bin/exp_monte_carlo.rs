@@ -32,7 +32,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     // Draw every trial's parameters serially so the rng stream (and thus
     // each trial) is independent of how the measurements are scheduled,
-    // then fan the expensive measurements out across workers. The results
+    // then fan the expensive measurements out across workers in contiguous
+    // blocks (ISSUE 6: the batched sweep primitive — block boundaries
+    // depend only on the trial count, never the worker count). The results
     // come back in trial order, byte-identical to the old serial loop.
     let mut rng = StdRng::seed_from_u64(0x4d43); // "MC"
     let mut configs = Vec::with_capacity(trials);
@@ -48,13 +50,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         };
         configs.push(config);
     }
-    let mut sinads = si_core::sweep::parallel_map(
+    // Blocks of 4 trials amortize dispatch without starving the workers.
+    let mut sinads = si_core::sweep::parallel_map_batched(
         &configs,
+        4,
         || (),
-        |(), config, _| {
-            let mut m = SiModulator::new(*config)?;
-            let meas = measure(&mut m, &cfg)?;
-            Ok::<_, si_modulator::ModulatorError>(meas.sinad_db)
+        |(), block: &[SiModulatorConfig], _| {
+            let mut out = Vec::with_capacity(block.len());
+            for config in block {
+                let mut m = SiModulator::new(*config)?;
+                let meas = measure(&mut m, &cfg)?;
+                out.push(meas.sinad_db);
+            }
+            Ok::<_, si_modulator::ModulatorError>(out)
         },
     )?;
     let by_trial = sinads.clone();

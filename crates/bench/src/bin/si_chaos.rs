@@ -98,6 +98,16 @@ fn job(args: &Args, k: usize) -> JobSpec {
     }
 }
 
+/// One counter out of a live `/metrics` snapshot.
+fn svc_counter(service: &SiService, section: &str, key: &str) -> f64 {
+    service
+        .metrics()
+        .get(section)
+        .and_then(|s| s.get(key))
+        .and_then(si_service::json::Json::as_f64)
+        .unwrap_or(0.0)
+}
+
 /// Maps a non-200 HTTP error body back to a typed error so the client
 /// retry loop can reuse [`ServiceError::is_client_retryable`].
 fn typed_http_error(status: u16, payload: &str) -> ServiceError {
@@ -373,6 +383,74 @@ fn main() {
         ));
     }
 
+    // ---- Mid-batch panic phase (ISSUE 6): arm a one-shot worker panic
+    // and submit a batch job. The batch path draws faults per *scenario*
+    // (never at scenario 0), so the panic fires after real partial state
+    // exists. The gates prove partial results are never cached: the
+    // retried submission returns the complete value set uncached, the
+    // abandoned flight is counted, and a resubmission is a cache hit that
+    // is bit-identical to a fresh solve.
+    let batch_faults = Arc::new(FaultInjector::new(FaultPlan {
+        seed: args.seed.wrapping_add(2),
+        panic_pm: 1000,
+        stall_pm: 0,
+        transient_pm: 0,
+        drop_pm: 0,
+        stall: Duration::ZERO,
+        max_faults: 1,
+    }));
+    service.install_fault_injector(Arc::clone(&batch_faults));
+    let abandoned_before = svc_counter(&service, "cache", "abandoned_flights");
+    let batch_spec = JobSpec::DelayLineDcBatch {
+        stages: args.stages,
+        bias_ua: 20.0,
+        inputs_ua: (0..8).map(|k| 0.5 + 0.25 * f64::from(k)).collect(),
+    };
+    let mut batch_panics = 0u64;
+    match service.submit_blocking(&batch_spec, None) {
+        Ok((out, cached)) => {
+            batch_panics = batch_faults.stats().panics;
+            if batch_panics != 1 {
+                failures.push(format!(
+                    "mid-batch phase injected {batch_panics} panics (expected 1)"
+                ));
+            }
+            if cached {
+                failures.push("a partially-run batch was served from cache".to_string());
+            }
+            if out.values.len() != 8 * args.stages {
+                failures.push(format!(
+                    "retried batch returned {} values (expected {})",
+                    out.values.len(),
+                    8 * args.stages
+                ));
+            }
+            let abandoned_after = svc_counter(&service, "cache", "abandoned_flights");
+            if abandoned_after <= abandoned_before {
+                failures.push("mid-batch panic did not abandon the flight".to_string());
+            }
+            // The retry's cached entry must match a fresh batch solve.
+            let fresh = batch_spec.run(&mut fresh_ws).expect("fresh batch solve");
+            let (resolved, re_cached) = service
+                .submit_blocking(&batch_spec, None)
+                .expect("batch resubmission");
+            if !re_cached {
+                failures.push("complete batch was not cached".to_string());
+            }
+            let identical = resolved.values.len() == fresh.values.len()
+                && resolved
+                    .values
+                    .iter()
+                    .zip(fresh.values.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !identical {
+                failures.push("cached batch differs bitwise from a fresh solve".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("batch submission did not survive the panic: {e}")),
+    }
+    batch_faults.disarm();
+
     let worker_stats = worker_faults.stats();
     let drop_stats = client_drops.as_ref().map(|d| d.stats()).unwrap_or_default();
     let total_injected = worker_stats.injected + drop_stats.injected;
@@ -452,6 +530,7 @@ fn main() {
     report.metric("workspace_resets", svc_metric("engine", "workspace_resets"));
     report.metric("verified_keys", verified as f64);
     report.metric("bit_mismatches", bit_mismatches as f64);
+    report.metric("batch_midrun_panics", batch_panics as f64);
     report.metric("leaked_cancel_flags", leaked_flags as f64);
     report.metric("chaos_wall_s", chaos_wall.as_secs_f64());
     report.set_solver(service.engine_stats());

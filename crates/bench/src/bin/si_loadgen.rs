@@ -13,11 +13,17 @@
 //! ```text
 //! si_loadgen [--http] [--clients N] [--cold N] [--hot N]
 //!            [--stages N] [--steps N] [--workers N] [--queue N]
+//!            [--batch] [--scenarios N]
 //! ```
 //!
 //! By default the service is driven in-process (deterministic, no
 //! sockets); `--http` binds a real loopback `HttpServer` and issues the
 //! same workload as HTTP requests.
+//!
+//! `--batch` adds a third phase (ISSUE 6): the same N DC operating
+//! points submitted once as N individual `delay_line_dc` jobs and once as
+//! a single `delay_line_dc_batch` job. The scenario-throughput ratio
+//! batch/singles is reported as the `batch_speedup` metric.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +44,8 @@ struct Args {
     steps: usize,
     workers: usize,
     queue: usize,
+    batch: bool,
+    scenarios: usize,
 }
 
 impl Default for Args {
@@ -51,6 +59,8 @@ impl Default for Args {
             steps: 96,
             workers: 4,
             queue: 64,
+            batch: false,
+            scenarios: 32,
         }
     }
 }
@@ -74,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
             "--steps" => args.steps = int("--steps")?.max(1),
             "--workers" => args.workers = int("--workers")?.max(1),
             "--queue" => args.queue = int("--queue")?.max(1),
+            "--batch" => args.batch = true,
+            "--scenarios" => args.scenarios = int("--scenarios")?.max(2),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -244,6 +256,29 @@ fn main() {
         .collect();
     let hot = run_phase(client.as_ref(), &hot_specs, args.clients);
 
+    // Batch phase (ISSUE 6): the same scenario set as N single DC jobs
+    // versus one batch job. Distinct input currents give every single job
+    // its own cache key, so both sides pay for real solves.
+    let batch_cmp = args.batch.then(|| {
+        let inputs: Vec<f64> = (0..args.scenarios).map(|k| 0.5 + 0.05 * k as f64).collect();
+        let single_specs: Vec<JobSpec> = inputs
+            .iter()
+            .map(|&input_ua| JobSpec::DelayLineDc {
+                stages: args.stages,
+                bias_ua: 20.0,
+                input_ua,
+            })
+            .collect();
+        let singles = run_phase(client.as_ref(), &single_specs, args.clients);
+        let batch_spec = JobSpec::DelayLineDcBatch {
+            stages: args.stages,
+            bias_ua: 20.0,
+            inputs_ua: inputs,
+        };
+        let batch = run_phase(client.as_ref(), std::slice::from_ref(&batch_spec), 1);
+        (singles, batch)
+    });
+
     let throughput = |n: usize, wall: Duration| n as f64 / wall.as_secs_f64().max(1e-9);
     let throughput_cold = throughput(args.cold, cold.wall);
     let throughput_hot = throughput(args.hot, hot.wall);
@@ -277,7 +312,27 @@ fn main() {
     report.metric("latency_hot_p95_us", percentile_us(&hot.latencies, 0.95));
     report.metric("latency_hot_p99_us", percentile_us(&hot.latencies, 0.99));
     report.metric("overloaded", (cold.overloaded + hot.overloaded) as f64);
-    report.metric("errors", (cold.errors + hot.errors) as f64);
+    let mut total_errors = cold.errors + hot.errors;
+    let mut batch_line = String::new();
+    if let Some((singles, batch)) = &batch_cmp {
+        let singles_sps = throughput(args.scenarios, singles.wall);
+        let batch_sps = throughput(args.scenarios, batch.wall);
+        let batch_speedup = batch_sps / singles_sps.max(1e-9);
+        report.note(
+            "batch_phase",
+            format!(
+                "{} DC scenarios as singles vs one delay_line_dc_batch job",
+                args.scenarios
+            ),
+        );
+        report.metric("batch_scenarios", args.scenarios as f64);
+        report.metric("throughput_singles_sps", singles_sps);
+        report.metric("throughput_batch_sps", batch_sps);
+        report.metric("batch_speedup", batch_speedup);
+        total_errors += singles.errors + batch.errors;
+        batch_line = format!(" | batch {batch_speedup:.1}x over singles");
+    }
+    report.metric("errors", total_errors as f64);
     report.set_solver(service.engine_stats());
 
     let dir = experiments_dir();
@@ -286,7 +341,7 @@ fn main() {
         Err(e) => eprintln!("could not write report: {e}"),
     }
     println!(
-        "cold {throughput_cold:.1} jobs/s | hot {throughput_hot:.1} jobs/s | speedup {speedup:.1}x | hit ratio {hit_ratio:.3}"
+        "cold {throughput_cold:.1} jobs/s | hot {throughput_hot:.1} jobs/s | speedup {speedup:.1}x | hit ratio {hit_ratio:.3}{batch_line}"
     );
 
     if let Some(mut srv) = server.take() {
@@ -299,8 +354,8 @@ fn main() {
         eprintln!("FAIL: cache speedup {speedup:.2}x below the 5x acceptance bar");
         std::process::exit(1);
     }
-    if cold.errors + hot.errors > 0 {
-        eprintln!("FAIL: {} job errors", cold.errors + hot.errors);
+    if total_errors > 0 {
+        eprintln!("FAIL: {total_errors} job errors");
         std::process::exit(1);
     }
 }

@@ -9,6 +9,15 @@
 //! work. Errors are handed to waiting followers but never cached: a
 //! transient non-convergence should not poison the key forever.
 //!
+//! Batch jobs ([`JobSpec::DelayLineDcBatch`](crate::jobspec::JobSpec))
+//! cache at the same granularity as everything else: one key, one entry,
+//! holding *all* scenarios' values. A batch is published only by the one
+//! `complete` call that carries its full output; a leader that dies
+//! mid-batch (worker panic between scenarios) goes through the same
+//! abandoned-flight path as any other crash, so a partial batch can never
+//! become a ready entry — there is simply no API through which fewer than
+//! all scenarios could be published.
+//!
 //! The map is sharded by the low bits of the key so unrelated jobs do not
 //! contend on one lock; each shard's critical sections only move `Arc`s.
 //!
@@ -408,6 +417,43 @@ mod tests {
             CacheOutcome::Hit(out) => assert_eq!(out.values, vec![5.0]),
             other => panic!("expected Hit, got {other:?}"),
         }
+    }
+
+    /// Regression (ISSUE 6): a leader that dies *mid-batch* — after some
+    /// scenarios solved but before `complete` — must cache nothing. The
+    /// only publishable value is the full output passed to `complete`;
+    /// the abandonment backstop evicts the key, so the next caller leads
+    /// again and recomputes the whole batch.
+    #[test]
+    fn abandoned_batch_flight_caches_no_partial_scenarios() {
+        let cache = Arc::new(ResultCache::new());
+        let guard = match cache.get_or_lead(6) {
+            CacheOutcome::Lead(g) => g,
+            other => panic!("expected Lead, got {other:?}"),
+        };
+        // The "worker" solves scenario 0 of 3, then panics before the
+        // batch completes. Its partial values die with the stack frame.
+        let leader = thread::spawn(move || {
+            let _guard = guard;
+            let _partial = [1.0_f64]; // scenario 0 of 3
+            panic!("injected fault: worker panic mid-batch");
+        });
+        assert!(leader.join().is_err());
+        assert!(cache.peek(6).is_none(), "partial batch must not be cached");
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().abandoned_flights, 1);
+        // The next caller leads and publishes the complete batch.
+        match cache.get_or_lead(6) {
+            CacheOutcome::Lead(g) => cache.complete(
+                g,
+                Ok(Arc::new(JobOutput {
+                    values: vec![1.0, 2.0, 3.0],
+                    metrics: vec![("scenarios".to_string(), 3.0)],
+                })),
+            ),
+            other => panic!("expected Lead after abandonment, got {other:?}"),
+        }
+        assert_eq!(cache.peek(6).unwrap().values.len(), 3);
     }
 
     /// Regression (ISSUE 5): a poisoned shard mutex — a thread panicked

@@ -714,6 +714,38 @@ mod tests {
         server.shutdown();
     }
 
+    /// ISSUE 6: a batch spec rides the same `POST /v1/jobs` wire — one
+    /// submission, one id, per-scenario values concatenated in the body,
+    /// and the batch counters visible in `/metrics`.
+    #[test]
+    fn batch_job_posts_as_one_submission() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let spec =
+            r#"{"kind":"delay_line_dc_batch","stages":3,"bias_ua":20,"inputs_ua":[0.5,1,2]}"#;
+        let (status, body) = http_request(addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("kind").unwrap().as_str(),
+            Some("delay_line_dc_batch")
+        );
+        // 3 scenarios × 3 stage nodes, scenario-major.
+        assert_eq!(parsed.get("n_values").unwrap().as_f64(), Some(9.0));
+        let metrics = parsed.get("metrics").unwrap();
+        assert_eq!(metrics.get("scenarios").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            metrics.get("values_per_scenario").unwrap().as_f64(),
+            Some(3.0)
+        );
+        let (_, m) = http_request(addr, "GET", "/metrics", None).unwrap();
+        let m = json::parse(&m).unwrap();
+        let service = m.get("service").unwrap();
+        assert_eq!(service.get("batch_submitted").unwrap().as_f64(), Some(1.0));
+        assert_eq!(service.get("batch_scenarios").unwrap().as_f64(), Some(3.0));
+        server.shutdown();
+    }
+
     #[test]
     fn invalid_bodies_get_400() {
         let mut server = serve();

@@ -14,7 +14,7 @@ use si_analog::ac::{AcAnalysis, AcProbe, AcStimulus};
 use si_analog::cells::DelayLineDesign;
 use si_analog::dc::{set_current_source, DcSolver};
 use si_analog::device::switch::TwoPhaseClock;
-use si_analog::engine::EngineWorkspace;
+use si_analog::engine::{BatchRun, EngineWorkspace};
 use si_analog::tran::{self, TranParams};
 use si_analog::units::{Amps, Farads, Seconds, Volts};
 use si_modulator::arch::SecondOrderTopology;
@@ -118,6 +118,21 @@ pub enum JobSpec {
         /// Input levels, dB relative to full scale.
         levels_db: Vec<f64>,
     },
+    /// Batched DC operating points of one delay-line topology: N input
+    /// currents solved as one job through a [`si_analog::engine::BatchRun`],
+    /// sharing a single symbolic factorization and warm-starting each
+    /// scenario from its nearest-input converged neighbour. One submission,
+    /// one job key, one admission decision; per-scenario results come back
+    /// concatenated in [`JobOutput::values`] (scenario-major,
+    /// `values_per_scenario` voltages each).
+    DelayLineDcBatch {
+        /// Number of memory stages.
+        stages: usize,
+        /// Per-stage bias current, µA.
+        bias_ua: f64,
+        /// One input current per scenario, µA.
+        inputs_ua: Vec<f64>,
+    },
 }
 
 /// The computed result of a job: a value vector (what was solved) and a
@@ -211,6 +226,24 @@ impl JobSpec {
                     return bad("levels_db entries must be finite");
                 }
             }
+            JobSpec::DelayLineDcBatch {
+                stages,
+                bias_ua,
+                inputs_ua,
+            } => {
+                if *stages == 0 || *stages > 4096 {
+                    return bad("stages must be in 1..=4096");
+                }
+                if !(*bias_ua > 0.0) {
+                    return bad("bias_ua must be positive");
+                }
+                if inputs_ua.is_empty() || inputs_ua.len() > 1024 {
+                    return bad("inputs_ua needs 1..=1024 entries");
+                }
+                if inputs_ua.iter().any(|i| !i.is_finite()) {
+                    return bad("inputs_ua entries must be finite");
+                }
+            }
         }
         Ok(())
     }
@@ -297,6 +330,26 @@ impl JobSpec {
                     h.mix_f64(l);
                 }
             }
+            JobSpec::DelayLineDcBatch {
+                stages,
+                bias_ua,
+                inputs_ua,
+            } => {
+                h.mix_u64(5);
+                // Fingerprint the shared topology once (input source at
+                // zero), then mix the per-scenario inputs explicitly.
+                if let Ok(line) = build_line(*stages, *bias_ua, 0.0) {
+                    h.mix_u64(line.circuit.structure_fingerprint());
+                    h.mix_u64(line.circuit.value_fingerprint());
+                } else {
+                    h.mix_u64(*stages as u64);
+                    h.mix_f64(*bias_ua);
+                }
+                h.mix_u64(inputs_ua.len() as u64);
+                for &i in inputs_ua {
+                    h.mix_f64(i);
+                }
+            }
         }
         h.finish()
     }
@@ -309,6 +362,18 @@ impl JobSpec {
             JobSpec::DelayLineTran { .. } => "delay_line_tran",
             JobSpec::DelayLineAc { .. } => "delay_line_ac",
             JobSpec::SndrSweep { .. } => "sndr_sweep",
+            JobSpec::DelayLineDcBatch { .. } => "delay_line_dc_batch",
+        }
+    }
+
+    /// Number of scenarios this spec fans out to: 1 for every single-shot
+    /// analysis, the input count for a batch. Admission control prices a
+    /// batch as one job; `/metrics` counts its scenarios through this.
+    #[must_use]
+    pub fn scenario_count(&self) -> usize {
+        match self {
+            JobSpec::DelayLineDcBatch { inputs_ua, .. } => inputs_ua.len(),
+            _ => 1,
         }
     }
 
@@ -375,6 +440,24 @@ impl JobSpec {
                     levels_db,
                 }
             }
+            "delay_line_dc_batch" => {
+                let inputs = v
+                    .get("inputs_ua")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| invalid("missing array \"inputs_ua\"".to_string()))?;
+                let inputs_ua = inputs
+                    .iter()
+                    .map(|l| {
+                        l.as_f64()
+                            .ok_or_else(|| invalid("inputs_ua entries must be numbers".to_string()))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                JobSpec::DelayLineDcBatch {
+                    stages: int("stages")?,
+                    bias_ua: num("bias_ua")?,
+                    inputs_ua,
+                }
+            }
             other => return Err(invalid(format!("unknown kind {other:?}"))),
         };
         spec.validate()?;
@@ -435,6 +518,18 @@ impl JobSpec {
                     Json::Array(levels_db.iter().map(|&l| Json::Number(l)).collect()),
                 ));
             }
+            JobSpec::DelayLineDcBatch {
+                stages,
+                bias_ua,
+                inputs_ua,
+            } => {
+                pairs.push(("stages".to_string(), Json::Number(*stages as f64)));
+                pairs.push(("bias_ua".to_string(), Json::Number(*bias_ua)));
+                pairs.push((
+                    "inputs_ua".to_string(),
+                    Json::Array(inputs_ua.iter().map(|&l| Json::Number(l)).collect()),
+                ));
+            }
         }
         Json::Object(pairs)
     }
@@ -449,6 +544,24 @@ impl JobSpec {
     /// [`ServiceError::InvalidSpec`] for specs that fail validation,
     /// [`ServiceError::Analysis`] for solver failures.
     pub fn run(&self, ws: &mut EngineWorkspace) -> Result<JobOutput, ServiceError> {
+        self.run_with_hook(ws, None)
+    }
+
+    /// [`JobSpec::run`] with an optional per-scenario hook, invoked with
+    /// the scenario index just before each scenario of a batch job solves
+    /// (single-shot jobs never call it). The worker pool threads its fault
+    /// injector through here so chaos tests can kill a worker *mid-batch*
+    /// and prove partial batch results are never cached. The hook observes
+    /// or panics; it cannot alter results.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobSpec::run`].
+    pub fn run_with_hook(
+        &self,
+        ws: &mut EngineWorkspace,
+        mut scenario_hook: Option<&mut dyn FnMut(usize)>,
+    ) -> Result<JobOutput, ServiceError> {
         self.validate()?;
         // Newton budget exhaustion is the one analog failure a retry can
         // plausibly clear (warmer workspace, different gmin path), so it
@@ -566,6 +679,53 @@ impl JobSpec {
                     metrics: vec![
                         ("dynamic_range_db".to_string(), sweep.dynamic_range_db),
                         ("peak_sinad_db".to_string(), sweep.peak_sinad_db()),
+                    ],
+                })
+            }
+            JobSpec::DelayLineDcBatch {
+                stages,
+                bias_ua,
+                inputs_ua,
+            } => {
+                // One topology for every scenario: build at zero input and
+                // let BatchRun retune the source per scenario, so the whole
+                // batch shares one symbolic factorization and each Newton
+                // loop warm-starts from the nearest input current.
+                let line = build_line(*stages, *bias_ua, 0.0).map_err(analysis)?;
+                let solver = DcSolver::new();
+                let sols = BatchRun::new(inputs_ua.len())
+                    .with_keys(inputs_ua.clone())
+                    .with_cold_start(line.initial_guess.clone())
+                    .run_with(
+                        &line.circuit,
+                        ws,
+                        |ckt, i| {
+                            if let Some(hook) = scenario_hook.as_deref_mut() {
+                                hook(i);
+                            }
+                            set_current_source(ckt, &line.input_source, Amps(inputs_ua[i] * 1e-6))
+                        },
+                        |ckt, start, ws| solver.solve_from_with(ckt, start, ws),
+                    )
+                    .map_err(analysis)?;
+                let per_scenario = line.stage_nodes.len();
+                let mut values = Vec::with_capacity(sols.len() * per_scenario);
+                for sol in &sols {
+                    values.extend(line.stage_nodes.iter().map(|&n| sol.voltage(n).0));
+                }
+                let v_out_first = values.get(per_scenario - 1).copied().unwrap_or(0.0);
+                let v_out_last = values.last().copied().unwrap_or(0.0);
+                Ok(JobOutput {
+                    values,
+                    metrics: vec![
+                        ("scenarios".to_string(), sols.len() as f64),
+                        ("values_per_scenario".to_string(), per_scenario as f64),
+                        ("v_out_first_scenario".to_string(), v_out_first),
+                        ("v_out_last_scenario".to_string(), v_out_last),
+                        (
+                            "mna_dimension".to_string(),
+                            line.circuit.mna_dimension() as f64,
+                        ),
                     ],
                 })
             }
@@ -690,6 +850,84 @@ mod tests {
         assert_eq!(a.values.len(), 4);
         // Diode-connected NMOS nodes sit near Vgs = Vt + Vov ≈ 1.05 V.
         assert!(a.values.iter().all(|v| *v > 0.5 && *v < 2.0), "{a:?}");
+    }
+
+    fn batch_spec(inputs: &[f64]) -> JobSpec {
+        JobSpec::DelayLineDcBatch {
+            stages: 4,
+            bias_ua: 20.0,
+            inputs_ua: inputs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn batch_spec_round_trips_and_keys_on_inputs() {
+        let a = batch_spec(&[1.0, 2.0, 3.0]);
+        let wire = a.to_json().to_string_compact();
+        let parsed = JobSpec::from_json(&crate::json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, a);
+        assert_eq!(parsed.job_key(), a.job_key());
+        assert_eq!(a.scenario_count(), 3);
+        // Reordering or retuning scenarios moves the key; a single job and
+        // a one-scenario batch never collide.
+        assert_ne!(a.job_key(), batch_spec(&[3.0, 2.0, 1.0]).job_key());
+        assert_ne!(a.job_key(), batch_spec(&[1.0, 2.0]).job_key());
+        let single = JobSpec::DelayLineDc {
+            stages: 4,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+        };
+        assert_ne!(single.job_key(), batch_spec(&[2.0]).job_key());
+        assert_eq!(single.scenario_count(), 1);
+    }
+
+    #[test]
+    fn batch_spec_validates_inputs() {
+        assert!(matches!(
+            batch_spec(&[]).validate(),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            batch_spec(&[f64::NAN]).validate(),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+        assert!(batch_spec(&[0.5]).validate().is_ok());
+    }
+
+    #[test]
+    fn batch_job_runs_deterministically_and_concatenates_scenarios() {
+        let spec = batch_spec(&[0.5, 1.0, 1.5, 2.0]);
+        let mut ws1 = EngineWorkspace::new();
+        let mut ws2 = EngineWorkspace::new();
+        let a = spec.run(&mut ws1).unwrap();
+        let b = spec.run(&mut ws2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.values.len(), 4 * 4, "4 scenarios x 4 stage nodes");
+        let per = a
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "values_per_scenario")
+            .unwrap()
+            .1;
+        assert_eq!(per, 4.0);
+        assert!(a.values.iter().all(|v| *v > 0.5 && *v < 2.0), "{a:?}");
+    }
+
+    #[test]
+    fn batch_hook_sees_every_scenario_in_order() {
+        let spec = batch_spec(&[0.5, 1.0, 1.5]);
+        let mut ws = EngineWorkspace::new();
+        let mut seen = Vec::new();
+        let mut hook = |i: usize| seen.push(i);
+        spec.run_with_hook(&mut ws, Some(&mut hook)).unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+        // Single-shot jobs never consult the hook.
+        let mut seen_single = Vec::new();
+        let mut hook_single = |i: usize| seen_single.push(i);
+        dc_spec()
+            .run_with_hook(&mut ws, Some(&mut hook_single))
+            .unwrap();
+        assert!(seen_single.is_empty());
     }
 
     #[test]

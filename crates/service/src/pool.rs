@@ -458,4 +458,40 @@ mod tests {
         assert!(stats.solves >= 4, "merged solves {}", stats.solves);
         assert_eq!(stats.convergence_failures, 0);
     }
+
+    /// ISSUE 6: batch-run telemetry flows from worker workspaces into the
+    /// merged snapshot — `batch_runs`/`batch_scenarios` total across
+    /// workers exactly like the scalar solve counters.
+    #[test]
+    fn batch_telemetry_surfaces_in_merged_stats() {
+        let pool = WorkerPool::new(PoolConfig {
+            workers: 2,
+            queue_capacity: 8,
+        });
+        let (tx, rx) = channel();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |ws| {
+                let spec = crate::jobspec::JobSpec::DelayLineDcBatch {
+                    stages: 2,
+                    bias_ua: 20.0,
+                    inputs_ua: vec![0.5, 1.0, 2.0, 4.0],
+                };
+                let out = spec.run(ws).unwrap();
+                tx.send(out).unwrap();
+            }))
+            .unwrap();
+        }
+        for _ in 0..3 {
+            rx.recv().unwrap();
+        }
+        pool.shutdown();
+        let stats = pool.merged_engine_stats();
+        assert_eq!(stats.batch_runs, 3);
+        assert_eq!(stats.batch_scenarios, 12);
+        // Every scenario after a batch's first warm-started from a
+        // converged neighbour, and none were rejected.
+        assert_eq!(stats.warm_starts, 9);
+        assert_eq!(stats.warm_start_rejected, 0);
+    }
 }

@@ -81,6 +81,10 @@ struct ServiceCounters {
     canceled: AtomicU64,
     retries: AtomicU64,
     retries_exhausted: AtomicU64,
+    /// Submissions that were batch jobs (scenario_count > 1).
+    batch_submitted: AtomicU64,
+    /// Total scenarios across those batch submissions.
+    batch_scenarios: AtomicU64,
 }
 
 type CancelFlags = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
@@ -237,6 +241,17 @@ impl SiService {
     ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
         spec.validate()?;
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        // A batch is admitted, priced, and cached as ONE job; these
+        // counters record how many scenarios rode along.
+        let scenarios = spec.scenario_count() as u64;
+        if scenarios > 1 {
+            self.counters
+                .batch_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .batch_scenarios
+                .fetch_add(scenarios, Ordering::Relaxed);
+        }
         let key = spec.job_key();
         lock_recover(&self.seen).insert(key, spec.kind());
 
@@ -299,8 +314,15 @@ impl SiService {
                 } else {
                     // Chaos hook: sabotage this execution if the plan says
                     // so. A panic here exercises the pool's unwind
-                    // containment and the guard's drop backstop.
-                    let fault = injector.as_ref().and_then(|i| i.next_fault());
+                    // containment and the guard's drop backstop. Batch jobs
+                    // skip the job-level draw: their injector is consulted
+                    // per scenario inside `run_spec`, so a fault lands
+                    // *mid-batch* — after some scenarios already solved.
+                    let fault = if spec.scenario_count() > 1 {
+                        None
+                    } else {
+                        injector.as_ref().and_then(|i| i.next_fault())
+                    };
                     match fault {
                         Some(FaultKind::PanicWorker) => {
                             panic!("injected fault: worker panic mid-job")
@@ -312,11 +334,13 @@ impl SiService {
                             let stall =
                                 injector.as_ref().map_or(Duration::ZERO, |i| i.plan().stall);
                             std::thread::sleep(stall);
-                            spec.run(ws).map(Arc::new)
+                            run_spec(&spec, ws, injector.as_deref()).map(Arc::new)
                         }
                         // Connection drops are a client-side fault; the
                         // worker just solves normally.
-                        Some(FaultKind::DropConnection) | None => spec.run(ws).map(Arc::new),
+                        Some(FaultKind::DropConnection) | None => {
+                            run_spec(&spec, ws, injector.as_deref()).map(Arc::new)
+                        }
                     }
                 };
                 cache.complete(guard, result.clone());
@@ -453,6 +477,14 @@ impl SiService {
                         "retries_exhausted".to_string(),
                         num(self.counters.retries_exhausted.load(Ordering::Relaxed)),
                     ),
+                    (
+                        "batch_submitted".to_string(),
+                        num(self.counters.batch_submitted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "batch_scenarios".to_string(),
+                        num(self.counters.batch_scenarios.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             (
@@ -541,6 +573,40 @@ impl SiService {
 impl Drop for SiService {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Runs a spec on a worker's workspace, threading the fault injector into
+/// batch jobs as a per-scenario hook: each scenario after the first draws
+/// from the plan, and a drawn worker panic fires *between* scenarios —
+/// after real partial state exists — which is exactly what the chaos
+/// harness needs to prove partial batches are never cached. Single-shot
+/// jobs run unchanged (their one fault draw already happened at job
+/// level).
+fn run_spec(
+    spec: &JobSpec,
+    ws: &mut si_analog::engine::EngineWorkspace,
+    injector: Option<&FaultInjector>,
+) -> Result<JobOutput, ServiceError> {
+    match injector {
+        Some(inj) if spec.scenario_count() > 1 => {
+            let mut hook = |i: usize| {
+                if i == 0 {
+                    return; // a fault at scenario 0 would not be mid-batch
+                }
+                match inj.next_fault() {
+                    Some(FaultKind::PanicWorker) => {
+                        panic!("injected fault: worker panic mid-batch (scenario {i})")
+                    }
+                    Some(FaultKind::Stall) => std::thread::sleep(inj.plan().stall),
+                    // Transient and connection faults are job-level
+                    // concepts; mid-batch they are drawn but harmless.
+                    Some(FaultKind::Transient | FaultKind::DropConnection) | None => {}
+                }
+            };
+            spec.run_with_hook(ws, Some(&mut hook))
+        }
+        _ => spec.run(ws),
     }
 }
 
@@ -892,5 +958,127 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(svc.cancel_flags_len(), 0, "cancel flags leaked");
+    }
+
+    fn batch_spec(inputs_ua: Vec<f64>) -> JobSpec {
+        JobSpec::DelayLineDcBatch {
+            stages: 3,
+            bias_ua: 20.0,
+            inputs_ua,
+        }
+    }
+
+    /// Workers publish engine telemetry *after* replying to the caller,
+    /// so a metrics read can race the final publish: poll briefly.
+    fn wait_engine_counter(svc: &SiService, key: &str, want: f64) -> f64 {
+        let mut got = f64::NAN;
+        for _ in 0..200 {
+            let m = svc.metrics();
+            got = m.get("engine").unwrap().get(key).unwrap().as_f64().unwrap();
+            if got == want {
+                return got;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        got
+    }
+
+    /// ISSUE 6: a batch fans N scenarios under ONE job key — admitted,
+    /// priced, and cached as one job, with per-scenario results in the
+    /// output and the batch counters visible in `/metrics`.
+    #[test]
+    fn batch_submission_is_one_job_with_per_scenario_results() {
+        let svc = SiService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let spec = batch_spec(vec![0.5, 1.0, 2.0, 4.0]);
+        let (out, cached1) = svc.submit_blocking(&spec, None).unwrap();
+        assert!(!cached1);
+        // Scenario-major values: 4 scenarios × 3 stage nodes.
+        assert_eq!(out.values.len(), 12);
+        assert_eq!(out.metrics.iter().find(|(k, _)| k == "scenarios"), {
+            Some(&("scenarios".to_string(), 4.0))
+        });
+        // Resubmission is a cache hit: the whole batch was one entry.
+        let (again, cached2) = svc.submit_blocking(&spec, None).unwrap();
+        assert!(cached2);
+        assert_eq!(out, again);
+        let m = svc.metrics();
+        let svc_section = m.get("service").unwrap();
+        assert_eq!(
+            svc_section.get("batch_submitted").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            svc_section.get("batch_scenarios").unwrap().as_f64(),
+            Some(8.0)
+        );
+        assert_eq!(
+            m.get("cache").unwrap().get("misses").unwrap().as_f64(),
+            Some(1.0)
+        );
+        // Exactly one batch run with four scenarios flowed into the
+        // engine telemetry — one symbolic analysis for the whole batch.
+        assert_eq!(wait_engine_counter(&svc, "batch_runs", 1.0), 1.0);
+        assert_eq!(wait_engine_counter(&svc, "batch_scenarios", 4.0), 4.0);
+    }
+
+    /// ISSUE 6 satellite: a worker panic injected *mid-batch* (after some
+    /// scenarios already solved) abandons the flight without caching any
+    /// partial results; the retry re-runs the whole batch and succeeds
+    /// with the complete value set.
+    #[test]
+    fn mid_batch_panic_never_caches_partial_results() {
+        let svc = SiService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline: None,
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+                multiplier: 2,
+            },
+        });
+        let injector = Arc::new(FaultInjector::new(crate::fault::FaultPlan {
+            seed: 0,
+            panic_pm: 1000,
+            stall_pm: 0,
+            transient_pm: 0,
+            drop_pm: 0,
+            stall: Duration::ZERO,
+            max_faults: 1,
+        }));
+        svc.install_fault_injector(injector);
+        let spec = batch_spec(vec![1.0, 2.0, 3.0]);
+        let (out, cached) = svc
+            .submit_blocking(&spec, None)
+            .expect("retry after mid-batch panic should succeed");
+        assert!(!cached, "a partial batch must never be served from cache");
+        // The retried batch is complete: 3 scenarios × 3 stage nodes.
+        assert_eq!(out.values.len(), 9);
+        assert_eq!(svc.fault_stats().panics, 1);
+        let m = svc.metrics();
+        assert_eq!(
+            m.get("pool")
+                .unwrap()
+                .get("panics_caught")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            m.get("cache")
+                .unwrap()
+                .get("abandoned_flights")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        // Two attempts ran: the panicked one (which got past scenario 0)
+        // and the clean retry.
+        assert_eq!(wait_engine_counter(&svc, "batch_runs", 2.0), 2.0);
     }
 }

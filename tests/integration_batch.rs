@@ -1,0 +1,184 @@
+//! The batched scenario engine's acceptance contract (ISSUE 6).
+//!
+//! 1. **Bit-identity** — a multi-RHS panel solve equals sequential
+//!    per-column solves bit for bit on random tridiagonals (proptest),
+//!    and a `BatchRun` with warm starts disabled equals fresh per-point
+//!    cold solves bit for bit on paper cell chains, both for fixed input
+//!    grids and proptest-drawn scenario sets.
+//! 2. **One symbolic analysis per topology** — a whole batch of DC
+//!    scenarios through the service job path performs exactly one
+//!    symbolic factorization, asserted via telemetry, with every scenario
+//!    after the first warm-started.
+
+use proptest::prelude::*;
+
+use si_analog::cells::si_cell_chain;
+use si_analog::dc::{set_current_source, DcSolver};
+use si_analog::engine::{BatchRun, EngineWorkspace};
+use si_analog::sparse::{CscMatrix, RhsPanel, SparseLu, SparsityPattern};
+use si_analog::units::Amps;
+use si_service::jobspec::JobSpec;
+
+/// Builds the tridiagonal test matrix: diagonally dominant, so the LU
+/// factorization never needs to pivot away from the layout under test.
+fn tridiagonal(diag: &[f64], off: &[f64]) -> CscMatrix<f64> {
+    let n = diag.len();
+    let mut entries = Vec::new();
+    for i in 0..n {
+        entries.push((i, i));
+        if i + 1 < n {
+            entries.push((i, i + 1));
+            entries.push((i + 1, i));
+        }
+    }
+    let mut a = CscMatrix::from_pattern(SparsityPattern::from_entries(n, &entries));
+    for i in 0..n {
+        a.stamp(i, i, 4.0 + diag[i]);
+        if i + 1 < n {
+            a.stamp(i, i + 1, off[i]);
+            a.stamp(i + 1, i, off[i] - 0.25);
+        }
+    }
+    a
+}
+
+/// Per-point reference for the batched engine path: each scenario solved
+/// cold on its own fresh workspace.
+fn per_point_cold(stages: usize, inputs_ua: &[f64]) -> Vec<Vec<f64>> {
+    let line = si_cell_chain(stages).unwrap();
+    let solver = DcSolver::new();
+    inputs_ua
+        .iter()
+        .map(|&input| {
+            let mut ckt = line.circuit.clone();
+            set_current_source(&mut ckt, &line.input_source, Amps(input * 1e-6)).unwrap();
+            let mut ws = EngineWorkspace::new();
+            solver
+                .solve_from_with(&ckt, &line.initial_guess, &mut ws)
+                .unwrap()
+                .raw()
+                .to_vec()
+        })
+        .collect()
+}
+
+/// The same scenarios through `BatchRun` on one shared workspace, warm
+/// starts disabled so every Newton loop starts from the same cold point
+/// as the per-point reference.
+fn batched_cold(stages: usize, inputs_ua: &[f64]) -> Vec<Vec<f64>> {
+    let line = si_cell_chain(stages).unwrap();
+    let solver = DcSolver::new();
+    let mut ws = EngineWorkspace::new();
+    BatchRun::new(inputs_ua.len())
+        .with_warm_start(false)
+        .with_cold_start(line.initial_guess.clone())
+        .run_with(
+            &line.circuit,
+            &mut ws,
+            |ckt, i| set_current_source(ckt, &line.input_source, Amps(inputs_ua[i] * 1e-6)),
+            |ckt, start, ws| solver.solve_from_with(ckt, start, ws),
+        )
+        .unwrap()
+        .into_iter()
+        .map(|sol| sol.raw().to_vec())
+        .collect()
+}
+
+fn assert_bit_identical(batched: &[Vec<f64>], sequential: &[Vec<f64>], what: &str) {
+    assert_eq!(batched.len(), sequential.len(), "{what}: scenario count");
+    for (s, (b, q)) in batched.iter().zip(sequential).enumerate() {
+        assert_eq!(b.len(), q.len(), "{what}: scenario {s} length");
+        for (k, (u, v)) in b.iter().zip(q).enumerate() {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "{what}: scenario {s} unknown {k}: batched {u} vs sequential {v}"
+            );
+        }
+    }
+}
+
+/// Fixed grid on paper cell chains of several depths: the batched engine
+/// path reproduces per-point cold solves exactly.
+#[test]
+fn batched_engine_matches_per_point_on_paper_cell_chains() {
+    let inputs = [0.0, 0.5, 1.0, 2.0, 4.0];
+    for stages in [1, 2, 4, 8] {
+        let sequential = per_point_cold(stages, &inputs);
+        let batched = batched_cold(stages, &inputs);
+        assert_bit_identical(&batched, &sequential, &format!("{stages}-stage chain"));
+    }
+}
+
+/// Acceptance telemetry: one batch of DC scenarios through the service
+/// job path = exactly one symbolic analysis for the whole topology, one
+/// batch-run event, and a warm start for every scenario after the first.
+#[test]
+fn batch_job_performs_one_symbolic_analysis_per_topology() {
+    let spec = JobSpec::DelayLineDcBatch {
+        stages: 48, // above the auto-policy sparse cutover
+        bias_ua: 20.0,
+        inputs_ua: vec![0.25, 0.5, 1.0, 2.0, 3.0, 4.0],
+    };
+    let mut ws = EngineWorkspace::new();
+    ws.enable_stats();
+    let out = spec.run(&mut ws).unwrap();
+    assert_eq!(out.values.len(), 6 * 48);
+    let stats = ws.take_stats().unwrap();
+    assert_eq!(
+        stats.symbolic_cache_misses, 1,
+        "one topology, one symbolic factorization across the whole batch"
+    );
+    assert_eq!(stats.dense_real_factorizations, 0);
+    assert_eq!(stats.batch_runs, 1);
+    assert_eq!(stats.batch_scenarios, 6);
+    assert_eq!(stats.warm_starts, 5);
+    assert_eq!(stats.warm_start_rejected, 0);
+}
+
+proptest! {
+    /// Panel solves are bit-identical to sequential per-column solves on
+    /// random diagonally dominant tridiagonals, across panel widths that
+    /// cover partial, exact, and multi-block tilings.
+    #[test]
+    fn panel_solve_matches_sequential_on_random_tridiagonals(
+        diag in prop::collection::vec(0.0f64..2.0, 1..24),
+        seed in prop::collection::vec(-1.0f64..1.0, 24 + 24 * 19),
+        cols in 1usize..20,
+    ) {
+        let n = diag.len();
+        let a = tridiagonal(&diag, &seed[..n]);
+        let mut lu = SparseLu::new();
+        lu.factorize(&a).unwrap();
+        let columns: Vec<Vec<f64>> = (0..cols)
+            .map(|s| seed[n + s * n..n + (s + 1) * n].to_vec())
+            .collect();
+        let b = RhsPanel::from_columns(&columns).unwrap();
+        let mut x = RhsPanel::default();
+        lu.solve_panel_into(&b, &mut x).unwrap();
+        for (s, column) in columns.iter().enumerate() {
+            let mut seq = Vec::new();
+            lu.solve_into(column, &mut seq).unwrap();
+            for (u, v) in x.col(s).iter().zip(&seq) {
+                prop_assert_eq!(u.to_bits(), v.to_bits(), "scenario {} differs", s);
+            }
+        }
+    }
+
+    /// The batched engine path is bit-identical to per-point cold solves
+    /// for arbitrary scenario sets on a paper cell chain.
+    #[test]
+    fn batched_engine_matches_per_point_on_random_scenarios(
+        inputs in prop::collection::vec(0.0f64..4.0, 1..7),
+        stages in 1usize..5,
+    ) {
+        let sequential = per_point_cold(stages, &inputs);
+        let batched = batched_cold(stages, &inputs);
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (b, q) in batched.iter().zip(&sequential) {
+            for (u, v) in b.iter().zip(q) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+}

@@ -177,6 +177,55 @@ fn delay_line_dc_and_transient_run_entirely_sparse_with_one_symbolic_analysis() 
     assert!(stats.max_factor_nonzeros >= stats.max_matrix_nonzeros / 2);
 }
 
+/// The batched solve contract at the kernel level (ISSUE 6): on a
+/// paper-scale delay line the same factored system solved as a panel of
+/// right-hand sides is bit-identical to sequential single-RHS solves, and
+/// the panel costs no extra factorizations.
+#[test]
+fn panel_solves_on_delay_line_are_bit_identical_to_sequential() {
+    use si_analog::sparse::RhsPanel;
+
+    let line = si_cell_chain(48).unwrap();
+    let mut ws = EngineWorkspace::for_circuit(&line.circuit);
+    ws.set_backend_policy(forced(BackendMode::ForceSparse));
+    ws.enable_stats();
+    // Factor once at the operating point; its engine keeps the factors.
+    DcSolver::new()
+        .with_initial_guess(line.initial_guess.clone())
+        .solve_with(&line.circuit, &mut ws)
+        .unwrap();
+    let factorizations_before = {
+        let s = ws.stats().unwrap();
+        s.sparse_real_factorizations + s.sparse_real_refactorizations
+    };
+
+    let n = line.circuit.mna_dimension();
+    // A panel wider than one cache block, with a ragged tail.
+    let columns: Vec<Vec<f64>> = (0..11)
+        .map(|s| (0..n).map(|k| ((s * n + k) as f64).sin() * 1e-6).collect())
+        .collect();
+    let b = RhsPanel::from_columns(&columns).unwrap();
+    let mut x = RhsPanel::default();
+    ws.real_solver().solve_panel(&b, &mut x).unwrap();
+    for (s, column) in columns.iter().enumerate() {
+        let mut seq = Vec::new();
+        ws.real_solver().solve(column, &mut seq).unwrap();
+        for (k, (u, v)) in x.col(s).iter().zip(&seq).enumerate() {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "scenario {s} unknown {k}: panel {u} vs sequential {v}"
+            );
+        }
+    }
+    let stats = ws.take_stats().unwrap();
+    assert_eq!(
+        stats.sparse_real_factorizations + stats.sparse_real_refactorizations,
+        factorizations_before,
+        "panel and sequential solves reuse the existing factors"
+    );
+}
+
 /// Value-only sweeps keep the symbolic cache warm; a topology change
 /// invalidates it exactly once.
 #[test]
