@@ -184,8 +184,12 @@ impl DcSolver {
                 Err(e) => last_err = e,
             }
             gmin = (gmin / 10.0).max(self.gmin);
-            if gmin == self.gmin && matches!(last_err, AnalogError::NoConvergence { .. }) {
-                // One final attempt at the target gmin.
+            if gmin == self.gmin {
+                // One final attempt at the target gmin. This branch must
+                // fire for *every* failure kind: a matrix that stays
+                // exactly singular at all gmin levels (e.g. duplicate
+                // voltage-source branch rows) would otherwise pin the
+                // ladder at the floor and spin forever.
                 ws.probe_event(|p| p.gmin_level(gmin));
                 ws.newton(circuit, &spec, &settings, gmin, &guess)?;
                 return Ok(ws.solution());
@@ -454,6 +458,26 @@ mod tests {
         .unwrap();
         let r = DcSolver::new().with_max_iterations(1).solve(&c);
         assert!(matches!(r, Err(AnalogError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn exactly_singular_system_terminates_with_an_error() {
+        // Two identical voltage sources in parallel: the branch rows stay
+        // exactly singular at every gmin level, so no amount of stepping
+        // can help. The ladder must report the failure, not spin forever
+        // (regression: the floor-gmin escape only fired for
+        // `NoConvergence`, and `SingularMatrix` looped).
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, Volts(3.3))
+            .unwrap();
+        c.voltage_source("V2", a, Circuit::GROUND, Volts(3.3))
+            .unwrap();
+        let r = DcSolver::new().solve(&c);
+        assert!(
+            matches!(r, Err(AnalogError::SingularMatrix { .. })),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -60,6 +60,23 @@ pub enum AnalogError {
     },
     /// The requested analysis needs at least one of something.
     EmptyCircuit,
+    /// A netlist failed to parse. Carries the 1-based source location and a
+    /// rendered description of the typed [`crate::parse::ParseError`] it was
+    /// converted from.
+    Parse {
+        /// 1-based line number of the offending card or directive.
+        line: usize,
+        /// 1-based column (character offset) of the offending token.
+        column: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A drive request (e.g. [`crate::parse::parse_with_drive`]) named a
+    /// current source the netlist does not define.
+    UnknownDriveSource {
+        /// The requested source name.
+        source: String,
+    },
 }
 
 impl fmt::Display for AnalogError {
@@ -94,6 +111,14 @@ impl fmt::Display for AnalogError {
                 write!(f, "invalid parameter `{name}`: {constraint}")
             }
             AnalogError::EmptyCircuit => write!(f, "circuit contains no nodes or elements"),
+            AnalogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "netlist parse error at line {line}, column {column}: {message}"),
+            AnalogError::UnknownDriveSource { source } => {
+                write!(f, "netlist defines no current source named `{source}`")
+            }
         }
     }
 }
@@ -132,6 +157,14 @@ mod tests {
                 constraint: "must be positive",
             },
             AnalogError::EmptyCircuit,
+            AnalogError::Parse {
+                line: 3,
+                column: 8,
+                message: "bad resistance value `5kk`: trailing characters after the number".into(),
+            },
+            AnalogError::UnknownDriveSource {
+                source: "Iin".into(),
+            },
         ]
     }
 
@@ -215,6 +248,29 @@ mod tests {
         }
         .to_string();
         assert_eq!(msg, "invalid parameter `dt`: must be positive");
+    }
+
+    #[test]
+    fn display_parse_locates_line_and_column() {
+        let msg = AnalogError::Parse {
+            line: 2,
+            column: 9,
+            message: "bad resistance value `oops`: not a number".into(),
+        }
+        .to_string();
+        assert_eq!(
+            msg,
+            "netlist parse error at line 2, column 9: bad resistance value `oops`: not a number"
+        );
+    }
+
+    #[test]
+    fn display_unknown_drive_source_names_source() {
+        let msg = AnalogError::UnknownDriveSource {
+            source: "Iin".into(),
+        }
+        .to_string();
+        assert_eq!(msg, "netlist defines no current source named `Iin`");
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod units;
 mod error;
 
 pub use error::AnalogError;
+pub use parse::{ParseError, ParseErrorKind, ValueError};
 
 /// Boltzmann constant in joules per kelvin.
 pub const BOLTZMANN: f64 = 1.380_649e-23;

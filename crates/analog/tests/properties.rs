@@ -509,3 +509,132 @@ proptest! {
         prop_assert_eq!(c.value_fingerprint(), values0);
     }
 }
+
+/// A tiny splitmix64 stream for deterministic in-test shuffles and noise,
+/// seeded from a drawn u64 so proptest owns the entropy and can shrink it.
+struct TextRng(u64);
+
+impl TextRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+proptest! {
+    /// Submission-text robustness: comments, blank lines, stray
+    /// whitespace, and arbitrary card order are all invisible to the
+    /// canonical parse. Two texts describing the same circuit produce
+    /// identical structure *and* value fingerprints — the property the
+    /// service's content-addressed cache relies on to coalesce
+    /// independently formatted user submissions of one design.
+    #[test]
+    fn canonical_fingerprints_ignore_formatting_and_card_order(
+        stages in 1usize..12,
+        r_k in 0.1f64..100.0,
+        i_ua in -5.0f64..5.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        use si_analog::parse::parse_netlist_canonical;
+
+        let clean = ladder_netlist(stages, r_k, i_ua);
+        let mut rng = TextRng(seed);
+
+        // Shuffle the card lines (Fisher–Yates), then interleave noise:
+        // full-line comments, inline `; comment` tails, blank lines, and
+        // leading/trailing whitespace.
+        let mut lines: Vec<String> = clean.lines().map(str::to_string).collect();
+        for i in (1..lines.len()).rev() {
+            let j = rng.below(i + 1);
+            lines.swap(i, j);
+        }
+        let mut noisy = String::from("* fuzzed formatting variant\n");
+        for mut line in lines {
+            if rng.below(3) == 0 {
+                noisy.push_str("* interleaved comment\n\n");
+            }
+            if rng.below(3) == 0 {
+                line = format!("  {line}\t ");
+            }
+            if rng.below(3) == 0 {
+                line.push_str(" ; inline tail");
+            }
+            noisy.push_str(&line);
+            noisy.push('\n');
+        }
+
+        let base = parse_netlist_canonical(&clean).unwrap();
+        let mangled = parse_netlist_canonical(&noisy).unwrap();
+        prop_assert_eq!(
+            base.structure_fingerprint(),
+            mangled.structure_fingerprint(),
+            "formatting noise changed the structure key"
+        );
+        prop_assert_eq!(
+            base.value_fingerprint(),
+            mangled.value_fingerprint(),
+            "formatting noise changed the value key"
+        );
+    }
+
+    /// Emitter round trip: any circuit built through the typed API can be
+    /// rendered to dialect text and parsed back into a circuit with the
+    /// same fingerprints, the same node ordering, and a bit-identical DC
+    /// solution — so a netlist twin of a generator job is literally the
+    /// same cache entry.
+    #[test]
+    fn to_netlist_round_trips_bit_identically(
+        stages in 1usize..10,
+        r_k in 0.1f64..100.0,
+        i_ua in -5.0f64..5.0,
+    ) {
+        use si_analog::dc::DcSolver;
+        use si_analog::parse::to_netlist;
+
+        let built = parse_netlist(&ladder_netlist(stages, r_k, i_ua)).unwrap();
+        let text = to_netlist(&built).unwrap();
+        let reparsed = parse_netlist(&text).unwrap();
+
+        prop_assert_eq!(built.structure_fingerprint(), reparsed.structure_fingerprint());
+        prop_assert_eq!(built.value_fingerprint(), reparsed.value_fingerprint());
+        prop_assert_eq!(built.node_count(), reparsed.node_count());
+
+        let solver = DcSolver::new();
+        let a = solver.solve(&built).unwrap();
+        let b = solver.solve(&reparsed).unwrap();
+        prop_assert_eq!(a.raw(), b.raw(), "round-tripped solve is not bit-identical");
+    }
+
+    /// The emitter round trip holds for generated SI cells too, not just
+    /// hand-written ladders: a delay-line chain from the cell library
+    /// survives `to_netlist` → `parse_netlist` with identical fingerprints
+    /// and a bit-identical solve from the design's own initial guess.
+    #[test]
+    fn cell_chain_netlist_twin_is_bit_identical(stages in 1usize..6) {
+        use si_analog::cells::si_cell_chain;
+        use si_analog::dc::DcSolver;
+        use si_analog::parse::to_netlist;
+
+        let line = si_cell_chain(stages).unwrap();
+        let text = to_netlist(&line.circuit).unwrap();
+        let twin = parse_netlist(&text).unwrap();
+
+        prop_assert_eq!(
+            line.circuit.structure_fingerprint(),
+            twin.structure_fingerprint()
+        );
+        prop_assert_eq!(line.circuit.value_fingerprint(), twin.value_fingerprint());
+
+        let solver = DcSolver::new().with_initial_guess(line.initial_guess.clone());
+        let a = solver.solve(&line.circuit).unwrap();
+        let b = solver.solve(&twin).unwrap();
+        prop_assert_eq!(a.raw(), b.raw(), "cell-chain twin solve is not bit-identical");
+    }
+}

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use si_bench::netfuzz;
 use si_bench::run_report::{experiments_dir, RunReport};
 use si_service::http::{http_drop_mid_body, http_request, HttpConfig, HttpServer};
 use si_service::jobspec::JobSpec;
@@ -218,6 +219,7 @@ fn main() {
         queue_capacity: args.queue,
         default_deadline: None,
         retry: RetryPolicy::default(),
+        ..ServiceConfig::default()
     }));
     // Worker-side chaos: panics, stalls, transients.
     let worker_faults = Arc::new(FaultInjector::new(FaultPlan::balanced(args.seed, u64::MAX)));
@@ -451,6 +453,71 @@ fn main() {
     }
     batch_faults.disarm();
 
+    // ---- Malformed-netlist fault class (ISSUE 7): hostile user text is a
+    // fault like worker panics or dropped connections — injected on
+    // purpose, and the service must shrug it off. Every poisoned netlist
+    // must come back as a typed `NetlistRejected` (HTTP 422) without a
+    // retry, an oversized one as `BudgetExceeded` (HTTP 413) before any
+    // factorization, and a well-formed circuit must still solve afterwards.
+    let poison_jobs = 64usize;
+    let parse_before = svc_counter(&service, "service", "netlist_rejected_parse");
+    let budget_before = svc_counter(&service, "service", "netlist_rejected_budget");
+    let mut netlist_untyped = 0u64;
+    let submit_netlist = |text: String| -> Result<u16, String> {
+        let spec = JobSpec::Netlist { netlist: text };
+        match addr {
+            None => match service.submit_blocking(&spec, None) {
+                Ok(_) => Ok(200),
+                Err(e) => Ok(e.http_status()),
+            },
+            Some(a) => {
+                let body = spec.to_json().to_string_compact();
+                http_request(a, "POST", "/v1/jobs", Some(&body))
+                    .map(|(status, _)| status)
+                    .map_err(|e| format!("http: {e}"))
+            }
+        }
+    };
+    for k in 0..poison_jobs {
+        let text = netfuzz::poison(args.seed.wrapping_add(k as u64));
+        match submit_netlist(text) {
+            Ok(422) => {}
+            other => {
+                netlist_untyped += 1;
+                if netlist_untyped <= 3 {
+                    eprintln!("poisoned netlist {k} was not 422-rejected: {other:?}");
+                }
+            }
+        }
+    }
+    if netlist_untyped > 0 {
+        failures.push(format!(
+            "{netlist_untyped} poisoned netlists escaped the typed 422 rejection"
+        ));
+    }
+    match submit_netlist(netfuzz::oversized(9000)) {
+        Ok(413) => {}
+        other => failures.push(format!("oversized netlist was not 413-rejected: {other:?}")),
+    }
+    match submit_netlist("V1 in 0 3.3\nR1 in mid 1k\nR2 mid 0 2k\n.end\n".to_string()) {
+        Ok(200) => {}
+        other => failures.push(format!(
+            "valid netlist no longer solves after the poison storm: {other:?}"
+        )),
+    }
+    let netlist_parse_rejections =
+        svc_counter(&service, "service", "netlist_rejected_parse") - parse_before;
+    let netlist_budget_rejections =
+        svc_counter(&service, "service", "netlist_rejected_budget") - budget_before;
+    if netlist_parse_rejections < poison_jobs as f64 {
+        failures.push(format!(
+            "parse-rejection counter saw {netlist_parse_rejections} of {poison_jobs} poisoned netlists"
+        ));
+    }
+    if netlist_budget_rejections < 1.0 {
+        failures.push("budget-rejection counter missed the oversized netlist".to_string());
+    }
+
     let worker_stats = worker_faults.stats();
     let drop_stats = client_drops.as_ref().map(|d| d.stats()).unwrap_or_default();
     let total_injected = worker_stats.injected + drop_stats.injected;
@@ -531,6 +598,10 @@ fn main() {
     report.metric("verified_keys", verified as f64);
     report.metric("bit_mismatches", bit_mismatches as f64);
     report.metric("batch_midrun_panics", batch_panics as f64);
+    report.metric("netlist_poisoned", poison_jobs as f64);
+    report.metric("netlist_parse_rejections", netlist_parse_rejections);
+    report.metric("netlist_budget_rejections", netlist_budget_rejections);
+    report.metric("netlist_untyped", netlist_untyped as f64);
     report.metric("leaked_cancel_flags", leaked_flags as f64);
     report.metric("chaos_wall_s", chaos_wall.as_secs_f64());
     report.set_solver(service.engine_stats());

@@ -39,6 +39,22 @@ pub enum ServiceError {
     Internal(String),
     /// The service is draining and no longer admits jobs.
     ShuttingDown,
+    /// A submitted netlist failed the strict dialect-v1 parse. Carries the
+    /// rendered parse error (line/column/reason). Maps to `422`.
+    NetlistRejected(String),
+    /// A submitted circuit exceeded the pre-solve admission budget: the
+    /// priced resource, the submitted amount and the configured limit.
+    /// Rejected before any factorization or Newton iteration. Maps to
+    /// `413`.
+    BudgetExceeded {
+        /// Which resource was over budget (`netlist_bytes`, `nodes`,
+        /// `devices`, `mna_dim`, `nonzeros`).
+        resource: &'static str,
+        /// The amount the submission asked for.
+        actual: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -54,6 +70,15 @@ impl fmt::Display for ServiceError {
             ServiceError::Transient(msg) => write!(f, "transient failure: {msg}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::NetlistRejected(msg) => write!(f, "netlist rejected: {msg}"),
+            ServiceError::BudgetExceeded {
+                resource,
+                actual,
+                limit,
+            } => write!(
+                f,
+                "admission budget exceeded: {resource} {actual} over limit {limit}"
+            ),
         }
     }
 }
@@ -79,6 +104,8 @@ impl ServiceError {
             ServiceError::Transient(_) => 503,
             ServiceError::Internal(_) => 500,
             ServiceError::ShuttingDown => 503,
+            ServiceError::NetlistRejected(_) => 422,
+            ServiceError::BudgetExceeded { .. } => 413,
         }
     }
 
@@ -94,6 +121,8 @@ impl ServiceError {
             ServiceError::Transient(_) => "transient",
             ServiceError::Internal(_) => "internal",
             ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::NetlistRejected(_) => "netlist_rejected",
+            ServiceError::BudgetExceeded { .. } => "budget_exceeded",
         }
     }
 
@@ -141,6 +170,18 @@ mod tests {
                 "worker panicked",
             ),
             (ServiceError::ShuttingDown, "shutting down"),
+            (
+                ServiceError::NetlistRejected("line 2, column 8: bad value".into()),
+                "line 2, column 8",
+            ),
+            (
+                ServiceError::BudgetExceeded {
+                    resource: "nonzeros",
+                    actual: 120000,
+                    limit: 65536,
+                },
+                "nonzeros 120000 over limit 65536",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");
@@ -158,6 +199,19 @@ mod tests {
         assert_eq!(ServiceError::Transient(String::new()).http_status(), 503);
         assert_eq!(ServiceError::Internal(String::new()).http_status(), 500);
         assert_eq!(ServiceError::ShuttingDown.http_status(), 503);
+        assert_eq!(
+            ServiceError::NetlistRejected(String::new()).http_status(),
+            422
+        );
+        assert_eq!(
+            ServiceError::BudgetExceeded {
+                resource: "nodes",
+                actual: 10,
+                limit: 1,
+            }
+            .http_status(),
+            413
+        );
     }
 
     #[test]
@@ -170,5 +224,12 @@ mod tests {
         assert!(!ServiceError::Analysis(String::new()).is_client_retryable());
         assert!(!ServiceError::DeadlineExceeded.is_retryable());
         assert!(!ServiceError::ShuttingDown.is_retryable());
+        assert!(!ServiceError::NetlistRejected(String::new()).is_client_retryable());
+        assert!(!ServiceError::BudgetExceeded {
+            resource: "devices",
+            actual: 2,
+            limit: 1,
+        }
+        .is_client_retryable());
     }
 }

@@ -15,6 +15,7 @@ use si_analog::cells::DelayLineDesign;
 use si_analog::dc::{set_current_source, DcSolver};
 use si_analog::device::switch::TwoPhaseClock;
 use si_analog::engine::{BatchRun, EngineWorkspace};
+use si_analog::parse::parse_netlist_canonical;
 use si_analog::tran::{self, TranParams};
 use si_analog::units::{Amps, Farads, Seconds, Volts};
 use si_modulator::arch::SecondOrderTopology;
@@ -22,6 +23,7 @@ use si_modulator::ideal::IdealModulator;
 use si_modulator::measure::MeasurementConfig;
 use si_modulator::sweep::sndr_sweep;
 
+use crate::budget::{price_circuit, CircuitCost};
 use crate::error::ServiceError;
 use crate::json::Json;
 
@@ -57,6 +59,14 @@ impl Fnv1a {
     /// ULP counts — exactly the value-fingerprint convention.
     pub fn mix_f64(&mut self, v: f64) {
         self.mix_u64(v.to_bits());
+    }
+
+    /// Mixes raw bytes, one at a time — plain FNV-1a over a byte string.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
     }
 
     /// The accumulated hash.
@@ -132,6 +142,24 @@ pub enum JobSpec {
         bias_ua: f64,
         /// One input current per scenario, µA.
         inputs_ua: Vec<f64>,
+    },
+    /// DC operating point of a *user-submitted* circuit, given as netlist
+    /// dialect v1 text ([`si_analog::parse`]).
+    ///
+    /// The text is parsed **canonically**
+    /// ([`parse_netlist_canonical`]): cards are sorted into a
+    /// deterministic order first, so two netlists differing only in
+    /// comments, whitespace, or card order build literally the same
+    /// [`si_analog::netlist::Circuit`] — same job key, same cache slot,
+    /// and (because the executed circuit is the canonical one) the exact
+    /// same solve. Submissions that fail the strict parse are rejected
+    /// with [`ServiceError::NetlistRejected`] (`422`); circuit size is
+    /// priced against the service's
+    /// [`AdmissionBudget`](crate::budget::AdmissionBudget) before any
+    /// factorization runs (`413`).
+    Netlist {
+        /// Netlist dialect-v1 source text.
+        netlist: String,
     },
 }
 
@@ -244,8 +272,41 @@ impl JobSpec {
                     return bad("inputs_ua entries must be finite");
                 }
             }
+            JobSpec::Netlist { netlist } => {
+                // The strict parse *is* the validation: any malformed
+                // card, bad value, or unbuildable circuit comes back as a
+                // typed line/column error. Unlike the canned kinds, this
+                // maps to NetlistRejected (HTTP 422), not InvalidSpec —
+                // the request shape was fine, the circuit was not.
+                let circuit = parse_netlist_canonical(netlist)
+                    .map_err(|e| ServiceError::NetlistRejected(e.to_string()))?;
+                if circuit.elements().is_empty() {
+                    return Err(ServiceError::NetlistRejected(
+                        "netlist defines no elements".to_string(),
+                    ));
+                }
+            }
         }
         Ok(())
+    }
+
+    /// What this spec will cost to solve, priced *before* any
+    /// factorization or Newton iteration: `Some` for user-submitted
+    /// netlists (a parse plus a sparsity-pattern walk), `None` for the
+    /// canned kinds whose size is already bounded by [`JobSpec::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NetlistRejected`] when the netlist does not parse.
+    pub fn admission_cost(&self) -> Result<Option<CircuitCost>, ServiceError> {
+        match self {
+            JobSpec::Netlist { netlist } => {
+                let circuit = parse_netlist_canonical(netlist)
+                    .map_err(|e| ServiceError::NetlistRejected(e.to_string()))?;
+                Ok(Some(price_circuit(&circuit)))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// The job's content address: identical specs — and only identical
@@ -350,6 +411,22 @@ impl JobSpec {
                     h.mix_f64(i);
                 }
             }
+            JobSpec::Netlist { netlist } => {
+                h.mix_u64(6);
+                // The canonical parse makes the key text-representation
+                // independent: permuting cards or editing comments lands
+                // in the same cache slot, and run() executes the same
+                // canonical circuit, so sharing the slot is sound.
+                if let Ok(circuit) = parse_netlist_canonical(netlist) {
+                    h.mix_u64(circuit.structure_fingerprint());
+                    h.mix_u64(circuit.value_fingerprint());
+                } else {
+                    // Unparsable text still needs a stable (never-cached)
+                    // key; hash the raw bytes.
+                    h.mix_u64(netlist.len() as u64);
+                    h.mix_bytes(netlist.as_bytes());
+                }
+            }
         }
         h.finish()
     }
@@ -363,6 +440,7 @@ impl JobSpec {
             JobSpec::DelayLineAc { .. } => "delay_line_ac",
             JobSpec::SndrSweep { .. } => "sndr_sweep",
             JobSpec::DelayLineDcBatch { .. } => "delay_line_dc_batch",
+            JobSpec::Netlist { .. } => "netlist",
         }
     }
 
@@ -458,9 +536,25 @@ impl JobSpec {
                     inputs_ua,
                 }
             }
+            "netlist" => {
+                let text = v
+                    .get("netlist")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| invalid("missing string \"netlist\"".to_string()))?;
+                JobSpec::Netlist {
+                    netlist: text.to_string(),
+                }
+            }
             other => return Err(invalid(format!("unknown kind {other:?}"))),
         };
-        spec.validate()?;
+        // Canned kinds are validated eagerly so a bad wire document is a
+        // `400` before it ever reaches the service. Netlist specs are NOT:
+        // the admission gauntlet in `submit_once` must see the raw text
+        // first — the byte cap has to refuse oversized text *before* any
+        // parse, and the netlist telemetry counters live behind it.
+        if !matches!(spec, JobSpec::Netlist { .. }) {
+            spec.validate()?;
+        }
         Ok(spec)
     }
 
@@ -529,6 +623,9 @@ impl JobSpec {
                     "inputs_ua".to_string(),
                     Json::Array(inputs_ua.iter().map(|&l| Json::Number(l)).collect()),
                 ));
+            }
+            JobSpec::Netlist { netlist } => {
+                pairs.push(("netlist".to_string(), Json::String(netlist.clone())));
             }
         }
         Json::Object(pairs)
@@ -726,6 +823,34 @@ impl JobSpec {
                             "mna_dimension".to_string(),
                             line.circuit.mna_dimension() as f64,
                         ),
+                    ],
+                })
+            }
+            JobSpec::Netlist { netlist } => {
+                // User circuits never get the Transient (retryable)
+                // mapping: a netlist that exhausts the Newton budget would
+                // exhaust it again on every retry, and the retry loop is
+                // not a resource a submission should be able to spend.
+                // Every failure is a permanent, typed 4xx.
+                let circuit = parse_netlist_canonical(netlist)
+                    .map_err(|e| ServiceError::NetlistRejected(e.to_string()))?;
+                let sol = DcSolver::new()
+                    .solve_with(&circuit, ws)
+                    .map_err(|e| ServiceError::Analysis(e.to_string()))?;
+                // All non-ground node voltages, in node-intern order — the
+                // canonical parse makes that order deterministic for every
+                // text variant of the same circuit.
+                let values: Vec<f64> = sol.node_voltages().split_off(1);
+                let v_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let v_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                Ok(JobOutput {
+                    values,
+                    metrics: vec![
+                        ("nodes".to_string(), circuit.node_count() as f64),
+                        ("devices".to_string(), circuit.elements().len() as f64),
+                        ("mna_dimension".to_string(), circuit.mna_dimension() as f64),
+                        ("v_min".to_string(), v_min),
+                        ("v_max".to_string(), v_max),
                     ],
                 })
             }
@@ -928,6 +1053,103 @@ mod tests {
             .run_with_hook(&mut ws, Some(&mut hook_single))
             .unwrap();
         assert!(seen_single.is_empty());
+    }
+
+    const DIVIDER: &str = "\
+* two-resistor divider
+V1 in 0 3.3
+R1 in mid 1k
+R2 mid 0 2k
+.end
+";
+
+    fn netlist_spec(text: &str) -> JobSpec {
+        JobSpec::Netlist {
+            netlist: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn netlist_spec_round_trips_through_json() {
+        let spec = netlist_spec(DIVIDER);
+        let wire = spec.to_json().to_string_compact();
+        // The netlist text (newlines and all) survives the JSON escape.
+        let parsed = JobSpec::from_json(&crate::json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.job_key(), spec.job_key());
+        assert_eq!(spec.kind(), "netlist");
+        assert_eq!(spec.scenario_count(), 1);
+    }
+
+    #[test]
+    fn netlist_job_key_is_text_representation_independent() {
+        // Same circuit, different comments / card order / spacing: the
+        // canonical parse maps them to the same job key.
+        let permuted = "\
+R2   mid 0   2k   ; bottom leg
+* a different comment
+R1 in mid 1k
+V1 in 0 3.3
+.end
+";
+        assert_eq!(
+            netlist_spec(DIVIDER).job_key(),
+            netlist_spec(permuted).job_key()
+        );
+        // Retuning one value moves the key.
+        let retuned = DIVIDER.replace("2k", "2.2k");
+        assert_ne!(
+            netlist_spec(DIVIDER).job_key(),
+            netlist_spec(&retuned).job_key()
+        );
+    }
+
+    #[test]
+    fn netlist_job_solves_the_divider() {
+        let spec = netlist_spec(DIVIDER);
+        spec.validate().unwrap();
+        let mut ws = EngineWorkspace::new();
+        let out = spec.run(&mut ws).unwrap();
+        // Nodes intern as in (3.3 V) then mid (2.2 V).
+        assert_eq!(out.values.len(), 2);
+        assert!((out.values[0] - 3.3).abs() < 1e-9);
+        assert!((out.values[1] - 2.2).abs() < 1e-6);
+        let nodes = out.metrics.iter().find(|(k, _)| k == "nodes").unwrap().1;
+        assert_eq!(nodes, 3.0);
+    }
+
+    #[test]
+    fn bad_netlists_are_rejected_not_invalid_spec() {
+        let bad = netlist_spec("R1 a 0 oops\n");
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, ServiceError::NetlistRejected(_)), "{err:?}");
+        assert_eq!(err.http_status(), 422);
+        // The rendered message carries the source location.
+        assert!(err.to_string().contains("line 1"), "{err}");
+        // An empty circuit is typed the same way.
+        assert!(matches!(
+            netlist_spec(".version 1\n.end\n").validate(),
+            Err(ServiceError::NetlistRejected(_))
+        ));
+        // Unparsable text still has a stable, distinct job key.
+        assert_eq!(bad.job_key(), netlist_spec("R1 a 0 oops\n").job_key());
+        assert_ne!(bad.job_key(), netlist_spec("R1 a 0 zoops\n").job_key());
+    }
+
+    #[test]
+    fn admission_cost_prices_without_solving() {
+        let cost = netlist_spec(DIVIDER).admission_cost().unwrap().unwrap();
+        assert_eq!(cost.nodes, 3);
+        assert_eq!(cost.devices, 3);
+        assert_eq!(cost.mna_dim, 3); // 2 non-ground nodes + 1 branch
+        assert!(cost.nonzeros > 0);
+        // Canned kinds are not priced.
+        assert_eq!(dc_spec().admission_cost().unwrap(), None);
+        // Unparsable text fails pricing with the typed rejection.
+        assert!(matches!(
+            netlist_spec("garbage").admission_cost(),
+            Err(ServiceError::NetlistRejected(_))
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod budget;
 pub mod cache;
 pub mod error;
 pub mod fault;
@@ -49,6 +50,7 @@ pub mod pool;
 pub mod retry;
 pub mod service;
 
+pub use budget::{price_circuit, AdmissionBudget, CircuitCost};
 pub use error::ServiceError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use jobspec::{JobOutput, JobSpec};

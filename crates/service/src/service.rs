@@ -39,6 +39,7 @@ use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::budget::AdmissionBudget;
 use crate::cache::{CacheOutcome, LeadGuard, ResultCache};
 use crate::error::ServiceError;
 use crate::fault::{FaultInjector, FaultKind, FaultStats};
@@ -59,6 +60,8 @@ pub struct ServiceConfig {
     /// Backoff schedule for retrying transient failures in
     /// [`SiService::submit_blocking`].
     pub retry: RetryPolicy,
+    /// Pre-solve resource ceilings for user-submitted netlists.
+    pub budget: AdmissionBudget,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +71,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             default_deadline: None,
             retry: RetryPolicy::default(),
+            budget: AdmissionBudget::default(),
         }
     }
 }
@@ -85,6 +89,13 @@ struct ServiceCounters {
     batch_submitted: AtomicU64,
     /// Total scenarios across those batch submissions.
     batch_scenarios: AtomicU64,
+    /// Submissions that were user netlists ([`JobSpec::Netlist`]).
+    netlist_submitted: AtomicU64,
+    /// Netlists rejected by the strict dialect-v1 parse (HTTP 422).
+    netlist_rejected_parse: AtomicU64,
+    /// Netlists rejected by the admission budget (HTTP 413) — always
+    /// *before* any factorization or Newton iteration ran.
+    netlist_rejected_budget: AtomicU64,
 }
 
 type CancelFlags = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
@@ -95,6 +106,7 @@ pub struct SiService {
     pool: WorkerPool,
     default_deadline: Option<Duration>,
     retry: RetryPolicy,
+    budget: AdmissionBudget,
     counters: ServiceCounters,
     /// Kind tag of every job key ever admitted, for `GET /v1/jobs/:id`.
     seen: Mutex<HashMap<u64, &'static str>>,
@@ -140,6 +152,7 @@ impl SiService {
             }),
             default_deadline: config.default_deadline,
             retry: config.retry,
+            budget: config.budget,
             counters: ServiceCounters::default(),
             seen: Mutex::new(HashMap::new()),
             cancel_flags: Arc::new(Mutex::new(HashMap::new())),
@@ -239,7 +252,39 @@ impl SiService {
         spec: &JobSpec,
         deadline: Option<Duration>,
     ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
-        spec.validate()?;
+        // User netlists run an admission gauntlet before anything else:
+        // byte cap (before the text is even parsed), strict parse (inside
+        // validate), then the priced budget — node/device counts, matrix
+        // dimension, and structural nonzeros — so an over-budget
+        // submission costs a parse and a pattern walk, never a
+        // factorization or a Newton iteration.
+        if let JobSpec::Netlist { netlist } = spec {
+            self.counters
+                .netlist_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            if let Err(err) = self.budget.admit_bytes(netlist.len()) {
+                self.counters
+                    .netlist_rejected_budget
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+        }
+        if let Err(err) = spec.validate() {
+            if matches!(err, ServiceError::NetlistRejected(_)) {
+                self.counters
+                    .netlist_rejected_parse
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(err);
+        }
+        if let Some(cost) = spec.admission_cost()? {
+            if let Err(err) = self.budget.admit(&cost) {
+                self.counters
+                    .netlist_rejected_budget
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+        }
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         // A batch is admitted, priced, and cached as ONE job; these
         // counters record how many scenarios rode along.
@@ -484,6 +529,21 @@ impl SiService {
                     (
                         "batch_scenarios".to_string(),
                         num(self.counters.batch_scenarios.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "netlist_submitted".to_string(),
+                        num(self.counters.netlist_submitted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "netlist_rejected_parse".to_string(),
+                        num(self.counters.netlist_rejected_parse.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "netlist_rejected_budget".to_string(),
+                        num(self
+                            .counters
+                            .netlist_rejected_budget
+                            .load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -744,9 +804,10 @@ mod tests {
         for section in ["service", "cache", "pool", "faults", "engine"] {
             assert!(m.get(section).is_some(), "missing {section}");
         }
-        // Engine telemetry flowed from the worker's workspace.
-        let solves = m.get("engine").unwrap().get("solves").unwrap().as_f64();
-        assert!(solves.unwrap() >= 1.0);
+        // Engine telemetry flowed from the worker's workspace. Workers
+        // publish it *after* replying to the caller, so poll briefly.
+        let solves = wait_engine_counter(&svc, "solves", 1.0);
+        assert!(solves >= 1.0);
         // The hardening counters are present (and zero: nothing faulted).
         for (section, key) in [
             ("service", "retries"),
@@ -775,6 +836,7 @@ mod tests {
                 max_delay: Duration::from_millis(2),
                 multiplier: 2,
             },
+            ..ServiceConfig::default()
         });
         // Fault exactly the first execution, then run clean.
         let injector = Arc::new(FaultInjector::new(crate::fault::FaultPlan {
@@ -814,6 +876,7 @@ mod tests {
                 max_delay: Duration::from_millis(2),
                 multiplier: 2,
             },
+            ..ServiceConfig::default()
         });
         let injector = Arc::new(FaultInjector::new(crate::fault::FaultPlan {
             seed: 0,
@@ -874,6 +937,7 @@ mod tests {
                 max_delay: Duration::from_millis(1),
                 multiplier: 1,
             },
+            ..ServiceConfig::default()
         });
         let injector = Arc::new(FaultInjector::new(crate::fault::FaultPlan {
             seed: 0,
@@ -909,6 +973,7 @@ mod tests {
             queue_capacity: 1,
             default_deadline: None,
             retry: RetryPolicy::none(),
+            ..ServiceConfig::default()
         });
         let block = std::sync::Arc::new(std::sync::Barrier::new(2));
         // Saturate: one running (held at a barrier), one queued.
@@ -958,6 +1023,108 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(svc.cancel_flags_len(), 0, "cancel flags leaked");
+    }
+
+    fn netlist_spec(text: &str) -> JobSpec {
+        JobSpec::Netlist {
+            netlist: text.to_string(),
+        }
+    }
+
+    const DIVIDER: &str = "V1 in 0 3.3\nR1 in mid 1k\nR2 mid 0 2k\n.end\n";
+
+    /// ISSUE 7: an over-budget netlist is rejected at admission — typed
+    /// 413, counted in `netlist_rejected_budget`, and the engine telemetry
+    /// proves no factorization or Newton iteration ever ran.
+    #[test]
+    fn over_budget_netlist_never_reaches_the_solver() {
+        let svc = SiService::new(ServiceConfig {
+            budget: AdmissionBudget {
+                max_nodes: 2,
+                ..AdmissionBudget::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let err = svc
+            .submit_blocking(&netlist_spec(DIVIDER), None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::BudgetExceeded {
+                resource: "nodes",
+                actual: 3,
+                limit: 2,
+            }
+        );
+        assert_eq!(err.http_status(), 413);
+        let m = svc.metrics();
+        let s = m.get("service").unwrap();
+        assert_eq!(s.get("netlist_submitted").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            s.get("netlist_rejected_budget").unwrap().as_f64(),
+            Some(1.0)
+        );
+        // Nothing was admitted, solved, or factorized.
+        assert_eq!(s.get("submitted").unwrap().as_f64(), Some(0.0));
+        let e = m.get("engine").unwrap();
+        assert_eq!(e.get("solves").unwrap().as_f64(), Some(0.0));
+    }
+
+    /// ISSUE 7: the byte cap rejects oversized text before it is parsed.
+    #[test]
+    fn oversized_netlist_text_is_rejected_before_parsing() {
+        let svc = SiService::new(ServiceConfig {
+            budget: AdmissionBudget {
+                max_netlist_bytes: 16,
+                ..AdmissionBudget::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let err = svc
+            .submit_blocking(&netlist_spec(DIVIDER), None)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::BudgetExceeded {
+                    resource: "netlist_bytes",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    /// ISSUE 7: a malformed netlist is typed 422 and counted; a permuted
+    /// but equivalent netlist coalesces onto the original's cache entry.
+    #[test]
+    fn netlist_rejection_and_coalescing_are_counted() {
+        let svc = SiService::new(ServiceConfig::default());
+        let err = svc
+            .submit_blocking(&netlist_spec("R1 a 0 oops\n"), None)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::NetlistRejected(_)), "{err:?}");
+
+        let (first, cached1) = svc.submit_blocking(&netlist_spec(DIVIDER), None).unwrap();
+        assert!(!cached1);
+        // Same circuit, different text: comments, spacing, card order.
+        let permuted = "* comment\nR2  mid 0 2k\nR1 in mid 1k ; top\nV1 in 0 3.3\n.end\n";
+        let (second, cached2) = svc.submit_blocking(&netlist_spec(permuted), None).unwrap();
+        assert!(cached2, "permuted netlist must hit the same cache slot");
+        assert_eq!(first, second);
+
+        let m = svc.metrics();
+        let s = m.get("service").unwrap();
+        assert_eq!(s.get("netlist_submitted").unwrap().as_f64(), Some(3.0));
+        assert_eq!(s.get("netlist_rejected_parse").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            s.get("netlist_rejected_budget").unwrap().as_f64(),
+            Some(0.0)
+        );
+        assert_eq!(
+            m.get("cache").unwrap().get("hits").unwrap().as_f64(),
+            Some(1.0)
+        );
     }
 
     fn batch_spec(inputs_ua: Vec<f64>) -> JobSpec {
@@ -1041,6 +1208,7 @@ mod tests {
                 max_delay: Duration::from_millis(2),
                 multiplier: 2,
             },
+            ..ServiceConfig::default()
         });
         let injector = Arc::new(FaultInjector::new(crate::fault::FaultPlan {
             seed: 0,

@@ -81,6 +81,7 @@ fn chaos_storm_recovers_with_bit_identical_cache() {
             max_delay: Duration::from_millis(10),
             multiplier: 2,
         },
+        ..ServiceConfig::default()
     }));
     let injector = Arc::new(FaultInjector::new(FaultPlan {
         seed: 1234,
@@ -195,6 +196,7 @@ fn followers_of_a_panicking_leader_are_released() {
             max_delay: Duration::from_millis(5),
             multiplier: 2,
         },
+        ..ServiceConfig::default()
     }));
     // Panic on the first execution only; retries run clean.
     let injector = Arc::new(FaultInjector::new(FaultPlan {
