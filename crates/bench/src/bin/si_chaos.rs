@@ -14,6 +14,15 @@
 //!    cached values equal a fresh solve on a brand-new workspace,
 //!    bit for bit.
 //!
+//! The service runs the whole storm with its persistent disk tier
+//! enabled, and a dedicated **kill-during-disk-write** fault class
+//! (ISSUE 8) attacks the tier's atomic-rename protocol directly: a torn
+//! `.sic` entry (writer killed mid-write on a non-atomic filesystem) is
+//! planted at a fresh key and must be quarantined — counted in
+//! `corrupt_evicted`, re-solved bit-identically, never served — and a
+//! `.tmp-` leftover (writer killed *before* its rename) must be swept by
+//! the next startup without ever becoming loadable.
+//!
 //! ```text
 //! si_chaos [--http] [--jobs N] [--clients N] [--seed N] [--min-faults N]
 //!          [--stages N] [--steps N] [--workers N] [--queue N]
@@ -31,7 +40,10 @@ use si_bench::run_report::{experiments_dir, RunReport};
 use si_service::http::{http_drop_mid_body, http_request, HttpConfig, HttpServer};
 use si_service::jobspec::JobSpec;
 use si_service::service::{ServiceConfig, SiService};
-use si_service::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, ServiceError};
+use si_service::{
+    CacheTier, DiskTier, DiskTierConfig, FaultInjector, FaultKind, FaultPlan, RetryPolicy,
+    ServiceError,
+};
 
 struct Args {
     http: bool,
@@ -214,11 +226,17 @@ fn main() {
         }
     }));
 
+    // The storm runs with the persistent disk tier enabled, so every
+    // completed solve also exercises the atomic write-through path while
+    // workers are panicking and stalling around it.
+    let cache_dir = std::env::temp_dir().join(format!("si-chaos-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
     let service = Arc::new(SiService::new(ServiceConfig {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline: None,
         retry: RetryPolicy::default(),
+        cache_dir: Some(cache_dir.clone()),
         ..ServiceConfig::default()
     }));
     // Worker-side chaos: panics, stalls, transients.
@@ -518,6 +536,69 @@ fn main() {
         failures.push("budget-rejection counter missed the oversized netlist".to_string());
     }
 
+    // ---- Kill-during-disk-write fault class (ISSUE 8): attack the disk
+    // tier's atomic-rename protocol the way a SIGKILL would. There are
+    // two kill points; neither may ever surface a torn result.
+    let mut torn_served = 0u64;
+    let corrupt_before = svc_counter(&service, "cache", "corrupt_evicted");
+    let tier = service
+        .disk_cache()
+        .cloned()
+        .expect("chaos service runs with a disk tier");
+    // Kill point 1: the final path exists but holds a short write — what
+    // a non-atomic writer killed mid-write would leave behind. Plant a
+    // half-length entry at a key the memory tier has never seen, so the
+    // next lookup must go through the disk probe.
+    let torn_spec = JobSpec::DelayLineDc {
+        stages: args.stages,
+        bias_ua: 20.0,
+        input_ua: 77.7,
+    };
+    let expected = torn_spec.run(&mut fresh_ws).expect("fresh torn-key solve");
+    tier.plant_torn_entry_for_test(torn_spec.job_key(), &expected);
+    match service.submit_blocking(&torn_spec, None) {
+        Ok((out, cached)) => {
+            if cached {
+                torn_served += 1;
+                failures.push("a torn disk entry was served from cache".to_string());
+            }
+            let identical = out.values.len() == expected.values.len()
+                && out
+                    .values
+                    .iter()
+                    .zip(expected.values.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !identical {
+                torn_served += 1;
+                failures.push("re-solve after a torn disk entry is not bit-identical".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("torn-entry key failed to re-solve: {e}")),
+    }
+    let disk_corrupt_evicted = svc_counter(&service, "cache", "corrupt_evicted") - corrupt_before;
+    if disk_corrupt_evicted < 1.0 {
+        failures
+            .push("torn disk entry was not quarantined (corrupt_evicted unchanged)".to_string());
+    }
+    // Kill point 2: killed *before* the atomic rename — only a `.tmp-`
+    // leftover exists. The next startup must sweep it, and the key must
+    // read as absent (a half-written entry is never half-visible).
+    let sweep_dir = std::env::temp_dir().join(format!("si-chaos-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    DiskTier::plant_tmp_leftover_for_test(&sweep_dir, torn_spec.job_key());
+    let swept_tier = DiskTier::open(DiskTierConfig::at(&sweep_dir)).expect("reopen swept tier");
+    let disk_tmp_swept = swept_tier.tmp_swept();
+    if disk_tmp_swept != 1 {
+        failures.push(format!(
+            "startup swept {disk_tmp_swept} tmp leftovers (expected 1)"
+        ));
+    }
+    if swept_tier.load(torn_spec.job_key()).is_some() {
+        torn_served += 1;
+        failures.push("a never-renamed tmp write became loadable".to_string());
+    }
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+
     let worker_stats = worker_faults.stats();
     let drop_stats = client_drops.as_ref().map(|d| d.stats()).unwrap_or_default();
     let total_injected = worker_stats.injected + drop_stats.injected;
@@ -602,6 +683,11 @@ fn main() {
     report.metric("netlist_parse_rejections", netlist_parse_rejections);
     report.metric("netlist_budget_rejections", netlist_budget_rejections);
     report.metric("netlist_untyped", netlist_untyped as f64);
+    report.metric("disk_writes", svc_metric("cache", "disk_writes"));
+    report.metric("disk_hits", svc_metric("cache", "disk_hits"));
+    report.metric("disk_corrupt_evicted", disk_corrupt_evicted);
+    report.metric("disk_tmp_swept", disk_tmp_swept as f64);
+    report.metric("disk_torn_served", torn_served as f64);
     report.metric("leaked_cancel_flags", leaked_flags as f64);
     report.metric("chaos_wall_s", chaos_wall.as_secs_f64());
     report.set_solver(service.engine_stats());
@@ -627,6 +713,7 @@ fn main() {
     } else {
         service.shutdown();
     }
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     if !failures.is_empty() {
         for f in &failures {

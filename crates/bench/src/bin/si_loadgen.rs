@@ -13,7 +13,7 @@
 //! ```text
 //! si_loadgen [--http] [--clients N] [--cold N] [--hot N]
 //!            [--stages N] [--steps N] [--workers N] [--queue N]
-//!            [--batch] [--scenarios N]
+//!            [--batch] [--scenarios N] [--restart]
 //! ```
 //!
 //! By default the service is driven in-process (deterministic, no
@@ -24,6 +24,14 @@
 //! points submitted once as N individual `delay_line_dc` jobs and once as
 //! a single `delay_line_dc_batch` job. The scenario-throughput ratio
 //! batch/singles is reported as the `batch_speedup` metric.
+//!
+//! `--restart` adds a cold-restart phase (ISSUE 8): the service runs with
+//! a persistent disk cache tier, is torn down after the hot phase (taking
+//! the whole memory tier with it), and a fresh instance on the same cache
+//! directory replays the hot workload. The working set must come back from
+//! disk, not be re-solved: the gate is restart throughput within 2x of
+//! warm, at least one disk hit, and disk-served results bit-identical to
+//! fresh solves on a brand-new workspace.
 //!
 //! `--netlist` swaps the canned transient workload for user-submitted
 //! `netlist` jobs (ISSUE 7): every submission carries dialect-v1 text
@@ -56,6 +64,7 @@ struct Args {
     batch: bool,
     scenarios: usize,
     netlist: bool,
+    restart: bool,
 }
 
 impl Default for Args {
@@ -72,6 +81,7 @@ impl Default for Args {
             batch: false,
             scenarios: 32,
             netlist: false,
+            restart: false,
         }
     }
 }
@@ -97,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
             "--queue" => args.queue = int("--queue")?.max(1),
             "--batch" => args.batch = true,
             "--netlist" => args.netlist = true,
+            "--restart" => args.restart = true,
             "--scenarios" => args.scenarios = int("--scenarios")?.max(2),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -247,12 +258,22 @@ fn main() {
         }
     };
 
-    let service = Arc::new(SiService::new(ServiceConfig {
+    // The restart phase needs results to outlive the first service
+    // instance, so it runs with the persistent disk tier enabled.
+    let cache_dir = args.restart.then(|| {
+        let dir = std::env::temp_dir().join(format!("si-loadgen-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+
+    let config = |cache_dir: Option<std::path::PathBuf>| ServiceConfig {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline: None,
+        cache_dir,
         ..ServiceConfig::default()
-    }));
+    };
+    let service = Arc::new(SiService::new(config(cache_dir.clone())));
     let mut server = None;
     let client: Box<dyn Client> = if args.http {
         let srv = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
@@ -301,6 +322,52 @@ fn main() {
         };
         let batch = run_phase(client.as_ref(), std::slice::from_ref(&batch_spec), 1);
         (singles, batch)
+    });
+
+    // Restart phase (ISSUE 8): tear the warm service down — the pool
+    // drains, so every write-through to the disk tier has landed — and
+    // bring a fresh instance up on the same cache directory. Replaying
+    // the hot workload now exercises the disk tier: the memory tier is
+    // empty, so every working-set key must be promoted from disk instead
+    // of re-solved.
+    let restart_cmp = args.restart.then(|| {
+        if let Some(mut srv) = server.take() {
+            srv.shutdown();
+        } else {
+            service.shutdown();
+        }
+        let restarted = Arc::new(SiService::new(config(cache_dir.clone())));
+        let restarted_client: Box<dyn Client> = if args.http {
+            let srv =
+                HttpServer::bind("127.0.0.1:0", Arc::clone(&restarted)).expect("rebind loopback");
+            let addr = srv.local_addr();
+            server = Some(srv);
+            Box::new(OverHttp(addr))
+        } else {
+            Box::new(InProcess(Arc::clone(&restarted)))
+        };
+        let phase = run_phase(restarted_client.as_ref(), &hot_specs, args.clients);
+        // Zero correctness drift: every disk-served working-set result
+        // must equal a fresh solve on a brand-new workspace, bit for bit.
+        let mut fresh_ws = si_analog::engine::EngineWorkspace::new();
+        let mut bit_mismatches = 0u64;
+        for spec in &cold_specs {
+            let served = restarted
+                .submit_blocking(spec, None)
+                .expect("post-restart resolve")
+                .0;
+            let fresh = spec.run(&mut fresh_ws).expect("fresh solve");
+            let identical = served.values.len() == fresh.values.len()
+                && served
+                    .values
+                    .iter()
+                    .zip(fresh.values.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !identical {
+                bit_mismatches += 1;
+            }
+        }
+        (restarted, phase, bit_mismatches)
     });
 
     let throughput = |n: usize, wall: Duration| n as f64 / wall.as_secs_f64().max(1e-9);
@@ -363,6 +430,37 @@ fn main() {
         total_errors += singles.errors + batch.errors;
         batch_line = format!(" | batch {batch_speedup:.1}x over singles");
     }
+    let mut restart_line = String::new();
+    if let Some((restarted, phase, bit_mismatches)) = &restart_cmp {
+        let throughput_restart = throughput(args.hot, phase.wall);
+        let warm_over_restart = throughput_hot / throughput_restart.max(1e-9);
+        let restarted_metrics = restarted.metrics();
+        let disk = |key: &str| {
+            restarted_metrics
+                .get("cache")
+                .and_then(|c| c.get(key))
+                .and_then(si_service::json::Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        report.note(
+            "restart_phase",
+            format!(
+                "hot workload replayed on a fresh instance over the same cache dir ({} entries on disk)",
+                disk("disk_entries")
+            ),
+        );
+        report.metric("throughput_restart_jps", throughput_restart);
+        report.metric("restart_warm_ratio", warm_over_restart);
+        report.metric("restart_disk_hits", disk("disk_hits"));
+        report.metric("restart_disk_misses", disk("disk_misses"));
+        report.metric("restart_cached_responses", phase.cached as f64);
+        report.metric("restart_bit_mismatches", *bit_mismatches as f64);
+        total_errors += phase.errors;
+        restart_line = format!(
+            " | restart {throughput_restart:.1} jobs/s ({warm_over_restart:.2}x warm, {} disk hits)",
+            disk("disk_hits")
+        );
+    }
     report.metric("errors", total_errors as f64);
     report.set_solver(service.engine_stats());
 
@@ -372,13 +470,45 @@ fn main() {
         Err(e) => eprintln!("could not write report: {e}"),
     }
     println!(
-        "cold {throughput_cold:.1} jobs/s | hot {throughput_hot:.1} jobs/s | speedup {speedup:.1}x | hit ratio {hit_ratio:.3}{batch_line}"
+        "cold {throughput_cold:.1} jobs/s | hot {throughput_hot:.1} jobs/s | speedup {speedup:.1}x | hit ratio {hit_ratio:.3}{batch_line}{restart_line}"
     );
 
     if let Some(mut srv) = server.take() {
         srv.shutdown();
+    } else if let Some((restarted, ..)) = &restart_cmp {
+        restarted.shutdown();
     } else {
         service.shutdown();
+    }
+    if let Some(dir) = &cache_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    if let Some((restarted, phase, bit_mismatches)) = &restart_cmp {
+        let throughput_restart = throughput(args.hot, phase.wall);
+        let warm_over_restart = throughput_hot / throughput_restart.max(1e-9);
+        let disk_hits = restarted
+            .metrics()
+            .get("cache")
+            .and_then(|c| c.get("disk_hits"))
+            .and_then(si_service::json::Json::as_f64)
+            .unwrap_or(0.0);
+        if warm_over_restart > 2.0 {
+            eprintln!(
+                "FAIL: cold-restart hot-phase throughput is {warm_over_restart:.2}x slower than warm (bar: 2x)"
+            );
+            std::process::exit(1);
+        }
+        if disk_hits < 1.0 {
+            eprintln!("FAIL: restarted service served no result from the disk tier");
+            std::process::exit(1);
+        }
+        if *bit_mismatches > 0 {
+            eprintln!(
+                "FAIL: {bit_mismatches} disk-served results differ bitwise from a fresh solve"
+            );
+            std::process::exit(1);
+        }
     }
 
     if args.netlist {

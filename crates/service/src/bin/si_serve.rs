@@ -3,6 +3,7 @@
 //! ```text
 //! si_serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms MS]
 //!          [--max-conns N] [--read-timeout-ms MS] [--max-body-bytes N]
+//!          [--cache-dir PATH] [--cache-budget-bytes N]
 //! ```
 //!
 //! Prints the bound address on stdout (`listening on <addr>`) once ready,
@@ -13,6 +14,12 @@
 //! `--max-body-bytes`) map straight onto
 //! [`HttpConfig`](si_service::http::HttpConfig); see its docs for what
 //! each bound rejects (`503`, `408`, `413` respectively).
+//!
+//! `--cache-dir` enables the persistent result tier
+//! ([`DiskTier`](si_service::disk::DiskTier)): solved jobs survive a
+//! restart (even `SIGKILL`) and are served from disk bit-identically.
+//! `--cache-budget-bytes` caps its footprint (default 256 MiB,
+//! least-recently-accessed evicted first).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,6 +35,8 @@ struct Args {
     max_conns: usize,
     read_timeout_ms: u64,
     max_body_bytes: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    cache_budget_bytes: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         max_conns: http_defaults.max_connections,
         read_timeout_ms: http_defaults.read_timeout.as_millis() as u64,
         max_body_bytes: http_defaults.max_body_bytes,
+        cache_dir: None,
+        cache_budget_bytes: 256 << 20,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,11 +79,20 @@ fn parse_args() -> Result<Args, String> {
             "--max-body-bytes" => {
                 args.max_body_bytes = parse_usize("--max-body-bytes", value("--max-body-bytes")?)?;
             }
+            "--cache-dir" => {
+                args.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?));
+            }
+            "--cache-budget-bytes" => {
+                args.cache_budget_bytes = value("--cache-budget-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-budget-bytes must be an integer".to_string())?;
+            }
             "--help" | "-h" => {
                 return Err([
                     "usage: si_serve [--addr HOST:PORT] [--workers N] [--queue N]",
                     "                [--timeout-ms MS] [--max-conns N]",
                     "                [--read-timeout-ms MS] [--max-body-bytes N]",
+                    "                [--cache-dir PATH] [--cache-budget-bytes N]",
                 ]
                 .join("\n"));
             }
@@ -94,6 +114,8 @@ fn main() {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline: args.timeout_ms.map(Duration::from_millis),
+        cache_dir: args.cache_dir,
+        cache_budget_bytes: args.cache_budget_bytes,
         ..ServiceConfig::default()
     }));
     let http = HttpConfig {

@@ -1,13 +1,28 @@
-//! The content-addressed result cache with single-flight deduplication.
+//! The tiered, content-addressed result cache with single-flight
+//! deduplication.
 //!
 //! Keys are [`JobSpec::job_key`](crate::jobspec::JobSpec::job_key) values;
 //! entries are `Arc`-shared [`JobOutput`](crate::jobspec::JobOutput)s.
+//! Storage is a stack of [`CacheTier`]s — an in-memory sharded tier
+//! ([`MemoryTier`]) always on top, optionally backed by a persistent
+//! disk tier ([`DiskTier`](crate::disk::DiskTier)) underneath:
+//!
+//! - **Lookup order** walks the stack top-down: memory first, then disk.
+//! - **Promotion**: a hit in a lower tier is written back into every tier
+//!   above it, so the next lookup is a memory hit.
+//! - **Write-through**: a freshly computed result is stored into *every*
+//!   tier, so it survives a process restart.
+//! - **Never cache errors**: only successful outputs reach any tier; a
+//!   transient non-convergence must not poison the key, in memory or on
+//!   disk.
+//!
 //! When several clients ask for the same key concurrently, exactly one
 //! (the *leader*) computes; the rest (*followers*) block on a condvar and
 //! receive the leader's result — the "single-flight" discipline that
 //! keeps a thundering herd of identical jobs from multiplying solver
-//! work. Errors are handed to waiting followers but never cached: a
-//! transient non-convergence should not poison the key forever.
+//! work. The in-flight table is sharded separately from storage, so a
+//! disk probe never holds a flight lock. A disk hit is single-flight too:
+//! concurrent callers coalesce onto the one caller doing the disk read.
 //!
 //! Batch jobs ([`JobSpec::DelayLineDcBatch`](crate::jobspec::JobSpec))
 //! cache at the same granularity as everything else: one key, one entry,
@@ -15,11 +30,7 @@
 //! `complete` call that carries its full output; a leader that dies
 //! mid-batch (worker panic between scenarios) goes through the same
 //! abandoned-flight path as any other crash, so a partial batch can never
-//! become a ready entry — there is simply no API through which fewer than
-//! all scenarios could be published.
-//!
-//! The map is sharded by the low bits of the key so unrelated jobs do not
-//! contend on one lock; each shard's critical sections only move `Arc`s.
+//! become a ready entry — in memory or on disk.
 //!
 //! # Crash safety
 //!
@@ -37,17 +48,162 @@
 //!    no torn state worth propagating; recoveries are counted in
 //!    [`CacheStats::poison_recoveries`] so chaos runs can assert they
 //!    stay observable.
+//!
+//! Process-kill crash safety — a `SIGKILL` mid-disk-write — is the disk
+//! tier's own atomic-rename discipline; see [`crate::disk`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use crate::disk::DiskTier;
 use crate::error::ServiceError;
 use crate::jobspec::JobOutput;
 
 const SHARDS: usize = 16;
 
 type JobResult = Result<Arc<JobOutput>, ServiceError>;
+
+/// One storage level of the result cache.
+///
+/// A tier is a plain key→output store: no single-flight, no error
+/// caching, no TTLs — those live in [`ResultCache`], which owns the
+/// stack. Implementations must be cheap to probe on a miss and must
+/// never serve a value they cannot vouch for (the disk tier quarantines
+/// anything failing its checksum instead of returning it).
+pub trait CacheTier: Send + Sync + std::fmt::Debug {
+    /// Stable tag used in metrics and logs (`"memory"`, `"disk"`).
+    fn name(&self) -> &'static str;
+    /// Looks up `key`, returning a shared output on a hit. May mutate
+    /// internal bookkeeping (LRU clocks, hit counters) but must not
+    /// block on anything slower than its own medium.
+    fn load(&self, key: u64) -> Option<Arc<JobOutput>>;
+    /// Stores `out` under `key`, overwriting any previous entry. Errors
+    /// are absorbed (a tier that cannot store simply misses later).
+    fn store(&self, key: u64, out: &Arc<JobOutput>);
+    /// Monotonic counters plus occupancy gauges for this tier.
+    fn stats(&self) -> TierStats;
+}
+
+/// Counters and gauges one [`CacheTier`] reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TierStats {
+    /// Loads that found a valid entry.
+    pub hits: u64,
+    /// Loads that found nothing (or quarantined what they found).
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Entries evicted to fit the tier's budget.
+    pub evictions: u64,
+    /// Entries quarantined because validation failed (corrupt, foreign,
+    /// torn, or version-mismatched files; always 0 for the memory tier).
+    pub corrupt_evicted: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently resident (0 where not tracked).
+    pub bytes: u64,
+}
+
+/// The always-present top tier: a sharded in-memory map of ready
+/// results.
+#[derive(Debug)]
+pub struct MemoryTier {
+    shards: Vec<Mutex<HashMap<u64, Arc<JobOutput>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl Default for MemoryTier {
+    fn default() -> Self {
+        MemoryTier::new()
+    }
+}
+
+impl MemoryTier {
+    /// An empty sharded map.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryTier {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<JobOutput>>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Test/chaos hook: poisons the mutex of `key`'s shard by panicking a
+    /// throwaway thread while it holds the lock.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, key: u64) {
+        let shard = self.shard(key);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("deliberate poison for test");
+            });
+            assert!(handle.join().is_err(), "poison thread must panic");
+        });
+    }
+}
+
+impl CacheTier for MemoryTier {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn load(&self, key: u64) -> Option<Arc<JobOutput>> {
+        let shard = self.lock(self.shard(key));
+        match shard.get(&key) {
+            Some(out) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(out))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: u64, out: &Arc<JobOutput>) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.lock(self.shard(key)).insert(key, Arc::clone(out));
+    }
+
+    fn stats(&self) -> TierStats {
+        let entries = self.shards.iter().map(|s| self.lock(s).len() as u64).sum();
+        TierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: 0,
+            corrupt_evicted: 0,
+            entries,
+            bytes: 0,
+        }
+    }
+}
 
 /// One in-progress computation that followers wait on.
 #[derive(Debug)]
@@ -56,16 +212,10 @@ struct Flight {
     done: Condvar,
 }
 
-#[derive(Debug, Clone)]
-enum Entry {
-    Ready(Arc<JobOutput>),
-    InFlight(Arc<Flight>),
-}
-
 /// What [`ResultCache::get_or_lead`] tells the caller to do.
 #[derive(Debug)]
 pub enum CacheOutcome {
-    /// The result was already cached.
+    /// The result was already cached (in memory, or promoted from disk).
     Hit(Arc<JobOutput>),
     /// Another thread is computing this key; the caller was blocked until
     /// it finished and this is its result.
@@ -90,13 +240,13 @@ pub struct LeadGuard {
 /// Monotonic counters describing cache behavior since startup.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from a ready entry.
+    /// Lookups answered from the in-memory tier.
     pub hits: u64,
     /// Lookups that became leaders (the job actually ran).
     pub misses: u64,
     /// Lookups that waited on another thread's in-flight computation.
     pub coalesced: u64,
-    /// Ready entries currently resident.
+    /// Ready entries currently resident in memory.
     pub entries: u64,
     /// Flights completed by [`LeadGuard`]'s drop backstop because the
     /// leader unwound without publishing (worker panic).
@@ -104,11 +254,36 @@ pub struct CacheStats {
     /// Poisoned locks recovered via `into_inner` (a thread panicked while
     /// holding a cache lock; the data survived).
     pub poison_recoveries: u64,
+    /// Lookups answered from the disk tier (and promoted to memory).
+    pub disk_hits: u64,
+    /// Disk-tier probes that found nothing servable.
+    pub disk_misses: u64,
+    /// Entries persisted to disk.
+    pub disk_writes: u64,
+    /// Disk entries evicted to fit the byte budget.
+    pub disk_evictions: u64,
+    /// Disk files quarantined as corrupt/foreign/torn — deleted, counted,
+    /// and the job re-solved; never served.
+    pub corrupt_evicted: u64,
+    /// Disk entries currently resident.
+    pub disk_entries: u64,
+    /// Bytes currently resident on disk.
+    pub disk_bytes: u64,
 }
 
 #[derive(Debug)]
 struct CacheInner {
-    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    memory: MemoryTier,
+    /// Lower storage tiers in lookup order (today: at most the disk
+    /// tier). Held as trait objects so the lookup/promotion walk is
+    /// tier-agnostic.
+    lower: Vec<Arc<dyn CacheTier>>,
+    /// The concrete disk tier, when configured — same object as in
+    /// `lower`, kept typed for disk-specific stats and chaos hooks.
+    disk: Option<Arc<DiskTier>>,
+    /// In-flight computations, sharded like storage but independent of
+    /// it: a disk probe never holds a flight lock.
+    flights: Vec<Mutex<HashMap<u64, Arc<Flight>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
@@ -126,26 +301,24 @@ impl CacheInner {
         })
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
-        &self.shards[(key as usize) % SHARDS]
+    fn flight_shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<Flight>>> {
+        &self.flights[(key as usize) % SHARDS]
     }
 
-    /// Publishes a flight's result: successes become ready entries,
-    /// failures evict the key; all followers wake with a clone.
-    fn publish(&self, key: u64, result: JobResult) {
-        let flight = {
-            let mut shard = self.lock(self.shard(key));
-            let prev = match &result {
-                Ok(out) => shard.insert(key, Entry::Ready(Arc::clone(out))),
-                Err(_) => shard.remove(&key),
-            };
-            match prev {
-                Some(Entry::InFlight(flight)) => Some(flight),
-                // A Ready entry can only appear here if the same key was
-                // completed twice, which leadership rules out; tolerate it.
-                _ => None,
+    /// Publishes a flight's result: successes are stored into the memory
+    /// tier (and, when `write_through`, every lower tier); all followers
+    /// wake with a clone. Errors are stored nowhere — the key is simply
+    /// freed for the next leader.
+    fn publish(&self, key: u64, result: JobResult, write_through: bool) {
+        if let Ok(out) = &result {
+            self.memory.store(key, out);
+            if write_through {
+                for tier in &self.lower {
+                    tier.store(key, out);
+                }
             }
-        };
+        }
+        let flight = self.lock(self.flight_shard(key)).remove(&key);
         if let Some(flight) = flight {
             let mut slot = self.lock(&flight.slot);
             *slot = Some(result);
@@ -154,7 +327,8 @@ impl CacheInner {
     }
 }
 
-/// A sharded, single-flight, content-addressed cache of job results.
+/// A sharded, single-flight, tiered, content-addressed cache of job
+/// results.
 #[derive(Debug)]
 pub struct ResultCache {
     inner: Arc<CacheInner>,
@@ -167,12 +341,29 @@ impl Default for ResultCache {
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An in-memory-only cache (no persistence).
     #[must_use]
     pub fn new() -> Self {
+        ResultCache::build(None)
+    }
+
+    /// A cache with the persistent disk tier under the memory tier.
+    #[must_use]
+    pub fn with_disk(disk: Arc<DiskTier>) -> Self {
+        ResultCache::build(Some(disk))
+    }
+
+    fn build(disk: Option<Arc<DiskTier>>) -> Self {
+        let lower: Vec<Arc<dyn CacheTier>> = disk
+            .iter()
+            .map(|d| Arc::clone(d) as Arc<dyn CacheTier>)
+            .collect();
         ResultCache {
             inner: Arc::new(CacheInner {
-                shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                memory: MemoryTier::new(),
+                lower,
+                disk,
+                flights: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
@@ -182,107 +373,145 @@ impl ResultCache {
         }
     }
 
-    /// Looks up `key`; on a miss the caller becomes the leader and must
-    /// call [`ResultCache::complete`]. Blocks (briefly) if another thread
-    /// is already computing the key.
+    /// The persistent tier, when one is configured.
+    #[must_use]
+    pub fn disk_tier(&self) -> Option<&Arc<DiskTier>> {
+        self.inner.disk.as_ref()
+    }
+
+    /// Looks up `key`; on a miss in every tier the caller becomes the
+    /// leader and must call [`ResultCache::complete`]. Blocks (briefly)
+    /// if another thread is already computing the key. A hit in a lower
+    /// tier is promoted to memory before returning.
     pub fn get_or_lead(&self, key: u64) -> CacheOutcome {
         let inner = &self.inner;
-        let flight = {
-            let mut shard = inner.lock(inner.shard(key));
+        if let Some(out) = inner.memory.load(key) {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            return CacheOutcome::Hit(out);
+        }
+        let existing = {
+            let mut shard = inner.lock(inner.flight_shard(key));
             match shard.get(&key) {
-                Some(Entry::Ready(out)) => {
-                    inner.hits.fetch_add(1, Ordering::Relaxed);
-                    return CacheOutcome::Hit(Arc::clone(out));
-                }
-                Some(Entry::InFlight(flight)) => Arc::clone(flight),
+                Some(flight) => Some(Arc::clone(flight)),
                 None => {
                     shard.insert(
                         key,
-                        Entry::InFlight(Arc::new(Flight {
+                        Arc::new(Flight {
                             slot: Mutex::new(None),
                             done: Condvar::new(),
-                        })),
+                        }),
                     );
-                    inner.misses.fetch_add(1, Ordering::Relaxed);
-                    return CacheOutcome::Lead(LeadGuard {
-                        key,
-                        cache: Arc::clone(inner),
-                        completed: false,
-                    });
+                    None
                 }
             }
         };
-        // Follower: wait outside the shard lock. The leader always
-        // publishes — by `complete` or by its guard's drop backstop — so
-        // this wait cannot strand; poisoned waits recover the guard.
-        inner.coalesced.fetch_add(1, Ordering::Relaxed);
-        let mut slot = inner.lock(&flight.slot);
-        while slot.is_none() {
-            slot = flight.done.wait(slot).unwrap_or_else(|poisoned| {
-                inner.poison_recoveries.fetch_add(1, Ordering::Relaxed);
-                poisoned.into_inner()
-            });
+        if let Some(flight) = existing {
+            // Follower: wait outside the shard lock. The leader always
+            // publishes — by `complete`, by disk promotion, or by its
+            // guard's drop backstop — so this wait cannot strand;
+            // poisoned waits recover the guard.
+            inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut slot = inner.lock(&flight.slot);
+            while slot.is_none() {
+                slot = flight.done.wait(slot).unwrap_or_else(|poisoned| {
+                    inner.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                    poisoned.into_inner()
+                });
+            }
+            return CacheOutcome::Coalesced(slot.as_ref().expect("checked above").clone());
         }
-        CacheOutcome::Coalesced(slot.as_ref().expect("checked above").clone())
+        // Leader candidate. A racing leader may have completed between
+        // the memory probe and the flight insertion: re-check memory
+        // before paying for a disk read or a solve.
+        if let Some(out) = inner.memory.load(key) {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            inner.publish(key, Ok(Arc::clone(&out)), false);
+            return CacheOutcome::Hit(out);
+        }
+        // Probe lower tiers top-down; a hit is promoted (published to
+        // memory, not written back to its own tier) and releases any
+        // followers that coalesced while the disk read ran.
+        for tier in &inner.lower {
+            if let Some(out) = tier.load(key) {
+                inner.publish(key, Ok(Arc::clone(&out)), false);
+                return CacheOutcome::Hit(out);
+            }
+        }
+        inner.misses.fetch_add(1, Ordering::Relaxed);
+        CacheOutcome::Lead(LeadGuard {
+            key,
+            cache: Arc::clone(inner),
+            completed: false,
+        })
     }
 
-    /// Publishes the leader's result: successes become ready entries,
-    /// failures evict the key. Either way, all followers wake with a
+    /// Publishes the leader's result: successes are written through every
+    /// tier, failures free the key. Either way, all followers wake with a
     /// clone of `result`.
     pub fn complete(&self, mut guard: LeadGuard, result: JobResult) {
         guard.completed = true;
-        self.inner.publish(guard.key, result);
+        self.inner.publish(guard.key, result, true);
     }
 
-    /// A non-leading lookup: returns the cached result if ready, without
-    /// counting a hit or joining an in-flight computation. Used by
+    /// A memory-tier-only probe that counts a cache hit when it lands
+    /// and nothing when it does not. The HTTP front end uses it to
+    /// decide whether a request can be answered inline on the event
+    /// loop; a miss falls back to a full submission, which does its own
+    /// counting (so a probe-then-submit sequence counts exactly once).
+    pub fn memory_hit(&self, key: u64) -> Option<Arc<JobOutput>> {
+        let out = self.inner.memory.load(key)?;
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        Some(out)
+    }
+
+    /// A non-leading lookup: returns the cached result if ready in any
+    /// tier, without counting a cache-level hit or joining an in-flight
+    /// computation. A disk hit is still promoted to memory. Used by
     /// `GET /v1/jobs/:id`, which must not block or become a leader.
     pub fn peek(&self, key: u64) -> Option<Arc<JobOutput>> {
-        let shard = self.inner.lock(self.inner.shard(key));
-        match shard.get(&key) {
-            Some(Entry::Ready(out)) => Some(Arc::clone(out)),
-            _ => None,
+        let inner = &self.inner;
+        if let Some(out) = inner.memory.load(key) {
+            return Some(out);
         }
+        for tier in &inner.lower {
+            if let Some(out) = tier.load(key) {
+                inner.memory.store(key, &out);
+                return Some(out);
+            }
+        }
+        None
     }
 
-    /// Current counter snapshot.
+    /// Current counter snapshot across all tiers.
     pub fn stats(&self) -> CacheStats {
         let inner = &self.inner;
-        let entries = inner
-            .shards
-            .iter()
-            .map(|s| {
-                inner
-                    .lock(s)
-                    .values()
-                    .filter(|e| matches!(e, Entry::Ready(_)))
-                    .count() as u64
-            })
-            .sum();
+        let memory = inner.memory.stats();
+        let disk = inner.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
         CacheStats {
             hits: inner.hits.load(Ordering::Relaxed),
             misses: inner.misses.load(Ordering::Relaxed),
             coalesced: inner.coalesced.load(Ordering::Relaxed),
-            entries,
+            entries: memory.entries,
             abandoned_flights: inner.abandoned_flights.load(Ordering::Relaxed),
-            poison_recoveries: inner.poison_recoveries.load(Ordering::Relaxed),
+            poison_recoveries: inner.poison_recoveries.load(Ordering::Relaxed)
+                + inner.memory.poison_recoveries(),
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_writes: disk.writes,
+            disk_evictions: disk.evictions,
+            corrupt_evicted: disk.corrupt_evicted,
+            disk_entries: disk.entries,
+            disk_bytes: disk.bytes,
         }
     }
 
-    /// Test/chaos hook: poisons the mutex of `key`'s shard by panicking a
-    /// throwaway thread while it holds the lock. Regression tests use
-    /// this to prove lookups recover instead of propagating the panic.
+    /// Test/chaos hook: poisons the mutex of `key`'s memory shard by
+    /// panicking a throwaway thread while it holds the lock. Regression
+    /// tests use this to prove lookups recover instead of propagating the
+    /// panic.
     #[doc(hidden)]
     pub fn poison_shard_for_test(&self, key: u64) {
-        let inner = Arc::clone(&self.inner);
-        let handle = std::thread::spawn(move || {
-            let _guard = inner
-                .shard(key)
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            panic!("deliberate poison for test");
-        });
-        assert!(handle.join().is_err(), "poison thread must panic");
+        self.inner.memory.poison_shard_for_test(key);
     }
 }
 
@@ -301,6 +530,7 @@ impl Drop for LeadGuard {
             Err(ServiceError::Internal(
                 "leader abandoned the flight (worker panic or unwind)".to_string(),
             )),
+            false,
         );
     }
 }
@@ -308,6 +538,7 @@ impl Drop for LeadGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disk::{DiskTier, DiskTierConfig};
     use std::thread;
 
     fn output(v: f64) -> Arc<JobOutput> {
@@ -331,6 +562,11 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // No disk tier: the disk counters stay zero.
+        assert_eq!(
+            (stats.disk_hits, stats.disk_misses, stats.disk_writes),
+            (0, 0, 0)
+        );
     }
 
     #[test]
@@ -486,5 +722,119 @@ mod tests {
             "recovery must be counted: {stats:?}"
         );
         assert_eq!(stats.entries, 2);
+    }
+
+    fn disk_cache(tag: &str) -> (ResultCache, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "si-cache-tiered-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = Arc::new(DiskTier::open(DiskTierConfig::at(&dir)).unwrap());
+        (ResultCache::with_disk(disk), dir)
+    }
+
+    /// ISSUE 8: a completed job is written through to disk, and a *fresh*
+    /// cache over the same directory serves it — as a disk hit promoted
+    /// to memory — without any leader running.
+    #[test]
+    fn write_through_survives_a_cache_restart() {
+        let (cache, dir) = disk_cache("restart");
+        match cache.get_or_lead(99) {
+            CacheOutcome::Lead(g) => cache.complete(g, Ok(output(6.5))),
+            other => panic!("expected Lead, got {other:?}"),
+        }
+        assert_eq!(cache.stats().disk_writes, 1);
+        drop(cache);
+
+        // "Restart": a brand-new cache (empty memory tier) on the dir.
+        let disk = Arc::new(DiskTier::open(DiskTierConfig::at(&dir)).unwrap());
+        let cache = ResultCache::with_disk(disk);
+        match cache.get_or_lead(99) {
+            CacheOutcome::Hit(out) => assert_eq!(out.values, vec![6.5]),
+            other => panic!("expected disk Hit after restart, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 0, "no leader ran");
+        // Promotion: the second lookup is a pure memory hit.
+        match cache.get_or_lead(99) {
+            CacheOutcome::Hit(_) => {}
+            other => panic!("expected memory Hit after promotion, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.disk_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 8: errors never reach the disk tier either.
+    #[test]
+    fn errors_are_never_persisted() {
+        let (cache, dir) = disk_cache("errors");
+        match cache.get_or_lead(5) {
+            CacheOutcome::Lead(g) => {
+                cache.complete(g, Err(ServiceError::Analysis("diverged".into())));
+            }
+            other => panic!("expected Lead, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.disk_writes, 0);
+        assert_eq!(stats.disk_entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 8: an abandoned (panicked) leader writes nothing to disk —
+    /// the drop backstop publishes an error, and errors are not
+    /// persisted.
+    #[test]
+    fn abandoned_flight_persists_nothing() {
+        let (cache, dir) = disk_cache("abandon");
+        let guard = match cache.get_or_lead(13) {
+            CacheOutcome::Lead(g) => g,
+            other => panic!("expected Lead, got {other:?}"),
+        };
+        let leader = thread::spawn(move || {
+            let _guard = guard;
+            panic!("injected worker panic");
+        });
+        assert!(leader.join().is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.abandoned_flights, 1);
+        assert_eq!(stats.disk_writes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The disk probe happens under flight leadership, so concurrent
+    /// callers of an on-disk key coalesce onto ONE disk read.
+    #[test]
+    fn disk_promotion_is_single_flight() {
+        let (cache, dir) = disk_cache("singleflight");
+        match cache.get_or_lead(31) {
+            CacheOutcome::Lead(g) => cache.complete(g, Ok(output(3.25))),
+            other => panic!("expected Lead, got {other:?}"),
+        }
+        drop(cache);
+        let disk = Arc::new(DiskTier::open(DiskTierConfig::at(&dir)).unwrap());
+        let cache = Arc::new(ResultCache::with_disk(disk));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            joins.push(thread::spawn(move || match cache.get_or_lead(31) {
+                CacheOutcome::Hit(out) | CacheOutcome::Coalesced(Ok(out)) => out.values[0],
+                other => panic!("expected Hit/Coalesced, got {other:?}"),
+            }));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 3.25);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0, "nobody led a solve");
+        assert!(
+            stats.disk_hits <= 2,
+            "concurrent lookups must coalesce onto few disk reads, saw {}",
+            stats.disk_hits
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

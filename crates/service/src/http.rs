@@ -1,24 +1,40 @@
-//! A hand-rolled HTTP/1.1 front end over `std::net::TcpListener`.
+//! A hand-rolled, readiness-driven HTTP/1.1 front end over
+//! `std::net::TcpListener`.
 //!
 //! The build environment carries no network crates, and the service's
 //! needs are narrow: small JSON bodies, `Content-Length` framing,
-//! keep-alive, four routes. A thread per connection is plenty — real
-//! concurrency control lives in the worker pool behind the service, not
-//! in the listener — but the listener is still **bounded and hardened**:
+//! keep-alive, four routes. PR 5's thread-per-connection model was
+//! bounded but paid one thread per *open* connection; a fleet of idle
+//! keep-alive clients is exactly the workload the ROADMAP's north star
+//! promises, and threads are the wrong currency for idleness. This
+//! version runs **one event-loop thread** over nonblocking sockets:
+//!
+//! - every connection is a slot in a `poll(2)` set (hand-declared FFI on
+//!   unix — std links the platform C library; elsewhere a short-tick
+//!   scan loop stands in) driving a per-connection state machine:
+//!   **Reading** (accumulate request bytes) → **Waiting** (a handler
+//!   thread runs the blocking solve) → **Writing** (drain the response)
+//!   → back to Reading on keep-alive,
+//! - only in-flight `POST /v1/jobs` requests occupy a thread; `GET`s,
+//!   errors, and idle connections are serviced entirely on the loop,
+//! - a wake pipe lets handler threads hand finished responses back to
+//!   the loop without waiting out a poll tick.
+//!
+//! Every limit from the threaded listener survives, enforced by the loop
+//! instead of socket options:
 //!
 //! - a global connection cap ([`HttpConfig::max_connections`]); excess
-//!   connections are shed immediately with `503` + `Retry-After` instead
-//!   of spawning threads without bound,
-//! - per-connection read *and* write timeouts, so a stalled peer cannot
-//!   pin a connection thread forever (slow requests get a typed `408`),
-//! - a body-size cap enforced **before** the body is read; oversized
-//!   `Content-Length` gets a typed `413`,
+//!   connections are shed immediately with `503` + `Retry-After`,
+//! - a per-request read deadline **fixed when the request cycle starts**
+//!   — a client trickling bytes (slowloris) can no longer reset the
+//!   timer with each byte; expiry yields a typed `408`,
+//! - a write deadline per response; a peer that stops draining its
+//!   socket is disconnected,
+//! - a body-size cap enforced from the `Content-Length` header, before
+//!   the body arrives (typed `413`),
 //! - malformed framing (missing or garbage `Content-Length` on a POST,
-//!   a non-UTF-8 body, a garbled request line) gets a typed `400`
-//!   instead of a silent hang-up,
-//! - the accept loop polls a nonblocking listener, so
-//!   [`HttpServer::shutdown`] never needs the old dial-yourself trick to
-//!   unblock it (which could hang when the listener was unreachable).
+//!   a non-UTF-8 body, a garbled request line, an oversized header
+//!   section) gets a typed `400` instead of a silent hang-up.
 //!
 //! Routes:
 //!
@@ -33,12 +49,12 @@
 //! spec; admission-control rejections surface as `503` with `Retry-After`
 //! and a JSON error body, deadline misses as `504`.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServiceError;
 use crate::jobspec::JobSpec;
@@ -46,25 +62,28 @@ use crate::json::{self, Json};
 use crate::service::{job_response_body, SiService};
 
 const MAX_HEADER_LINES: usize = 100;
-/// How long the accept loop sleeps between polls of the nonblocking
-/// listener (also the shutdown-latency bound).
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Cap on the buffered request-line + header section; past this the
+/// framing is hostile, not slow.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Upper bound on one poll wait; deadline sweeps happen at least this
+/// often even with no I/O (shutdown is faster: the wake pipe interrupts).
+const MAX_POLL_WAIT_MS: i32 = 1000;
 
 /// Listener hardening knobs. The defaults suit tests and small
 /// deployments; `si_serve` exposes each as a flag.
 #[derive(Debug, Clone, Copy)]
 pub struct HttpConfig {
-    /// Per-connection read timeout (request line, headers, and body);
-    /// expiry yields a typed `408`.
+    /// Per-request read deadline (request line, headers, and body),
+    /// fixed when the request cycle starts; expiry yields a typed `408`.
     pub read_timeout: Duration,
-    /// Per-connection write timeout; a peer that stops draining its
-    /// socket gets disconnected instead of pinning the thread.
+    /// Per-response write deadline; a peer that stops draining its
+    /// socket gets disconnected instead of pinning a poll slot forever.
     pub write_timeout: Duration,
     /// Largest accepted request body; a bigger `Content-Length` is
     /// rejected with `413` before any body byte is read.
     pub max_body_bytes: usize,
     /// Concurrent-connection cap; excess connections are shed with `503`
-    /// + `Retry-After` without spawning a thread.
+    /// + `Retry-After` without occupying a poll slot.
     pub max_connections: usize,
     /// The `Retry-After` value (seconds) sent with every `503`.
     pub retry_after_secs: u64,
@@ -82,8 +101,8 @@ impl Default for HttpConfig {
     }
 }
 
-/// Listener-level counters, surfaced as the `"http"` section of
-/// `/metrics`.
+/// Listener-level counters and gauges, surfaced as the `"http"` section
+/// of `/metrics`.
 #[derive(Debug, Default)]
 pub struct HttpStats {
     /// Connections accepted and served.
@@ -94,13 +113,18 @@ pub struct HttpStats {
     pub bad_requests: AtomicU64,
     /// Requests rejected with `413` (body over the cap).
     pub too_large: AtomicU64,
-    /// Requests that timed out mid-read (`408`).
+    /// Requests that hit the read deadline (`408`).
     pub timeouts: AtomicU64,
-    /// Connections the peer dropped mid-request (truncated body or
-    /// vanished before the response was written).
+    /// Connections the peer dropped mid-request (truncated body, reset,
+    /// or vanished before the response was written).
     pub dropped_mid_request: AtomicU64,
     /// Responses successfully written.
     pub responses: AtomicU64,
+    /// Gauge: connections currently open (poll slots in use).
+    pub open_connections: AtomicU64,
+    /// Gauge: open connections idle between keep-alive requests — the
+    /// population that used to cost a thread each and now costs none.
+    pub idle_keepalive: AtomicU64,
 }
 
 impl HttpStats {
@@ -117,40 +141,222 @@ impl HttpStats {
                 num(&self.dropped_mid_request),
             ),
             ("responses".to_string(), num(&self.responses)),
+            ("open_connections".to_string(), num(&self.open_connections)),
+            ("idle_keepalive".to_string(), num(&self.idle_keepalive)),
         ])
     }
 }
 
-/// Everything one connection thread needs.
-struct ConnCtx {
+/// Hand-declared `poll(2)`. The environment vendors no libc crate, but
+/// std always links the platform C library, so the one syscall wrapper
+/// the loop needs is declared here.
+#[cfg(unix)]
+mod poll_sys {
+    use std::os::raw::{c_int, c_short};
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+
+    #[cfg(target_os = "linux")]
+    pub type NFds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub type NFds = std::os::raw::c_uint;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+    }
+}
+
+/// Wakes the event loop from another thread. On unix this is a
+/// socketpair the loop polls alongside its connections; elsewhere the
+/// loop ticks every couple of milliseconds and the waker is a no-op.
+#[derive(Debug)]
+struct Waker {
+    #[cfg(unix)]
+    tx: std::os::unix::net::UnixStream,
+    #[cfg(unix)]
+    rx: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    fn new() -> std::io::Result<Waker> {
+        #[cfg(unix)]
+        {
+            let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok(Waker { tx, rx })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(Waker {})
+        }
+    }
+
+    /// Best-effort: a full pipe already guarantees a pending wake.
+    fn wake(&self) {
+        #[cfg(unix)]
+        {
+            let _ = (&self.tx).write(&[1]);
+        }
+    }
+
+    fn drain(&self) {
+        #[cfg(unix)]
+        {
+            let mut sink = [0u8; 64];
+            while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+/// A finished `POST /v1/jobs` handed back from a handler thread.
+struct Completion {
+    token: usize,
+    status: u16,
+    body: String,
+    keep_alive: bool,
+}
+
+/// The handler-thread → event-loop channel: a mutexed queue plus the
+/// wake pipe that interrupts the loop's poll wait.
+#[derive(Debug)]
+struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Completion>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push(&self, completion: Completion) {
+        self.lock().push(completion);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.lock())
+    }
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("token", &self.token)
+            .field("status", &self.status)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-connection state machine position.
+enum ConnState {
+    /// Accumulating request bytes; `deadline` is the fixed per-request
+    /// read deadline (the slowloris clock).
+    Reading,
+    /// A handler thread owns the request; the loop neither polls nor
+    /// times out this connection — the service's own deadlines govern.
+    Waiting,
+    /// Draining a response; `deadline` is the write deadline.
+    Writing {
+        out: Vec<u8>,
+        pos: usize,
+        keep_alive: bool,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes (may hold pipelined follow-up requests).
+    buf: Vec<u8>,
+    state: ConnState,
+    deadline: Instant,
+    /// Responses completed on this connection (drives the
+    /// `idle_keepalive` gauge).
+    served: u64,
+}
+
+enum FlushResult {
+    Done { keep_alive: bool },
+    Pending,
+    Failed,
+}
+
+impl Conn {
+    fn start_write(&mut self, out: Vec<u8>, keep_alive: bool, write_timeout: Duration) {
+        self.state = ConnState::Writing {
+            out,
+            pos: 0,
+            keep_alive,
+        };
+        self.deadline = Instant::now() + write_timeout;
+    }
+
+    /// Writes as much of the pending response as the socket accepts.
+    fn flush_some(&mut self) -> FlushResult {
+        let ConnState::Writing {
+            out,
+            pos,
+            keep_alive,
+        } = &mut self.state
+        else {
+            return FlushResult::Pending;
+        };
+        let keep_alive = *keep_alive;
+        loop {
+            if *pos >= out.len() {
+                return FlushResult::Done { keep_alive };
+            }
+            match (&self.stream).write(&out[*pos..]) {
+                Ok(0) => return FlushResult::Failed,
+                Ok(n) => *pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return FlushResult::Pending
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushResult::Failed,
+            }
+        }
+    }
+}
+
+/// What the loop should do with a connection after driving it.
+enum Disposition {
+    Keep,
+    Close { dropped: bool },
+}
+
+/// Everything the event loop and its handler threads share.
+struct LoopCtx {
     service: Arc<SiService>,
     stats: Arc<HttpStats>,
     config: HttpConfig,
-    active: Arc<AtomicUsize>,
-}
-
-/// Decrements the active-connection count when a connection thread
-/// exits, however it exits.
-struct ConnGuard(Arc<AtomicUsize>);
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
+    completions: Arc<Completions>,
 }
 
 /// A running HTTP server bound to a local address.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    loop_thread: Option<thread::JoinHandle<()>>,
     service: Arc<SiService>,
     stats: Arc<HttpStats>,
+    completions: Arc<Completions>,
 }
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) with the default
-    /// [`HttpConfig`] and starts accepting.
+    /// [`HttpConfig`] and starts the event loop.
     ///
     /// # Errors
     ///
@@ -170,34 +376,31 @@ impl HttpServer {
         config: HttpConfig,
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
-        // Nonblocking so the accept loop can observe the stop flag
-        // without being woken by a connection.
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(HttpStats::default());
-        let active = Arc::new(AtomicUsize::new(0));
-        let accept_stop = Arc::clone(&stop);
-        let accept_service = Arc::clone(&service);
-        let accept_stats = Arc::clone(&stats);
-        let accept_thread = thread::Builder::new()
-            .name("si-http-accept".to_string())
-            .spawn(move || {
-                accept_loop(
-                    &listener,
-                    &accept_stop,
-                    &accept_service,
-                    &accept_stats,
-                    &active,
-                    config,
-                );
-            })?;
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        });
+        let ctx = LoopCtx {
+            service: Arc::clone(&service),
+            stats: Arc::clone(&stats),
+            config,
+            completions: Arc::clone(&completions),
+        };
+        let loop_stop = Arc::clone(&stop);
+        let loop_thread = thread::Builder::new()
+            .name("si-http-loop".to_string())
+            .spawn(move || event_loop(&listener, &loop_stop, &ctx))?;
         Ok(HttpServer {
             addr: local,
             stop,
-            accept_thread: Some(accept_thread),
+            loop_thread: Some(loop_thread),
             service,
             stats,
+            completions,
         })
     }
 
@@ -207,17 +410,18 @@ impl HttpServer {
         self.addr
     }
 
-    /// Listener counter snapshot (shared with the accept loop).
+    /// Listener counter snapshot (shared with the event loop).
     #[must_use]
     pub fn http_stats(&self) -> &HttpStats {
         &self.stats
     }
 
-    /// Stops accepting connections and drains the service workers.
-    /// In-flight solves finish; new submissions are rejected.
+    /// Stops the event loop and drains the service workers. In-flight
+    /// solves finish; new submissions are rejected.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
+        self.completions.waker.wake();
+        if let Some(handle) = self.loop_thread.take() {
             let _ = handle.join();
         }
         self.service.shutdown();
@@ -230,68 +434,375 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(
+/// Which sources `poll` reported ready.
+#[derive(Default)]
+struct ReadySet {
+    listener: bool,
+    conns: Vec<usize>,
+}
+
+/// One poll wait on unix: the wake pipe, the listener, and every
+/// connection whose state wants I/O.
+#[cfg(unix)]
+fn poll_wait(
+    waker: &Waker,
     listener: &TcpListener,
-    stop: &AtomicBool,
-    service: &Arc<SiService>,
-    stats: &Arc<HttpStats>,
-    active: &Arc<AtomicUsize>,
-    config: HttpConfig,
-) {
+    conns: &[Option<Conn>],
+    timeout_ms: i32,
+) -> ReadySet {
+    use poll_sys::{poll, NFds, PollFd, POLLIN, POLLOUT};
+    use std::os::unix::io::AsRawFd;
+
+    let mut fds = vec![
+        PollFd {
+            fd: waker.rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        },
+        PollFd {
+            fd: listener.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        },
+    ];
+    let mut tokens = Vec::new();
+    for (token, slot) in conns.iter().enumerate() {
+        let Some(conn) = slot else { continue };
+        let events = match conn.state {
+            ConnState::Reading => POLLIN,
+            ConnState::Writing { .. } => POLLOUT,
+            ConnState::Waiting => continue,
+        };
+        fds.push(PollFd {
+            fd: conn.stream.as_raw_fd(),
+            events,
+            revents: 0,
+        });
+        tokens.push(token);
+    }
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+    if rc <= 0 {
+        // Timeout or EINTR: the caller sweeps deadlines either way.
+        return ReadySet::default();
+    }
+    ReadySet {
+        listener: fds[1].revents != 0,
+        conns: tokens
+            .iter()
+            .zip(&fds[2..])
+            .filter(|(_, f)| f.revents != 0)
+            .map(|(t, _)| *t)
+            .collect(),
+    }
+}
+
+/// Portable fallback: tick every 2 ms and optimistically try everything
+/// (nonblocking sockets make spurious attempts cheap).
+#[cfg(not(unix))]
+fn poll_wait(
+    _waker: &Waker,
+    _listener: &TcpListener,
+    conns: &[Option<Conn>],
+    timeout_ms: i32,
+) -> ReadySet {
+    thread::sleep(Duration::from_millis(timeout_ms.clamp(0, 2) as u64));
+    ReadySet {
+        listener: true,
+        conns: conns
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| {
+                slot.as_ref()
+                    .is_some_and(|c| !matches!(c.state, ConnState::Waiting))
+            })
+            .map(|(t, _)| t)
+            .collect(),
+    }
+}
+
+fn event_loop(listener: &TcpListener, stop: &AtomicBool, ctx: &LoopCtx) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(ACCEPT_POLL);
+        let timeout_ms = next_timeout_ms(&conns);
+        let ready = poll_wait(&ctx.completions.waker, listener, &conns, timeout_ms);
+        ctx.completions.waker.drain();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+
+        // Finished handler threads first: their connections move from
+        // Waiting to Writing and start draining this same iteration.
+        for completion in ctx.completions.drain() {
+            let Some(slot) = conns.get_mut(completion.token) else {
+                continue;
+            };
+            let Some(conn) = slot.as_mut() else { continue };
+            if !matches!(conn.state, ConnState::Waiting) {
                 continue;
             }
-            Err(_) => continue,
-        };
-        // Accepted sockets may inherit the listener's nonblocking mode;
-        // connection threads want plain blocking reads with timeouts.
-        if stream.set_nonblocking(false).is_err() {
+            let retry_after = (completion.status == 503).then_some(ctx.config.retry_after_secs);
+            conn.start_write(
+                response_bytes(
+                    completion.status,
+                    &completion.body,
+                    completion.keep_alive,
+                    retry_after,
+                ),
+                completion.keep_alive,
+                ctx.config.write_timeout,
+            );
+            let disposition = drive(conn, completion.token, ctx);
+            settle(&mut conns, completion.token, disposition, ctx);
+        }
+
+        if ready.listener {
+            accept_ready(listener, &mut conns, ctx);
+        }
+
+        for token in ready.conns {
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            let disposition = match conn.state {
+                ConnState::Reading => handle_readable(conn, token, ctx),
+                ConnState::Writing { .. } => drive(conn, token, ctx),
+                ConnState::Waiting => continue,
+            };
+            settle(&mut conns, token, disposition, ctx);
+        }
+
+        sweep_deadlines(&mut conns, ctx);
+        update_gauges(&conns, &ctx.stats);
+    }
+}
+
+/// Milliseconds until the nearest read/write deadline, capped at
+/// [`MAX_POLL_WAIT_MS`].
+fn next_timeout_ms(conns: &[Option<Conn>]) -> i32 {
+    let now = Instant::now();
+    let mut timeout = MAX_POLL_WAIT_MS;
+    for conn in conns.iter().flatten() {
+        if matches!(conn.state, ConnState::Waiting) {
             continue;
         }
-        let _ = stream.set_read_timeout(Some(config.read_timeout));
-        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let remaining = conn.deadline.saturating_duration_since(now).as_millis() as i32;
+        // +1 so the wake lands just past the deadline, not just before.
+        timeout = timeout.min(remaining.saturating_add(1));
+    }
+    timeout.max(0)
+}
 
-        // Global connection cap: shed *before* spawning a thread.
-        if active.fetch_add(1, Ordering::SeqCst) >= config.max_connections {
-            active.fetch_sub(1, Ordering::SeqCst);
-            stats.shed_connections.fetch_add(1, Ordering::Relaxed);
-            let mut stream = stream;
+fn accept_ready(listener: &TcpListener, conns: &mut Vec<Option<Conn>>, ctx: &LoopCtx) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let open = conns.iter().filter(|c| c.is_some()).count();
+        if open >= ctx.config.max_connections {
+            // Shed *before* taking a slot. One best-effort write: a
+            // fresh socket's send buffer always has room for ~200 bytes.
+            ctx.stats.shed_connections.fetch_add(1, Ordering::Relaxed);
             let err = ServiceError::Overloaded {
-                queue_capacity: config.max_connections,
+                queue_capacity: ctx.config.max_connections,
             };
-            let _ = write_response(
-                &mut stream,
+            let bytes = response_bytes(
                 503,
                 &error_body(&err),
                 false,
-                Some(config.retry_after_secs),
+                Some(ctx.config.retry_after_secs),
             );
+            let _ = (&stream).write(&bytes);
             continue;
         }
-        stats.accepted.fetch_add(1, Ordering::Relaxed);
-        let ctx = ConnCtx {
-            service: Arc::clone(service),
-            stats: Arc::clone(stats),
-            config,
-            active: Arc::clone(active),
+        ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn = Conn {
+            stream,
+            buf: Vec::new(),
+            state: ConnState::Reading,
+            deadline: Instant::now() + ctx.config.read_timeout,
+            served: 0,
         };
-        let spawned = thread::Builder::new()
-            .name("si-http-conn".to_string())
-            .spawn(move || {
-                let _guard = ConnGuard(Arc::clone(&ctx.active));
-                handle_connection(stream, &ctx);
-            });
-        if spawned.is_err() {
-            active.fetch_sub(1, Ordering::SeqCst);
+        match conns.iter_mut().find(|slot| slot.is_none()) {
+            Some(slot) => *slot = Some(conn),
+            None => conns.push(Some(conn)),
         }
     }
+}
+
+/// Reads whatever the socket holds, then advances the state machine.
+fn handle_readable(conn: &mut Conn, token: usize, ctx: &LoopCtx) -> Disposition {
+    let mut chunk = [0u8; 8192];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                // EOF. Between requests it's a clean close; mid-request
+                // the peer vanished with bytes outstanding.
+                return Disposition::Close {
+                    dropped: !conn.buf.is_empty(),
+                };
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    break; // level-triggered poll reports any remainder
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Disposition::Close { dropped: true },
+        }
+    }
+    drive(conn, token, ctx)
+}
+
+/// Advances a connection's state machine as far as it will go without
+/// blocking: parse → dispatch → write → (keep-alive) parse again.
+fn drive(conn: &mut Conn, token: usize, ctx: &LoopCtx) -> Disposition {
+    loop {
+        match conn.state {
+            ConnState::Waiting => return Disposition::Keep,
+            ConnState::Reading => {
+                match try_parse(&conn.buf, ctx.config.max_body_bytes) {
+                    Parse::NeedMore => return Disposition::Keep,
+                    Parse::Bad(msg) => {
+                        ctx.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        let err = ServiceError::InvalidSpec(msg);
+                        // Framing is unreliable after a parse failure:
+                        // answer and close.
+                        conn.start_write(
+                            response_bytes(400, &error_body(&err), false, None),
+                            false,
+                            ctx.config.write_timeout,
+                        );
+                    }
+                    Parse::TooLarge => {
+                        ctx.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                        let err = ServiceError::InvalidSpec(format!(
+                            "request body exceeds {} bytes",
+                            ctx.config.max_body_bytes
+                        ));
+                        // The unread body is still in the pipe: close.
+                        conn.start_write(
+                            response_bytes(413, &error_body(&err), false, None),
+                            false,
+                            ctx.config.write_timeout,
+                        );
+                    }
+                    Parse::Request { request, consumed } => {
+                        conn.buf.drain(..consumed);
+                        if request.method == "POST" && request.path == "/v1/jobs" {
+                            // Hits already resident in the memory tier are
+                            // answered right here on the loop — no handler
+                            // thread, no completion round trip. Everything
+                            // else (misses, disk probes, netlists, bad
+                            // bodies) parks the connection and lets a
+                            // handler thread run the blocking path.
+                            if let Some((status, body)) = try_post_inline(&request.body, ctx) {
+                                conn.start_write(
+                                    response_bytes(status, &body, request.keep_alive, None),
+                                    request.keep_alive,
+                                    ctx.config.write_timeout,
+                                );
+                                continue;
+                            }
+                            // The blocking route: park the connection and
+                            // let a handler thread run the solve.
+                            conn.state = ConnState::Waiting;
+                            spawn_post(token, request, ctx);
+                            return Disposition::Keep;
+                        }
+                        let (status, body) = route_inline(&request, ctx);
+                        let retry_after = (status == 503).then_some(ctx.config.retry_after_secs);
+                        conn.start_write(
+                            response_bytes(status, &body, request.keep_alive, retry_after),
+                            request.keep_alive,
+                            ctx.config.write_timeout,
+                        );
+                    }
+                }
+            }
+            ConnState::Writing { .. } => match conn.flush_some() {
+                FlushResult::Pending => return Disposition::Keep,
+                FlushResult::Failed => return Disposition::Close { dropped: true },
+                FlushResult::Done { keep_alive } => {
+                    ctx.stats.responses.fetch_add(1, Ordering::Relaxed);
+                    conn.served += 1;
+                    if !keep_alive {
+                        return Disposition::Close { dropped: false };
+                    }
+                    // Next request cycle: a fresh fixed read deadline,
+                    // and any pipelined bytes parse immediately.
+                    conn.state = ConnState::Reading;
+                    conn.deadline = Instant::now() + ctx.config.read_timeout;
+                }
+            },
+        }
+    }
+}
+
+/// Applies a [`Disposition`], freeing the slot and counting drops.
+fn settle(conns: &mut [Option<Conn>], token: usize, disposition: Disposition, ctx: &LoopCtx) {
+    if let Disposition::Close { dropped } = disposition {
+        if dropped {
+            ctx.stats
+                .dropped_mid_request
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        conns[token] = None;
+    }
+}
+
+/// Enforces the fixed read deadline (`408`) and the write deadline
+/// (disconnect). Waiting connections are exempt: the service's own
+/// deadline machinery governs in-flight solves.
+fn sweep_deadlines(conns: &mut [Option<Conn>], ctx: &LoopCtx) {
+    let now = Instant::now();
+    for token in 0..conns.len() {
+        let Some(conn) = conns[token].as_mut() else {
+            continue;
+        };
+        if matches!(conn.state, ConnState::Waiting) || now < conn.deadline {
+            continue;
+        }
+        match conn.state {
+            ConnState::Reading => {
+                ctx.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                let err = ServiceError::InvalidSpec("request not received in time".to_string());
+                conn.start_write(
+                    response_bytes(408, &error_body(&err), false, None),
+                    false,
+                    ctx.config.write_timeout,
+                );
+                let disposition = drive(conn, token, ctx);
+                settle(conns, token, disposition, ctx);
+            }
+            ConnState::Writing { .. } => {
+                settle(conns, token, Disposition::Close { dropped: true }, ctx);
+            }
+            ConnState::Waiting => {}
+        }
+    }
+}
+
+fn update_gauges(conns: &[Option<Conn>], stats: &HttpStats) {
+    let mut open = 0u64;
+    let mut idle = 0u64;
+    for conn in conns.iter().flatten() {
+        open += 1;
+        if matches!(conn.state, ConnState::Reading) && conn.buf.is_empty() && conn.served > 0 {
+            idle += 1;
+        }
+    }
+    stats.open_connections.store(open, Ordering::Relaxed);
+    stats.idle_keepalive.store(idle, Ordering::Relaxed);
 }
 
 struct Request {
@@ -301,127 +812,65 @@ struct Request {
     keep_alive: bool,
 }
 
-/// What one attempt to read a request produced.
-enum ReadOutcome {
-    /// A well-formed request.
-    Request(Request),
-    /// Clean EOF between requests — the peer is done.
-    Closed,
-    /// The peer vanished mid-request (truncated body, reset).
-    Dropped,
-    /// The read timeout expired → `408`.
-    TimedOut,
+/// What one attempt to parse the buffered bytes produced.
+enum Parse {
+    /// The buffer holds a prefix of a valid request; read more.
+    NeedMore,
+    /// A complete request; `consumed` bytes belong to it.
+    Request { request: Request, consumed: usize },
     /// Broken framing or body → `400` with this message.
     Bad(String),
     /// `Content-Length` over the cap → `413`.
     TooLarge,
 }
 
-fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut stream = stream;
-    loop {
-        let (status, body, keep_alive) = match read_request(&mut reader, ctx.config.max_body_bytes)
-        {
-            ReadOutcome::Request(request) => {
-                let keep_alive = request.keep_alive;
-                let (status, body) = route(&request, ctx);
-                (status, body, keep_alive)
-            }
-            ReadOutcome::Closed => return,
-            ReadOutcome::Dropped => {
-                ctx.stats
-                    .dropped_mid_request
-                    .fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            ReadOutcome::TimedOut => {
-                ctx.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                let err = ServiceError::InvalidSpec("request not received in time".to_string());
-                (408, error_body(&err), false)
-            }
-            ReadOutcome::Bad(msg) => {
-                ctx.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let err = ServiceError::InvalidSpec(msg);
-                // Framing is unreliable after a parse failure: close.
-                (400, error_body(&err), false)
-            }
-            ReadOutcome::TooLarge => {
-                ctx.stats.too_large.fetch_add(1, Ordering::Relaxed);
-                let err = ServiceError::InvalidSpec(format!(
-                    "request body exceeds {} bytes",
-                    ctx.config.max_body_bytes
-                ));
-                // The unread body is still in the pipe: close.
-                (413, error_body(&err), false)
-            }
-        };
-        let retry_after = (status == 503).then_some(ctx.config.retry_after_secs);
-        match write_response(&mut stream, status, &body, keep_alive, retry_after) {
-            Ok(()) => {
-                ctx.stats.responses.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                ctx.stats
-                    .dropped_mid_request
-                    .fetch_add(1, Ordering::Relaxed);
-                return;
-            }
+fn try_parse(buf: &[u8], max_body_bytes: usize) -> Parse {
+    // Locate the blank line ending the header section without assuming
+    // the bytes are UTF-8 yet.
+    let mut line_start = 0;
+    let mut lines: Vec<(usize, usize)> = Vec::new();
+    let mut header_end = None;
+    for (i, byte) in buf.iter().enumerate() {
+        if *byte != b'\n' {
+            continue;
         }
-        if !keep_alive {
-            return;
+        let mut end = i;
+        if end > line_start && buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        if !lines.is_empty() && end == line_start {
+            header_end = Some(i + 1);
+            break;
+        }
+        lines.push((line_start, end));
+        line_start = i + 1;
+        if lines.len() > MAX_HEADER_LINES + 1 {
+            return Parse::Bad(format!("more than {MAX_HEADER_LINES} header lines"));
         }
     }
-}
-
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>, max_body_bytes: usize) -> ReadOutcome {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return ReadOutcome::Closed,
-        Ok(_) => {}
-        Err(e) if is_timeout(&e) => return ReadOutcome::TimedOut,
-        // Non-UTF-8 garbage on the wire surfaces as InvalidData here.
-        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-            return ReadOutcome::Bad("request line is not valid UTF-8".to_string())
+    let Some(header_end) = header_end else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad(format!("header section exceeds {MAX_HEADER_BYTES} bytes"));
         }
-        Err(_) => return ReadOutcome::Dropped,
-    }
-    let mut parts = line.split_whitespace();
+        return Parse::NeedMore;
+    };
+
+    let Ok(request_line) = std::str::from_utf8(&buf[lines[0].0..lines[0].1]) else {
+        return Parse::Bad("request line is not valid UTF-8".to_string());
+    };
+    let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return ReadOutcome::Bad("malformed request line".to_string());
+        return Parse::Bad("malformed request line".to_string());
     };
     let method = method.to_string();
     let path = path.to_string();
 
     let mut content_length: Option<Result<usize, ()>> = None;
     let mut keep_alive = true; // HTTP/1.1 default
-    let mut terminated = false;
-    for _ in 0..MAX_HEADER_LINES {
-        let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) => return ReadOutcome::Dropped,
-            Ok(_) => {}
-            Err(e) if is_timeout(&e) => return ReadOutcome::TimedOut,
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                return ReadOutcome::Bad("header is not valid UTF-8".to_string())
-            }
-            Err(_) => return ReadOutcome::Dropped,
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            terminated = true;
-            break;
-        }
+    for &(start, end) in &lines[1..] {
+        let Ok(header) = std::str::from_utf8(&buf[start..end]) else {
+            return Parse::Bad("header is not valid UTF-8".to_string());
+        };
         let Some((name, value)) = header.split_once(':') else {
             continue;
         };
@@ -432,49 +881,73 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body_bytes: usize) -> Rea
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
     }
-    if !terminated {
-        return ReadOutcome::Bad(format!("more than {MAX_HEADER_LINES} header lines"));
-    }
     let content_length = match content_length {
         // Methods that carry a body must declare its length; without it
         // the framing of everything after is guesswork.
         None if method == "POST" || method == "PUT" => {
-            return ReadOutcome::Bad("POST requires a Content-Length header".to_string())
+            return Parse::Bad("POST requires a Content-Length header".to_string())
         }
         None => 0,
         Some(Err(())) => {
-            return ReadOutcome::Bad("Content-Length is not a non-negative integer".to_string())
+            return Parse::Bad("Content-Length is not a non-negative integer".to_string())
         }
         Some(Ok(n)) => n,
     };
     if content_length > max_body_bytes {
-        return ReadOutcome::TooLarge;
+        return Parse::TooLarge;
     }
-    let mut body = vec![0u8; content_length];
-    match reader.read_exact(&mut body) {
-        Ok(()) => {}
-        Err(e) if is_timeout(&e) => return ReadOutcome::TimedOut,
-        // Fewer body bytes than promised: the peer hung up mid-body.
-        Err(_) => return ReadOutcome::Dropped,
+    let body_end = header_end + content_length;
+    if buf.len() < body_end {
+        return Parse::NeedMore;
     }
-    let Ok(body) = String::from_utf8(body) else {
-        return ReadOutcome::Bad("request body is not valid UTF-8".to_string());
+    let Ok(body) = std::str::from_utf8(&buf[header_end..body_end]) else {
+        return Parse::Bad("request body is not valid UTF-8".to_string());
     };
-    ReadOutcome::Request(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    })
+    Parse::Request {
+        request: Request {
+            method,
+            path,
+            body: body.to_string(),
+            keep_alive,
+        },
+        consumed: body_end,
+    }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+/// Runs the blocking `POST /v1/jobs` route on its own thread and hands
+/// the response back through the completion queue.
+fn spawn_post(token: usize, request: Request, ctx: &LoopCtx) {
+    let service = Arc::clone(&ctx.service);
+    let completions = Arc::clone(&ctx.completions);
+    let keep_alive = request.keep_alive;
+    let spawned = thread::Builder::new()
+        .name("si-http-post".to_string())
+        .spawn(move || {
+            let (status, body) = post_job(&request.body, &service);
+            completions.push(Completion {
+                token,
+                status,
+                body,
+                keep_alive,
+            });
+        });
+    if spawned.is_err() {
+        let err = ServiceError::Internal("could not spawn a request handler".to_string());
+        ctx.completions.push(Completion {
+            token,
+            status: 500,
+            body: error_body(&err),
+            keep_alive: false,
+        });
+    }
+}
+
+fn response_bytes(
     status: u16,
     body: &str,
     keep_alive: bool,
     retry_after_secs: Option<u64>,
-) -> std::io::Result<()> {
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -494,12 +967,11 @@ fn write_response(
     let retry_after = retry_after_secs
         .map(|s| format!("Retry-After: {s}\r\n"))
         .unwrap_or_default();
-    write!(
-        stream,
+    format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{body}",
         body.len()
-    )?;
-    stream.flush()
+    )
+    .into_bytes()
 }
 
 fn error_body(err: &ServiceError) -> String {
@@ -510,10 +982,11 @@ fn error_body(err: &ServiceError) -> String {
     .to_string_compact()
 }
 
-fn route(request: &Request, ctx: &ConnCtx) -> (u16, String) {
+/// Every route except the blocking `POST /v1/jobs`, all cheap enough to
+/// run on the loop thread.
+fn route_inline(request: &Request, ctx: &LoopCtx) -> (u16, String) {
     let service = ctx.service.as_ref();
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/jobs") => post_job(&request.body, service),
         ("GET", "/metrics") => (200, metrics_with_http(ctx)),
         ("GET", "/healthz") => (200, r#"{"status":"ok"}"#.to_string()),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
@@ -532,12 +1005,29 @@ fn route(request: &Request, ctx: &ConnCtx) -> (u16, String) {
 
 /// The service `/metrics` document with the listener's `"http"` section
 /// appended.
-fn metrics_with_http(ctx: &ConnCtx) -> String {
+fn metrics_with_http(ctx: &LoopCtx) -> String {
     let mut doc = ctx.service.metrics();
     if let Json::Object(pairs) = &mut doc {
         pairs.push(("http".to_string(), ctx.stats.to_json()));
     }
     doc.to_string_compact()
+}
+
+/// Serves a `POST /v1/jobs` inline when the answer is already resident
+/// in the memory tier: parse, probe, respond — the event loop's fast
+/// path. `None` means the request needs a handler thread: a cache miss,
+/// a netlist (whose admission gauntlet parses the full text), or a body
+/// the blocking path should diagnose (its error answer is identical,
+/// just off-loop).
+fn try_post_inline(body: &str, ctx: &LoopCtx) -> Option<(u16, String)> {
+    let parsed = json::parse(body).ok()?;
+    let spec = JobSpec::from_json(&parsed).ok()?;
+    let out = ctx.service.serve_cached(&spec)?;
+    let id = SiService::job_id(&spec);
+    Some((
+        200,
+        job_response_body(&id, spec.kind(), true, &out).to_string_compact(),
+    ))
 }
 
 fn post_job(body: &str, service: &SiService) -> (u16, String) {
@@ -657,6 +1147,7 @@ pub fn http_drop_mid_body(
 mod tests {
     use super::*;
     use crate::service::ServiceConfig;
+    use std::io::BufRead;
 
     fn serve() -> HttpServer {
         serve_with(HttpConfig::default())
@@ -829,8 +1320,7 @@ mod tests {
     }
 
     /// Regression (ISSUE 5): a slow client that never finishes its body
-    /// gets a typed `408` when the read timeout expires, instead of
-    /// pinning the connection thread for the 30 s default.
+    /// gets a typed `408` when the read deadline expires.
     #[test]
     fn truncated_body_past_timeout_is_408() {
         let mut server = serve_with(HttpConfig {
@@ -845,6 +1335,157 @@ mod tests {
         );
         assert_eq!(status, Some(408));
         assert_eq!(server.http_stats().timeouts.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// ISSUE 8 satellite (slowloris): the read deadline is fixed when the
+    /// request cycle starts. A client trickling header bytes — each gap
+    /// well under the old per-read timeout — used to reset the timer
+    /// every byte and hold its slot indefinitely; now it gets `408` when
+    /// the fixed deadline lapses, while the drip is still in progress.
+    #[test]
+    fn slowloris_drip_hits_fixed_deadline() {
+        let mut server = serve_with(HttpConfig {
+            read_timeout: Duration::from_millis(300),
+            ..HttpConfig::default()
+        });
+        let addr = server.local_addr();
+        let started = Instant::now();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Drip one byte every 25 ms from a second thread — far faster
+        // than the 300 ms timeout, so a per-read timer would never fire.
+        let drip = {
+            let stream = stream.try_clone().unwrap();
+            thread::spawn(move || {
+                let raw = b"POST /v1/jobs HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+                for byte in raw {
+                    if (&stream).write_all(&[*byte]).is_err() {
+                        return; // server closed on us: exactly the point
+                    }
+                    thread::sleep(Duration::from_millis(25));
+                }
+            })
+        };
+        let mut response = String::new();
+        BufReader::new(&stream).read_to_string(&mut response).ok();
+        let elapsed = started.elapsed();
+        drip.join().unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 408"),
+            "expected 408, got: {response:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(1600),
+            "408 must arrive near the fixed deadline, took {elapsed:?}"
+        );
+        assert_eq!(server.http_stats().timeouts.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// ISSUE 8: one connection serves several requests back-to-back
+    /// (keep-alive) and even pipelined ones, with no thread parked on it
+    /// in between.
+    #[test]
+    fn keep_alive_and_pipelined_requests_share_one_connection() {
+        let mut server = serve();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let read_one = |reader: &mut BufReader<TcpStream>| -> (u16, String) {
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            let status: u16 = status_line
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap();
+                    }
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+            (status, String::from_utf8(body).unwrap())
+        };
+        // Two sequential keep-alive requests.
+        write!(stream, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(read_one(&mut reader).0, 200);
+        write!(stream, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(read_one(&mut reader).0, 200);
+        // Two pipelined in a single write.
+        write!(
+            stream,
+            "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\nGET /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        assert_eq!(read_one(&mut reader).0, 200);
+        let (status, metrics) = read_one(&mut reader);
+        assert_eq!(status, 200);
+        // All four responses rode one accepted connection.
+        let m = json::parse(&metrics).unwrap();
+        assert_eq!(
+            m.get("http").unwrap().get("accepted").unwrap().as_f64(),
+            Some(1.0)
+        );
+        server.shutdown();
+    }
+
+    /// ISSUE 8: idle keep-alive connections are visible as gauges — a
+    /// poll-set slot each, not a thread each.
+    #[test]
+    fn idle_keepalive_connections_are_gauged() {
+        let mut server = serve_with(HttpConfig {
+            read_timeout: Duration::from_secs(60),
+            ..HttpConfig::default()
+        });
+        let addr = server.local_addr();
+        // Three clients each complete one request and then sit idle.
+        let mut idlers = Vec::new();
+        for _ in 0..3 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            write!(stream, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+            let mut first = [0u8; 12];
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            reader.read_exact(&mut first).unwrap(); // "HTTP/1.1 200"
+            idlers.push((stream, reader));
+        }
+        // Poll metrics until the gauges settle.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let (mut open, mut idle) = (0.0, 0.0);
+        while Instant::now() < deadline {
+            let (_, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
+            let m = json::parse(&metrics).unwrap();
+            let http = m.get("http").unwrap();
+            open = http.get("open_connections").unwrap().as_f64().unwrap();
+            idle = http.get("idle_keepalive").unwrap().as_f64().unwrap();
+            if idle >= 3.0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(idle >= 3.0, "idle_keepalive gauge stuck at {idle}");
+        assert!(open >= 3.0, "open_connections gauge stuck at {open}");
+        drop(idlers);
         server.shutdown();
     }
 
@@ -876,34 +1517,31 @@ mod tests {
     }
 
     /// Regression (ISSUE 5): connections beyond the cap are shed with
-    /// `503` + `Retry-After` instead of spawning unbounded threads.
+    /// `503` + `Retry-After` instead of occupying poll slots unboundedly.
     #[test]
     fn connection_cap_sheds_with_503() {
         let mut server = serve_with(HttpConfig {
             max_connections: 1,
             retry_after_secs: 7,
-            // Keep the held connection's handler parked (and its slot
-            // occupied) for the whole probing window.
+            // Keep the held connection parked (and its slot occupied)
+            // for the whole probing window.
             read_timeout: Duration::from_secs(120),
             ..HttpConfig::default()
         });
         let addr = server.local_addr();
         // Hold one connection open (no request yet) to occupy the cap,
-        // and wait until the accept loop has registered it.
+        // and wait until the loop has registered it.
         let held = TcpStream::connect(addr).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let deadline = Instant::now() + Duration::from_secs(10);
         while server.http_stats().accepted.load(Ordering::Relaxed) == 0 {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "held connection never accepted"
-            );
+            assert!(Instant::now() < deadline, "held connection never accepted");
             thread::sleep(Duration::from_millis(5));
         }
         // Generous fresh deadline: under a fully loaded test machine the
-        // accept loop can be starved for seconds at a time.
-        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        // loop can be starved for seconds at a time.
+        let deadline = Instant::now() + Duration::from_secs(20);
         let mut shed = None;
-        while std::time::Instant::now() < deadline {
+        while Instant::now() < deadline {
             let mut stream = TcpStream::connect(addr).unwrap();
             stream
                 .set_read_timeout(Some(Duration::from_secs(5)))
@@ -932,12 +1570,12 @@ mod tests {
         server.shutdown();
     }
 
-    /// Regression (ISSUE 5): `shutdown()` returns promptly without the
-    /// old dial-yourself unblocking trick.
+    /// Regression (ISSUE 5): `shutdown()` returns promptly — the wake
+    /// pipe interrupts the poll wait instead of waiting out a tick.
     #[test]
     fn shutdown_is_prompt() {
         let mut server = serve();
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         server.shutdown();
         assert!(
             started.elapsed() < Duration::from_secs(5),

@@ -11,6 +11,9 @@
 //!   twice, pay for one solve.
 //! - **Single-flight deduplication** — concurrent identical jobs coalesce
 //!   onto one computation ([`cache::ResultCache`]).
+//! - **Tiered persistence** — results live in a sharded memory tier and,
+//!   when a cache directory is configured, a crash-safe checksummed disk
+//!   tier that survives process restarts ([`disk::DiskTier`]).
 //! - **Bounded admission** — a fixed worker pool behind a fixed-depth
 //!   queue sheds load with a typed [`error::ServiceError::Overloaded`]
 //!   instead of queueing without bound ([`pool::WorkerPool`]).
@@ -41,6 +44,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod http;
@@ -51,6 +55,8 @@ pub mod retry;
 pub mod service;
 
 pub use budget::{price_circuit, AdmissionBudget, CircuitCost};
+pub use cache::{CacheTier, TierStats};
+pub use disk::{DiskTier, DiskTierConfig};
 pub use error::ServiceError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use jobspec::{JobOutput, JobSpec};

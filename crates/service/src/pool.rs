@@ -10,6 +10,13 @@
 //! shedding at admission, where it is cheap, rather than at timeout,
 //! where it is not.
 //!
+//! Worker threads are also where results become durable: the task
+//! closure calls the cache's `complete` — which writes through to the
+//! persistent disk tier when one is configured — on the worker, before
+//! the leader's reply is sent. Persistence costs worker time, never the
+//! listener's event loop, and any result a caller has observed is
+//! already on disk.
+//!
 //! Shutdown is graceful by construction: dropping the sender ends the
 //! channel, each worker drains what was already admitted, publishes its
 //! final telemetry snapshot, and exits; [`WorkerPool::shutdown`] joins

@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 
 use crate::budget::AdmissionBudget;
 use crate::cache::{CacheOutcome, LeadGuard, ResultCache};
+use crate::disk::{DiskTier, DiskTierConfig};
 use crate::error::ServiceError;
 use crate::fault::{FaultInjector, FaultKind, FaultStats};
 use crate::jobspec::{JobOutput, JobSpec};
@@ -49,7 +50,7 @@ use crate::pool::{PoolConfig, WorkerPool};
 use crate::retry::RetryPolicy;
 
 /// Service sizing.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads (each with a persistent workspace).
     pub workers: usize,
@@ -62,6 +63,12 @@ pub struct ServiceConfig {
     pub retry: RetryPolicy,
     /// Pre-solve resource ceilings for user-submitted netlists.
     pub budget: AdmissionBudget,
+    /// Directory for the persistent disk cache tier; `None` runs
+    /// memory-only (results die with the process).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget for the disk tier when `cache_dir` is set;
+    /// least-recently-accessed entries are evicted past it.
+    pub cache_budget_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +79,8 @@ impl Default for ServiceConfig {
             default_deadline: None,
             retry: RetryPolicy::default(),
             budget: AdmissionBudget::default(),
+            cache_dir: None,
+            cache_budget_bytes: 256 << 20,
         }
     }
 }
@@ -144,8 +153,27 @@ impl SiService {
     /// Builds the service and spawns its workers.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
+        // A broken cache directory must not keep the service from
+        // starting: persistence degrades to memory-only with a warning,
+        // exactly what an operator would want at 3am.
+        let cache = match &config.cache_dir {
+            Some(dir) => match DiskTier::open(DiskTierConfig {
+                dir: dir.clone(),
+                budget_bytes: config.cache_budget_bytes,
+            }) {
+                Ok(disk) => ResultCache::with_disk(Arc::new(disk)),
+                Err(err) => {
+                    eprintln!(
+                        "si-service: disk cache at {} unavailable ({err}); running memory-only",
+                        dir.display()
+                    );
+                    ResultCache::new()
+                }
+            },
+            None => ResultCache::new(),
+        };
         SiService {
-            cache: Arc::new(ResultCache::new()),
+            cache: Arc::new(cache),
             pool: WorkerPool::new(PoolConfig {
                 workers: config.workers,
                 queue_capacity: config.queue_capacity,
@@ -244,6 +272,40 @@ impl SiService {
                 other => return other,
             }
         }
+    }
+
+    /// Non-blocking probe for an already-resident result, with the exact
+    /// counter semantics of a [`SiService::submit_blocking`] cache hit.
+    /// `None` means "not served" and counts nothing — the caller must
+    /// fall back to a full submission, which does its own counting, so a
+    /// probe-then-submit sequence is indistinguishable in `/metrics`
+    /// from a plain submission.
+    ///
+    /// The HTTP front end uses this to answer hits inline on its event
+    /// loop instead of paying a handler-thread dispatch. Anything that
+    /// could block or burn real CPU stays on the submission path: disk
+    /// probes, solves, flight coalescing, and every `Netlist` spec
+    /// (whose admission gauntlet parses the full text).
+    #[must_use]
+    pub fn serve_cached(&self, spec: &JobSpec) -> Option<Arc<JobOutput>> {
+        if matches!(spec, JobSpec::Netlist { .. }) {
+            return None;
+        }
+        let key = spec.job_key();
+        let out = self.cache.memory_hit(key)?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let scenarios = spec.scenario_count() as u64;
+        if scenarios > 1 {
+            self.counters
+                .batch_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .batch_scenarios
+                .fetch_add(scenarios, Ordering::Relaxed);
+        }
+        lock_recover(&self.seen).insert(key, spec.kind());
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        Some(out)
     }
 
     /// One submission attempt: cache lookup, then the leader path.
@@ -479,11 +541,13 @@ impl SiService {
     pub fn metrics(&self) -> Json {
         let cache = self.cache.stats();
         let pool = self.pool.stats();
-        let lookups = cache.hits + cache.misses + cache.coalesced;
+        // Disk hits are hits: the job did not re-solve. With no disk tier
+        // this reduces to the old memory-only ratio.
+        let lookups = cache.hits + cache.misses + cache.coalesced + cache.disk_hits;
         let hit_ratio = if lookups == 0 {
             0.0
         } else {
-            (cache.hits + cache.coalesced) as f64 / lookups as f64
+            (cache.hits + cache.coalesced + cache.disk_hits) as f64 / lookups as f64
         };
         let engine = self.pool.merged_engine_stats();
         let engine_json =
@@ -563,6 +627,13 @@ impl SiService {
                         "poison_recoveries".to_string(),
                         num(cache.poison_recoveries),
                     ),
+                    ("disk_hits".to_string(), num(cache.disk_hits)),
+                    ("disk_misses".to_string(), num(cache.disk_misses)),
+                    ("disk_writes".to_string(), num(cache.disk_writes)),
+                    ("disk_evictions".to_string(), num(cache.disk_evictions)),
+                    ("corrupt_evicted".to_string(), num(cache.corrupt_evicted)),
+                    ("disk_entries".to_string(), num(cache.disk_entries)),
+                    ("disk_bytes".to_string(), num(cache.disk_bytes)),
                 ]),
             ),
             (
@@ -602,6 +673,14 @@ impl SiService {
     #[must_use]
     pub fn metrics_json(&self) -> String {
         self.metrics().to_string_compact()
+    }
+
+    /// The persistent cache tier, when `cache_dir` was configured. The
+    /// chaos harness uses this to plant torn entries; operators don't
+    /// need it.
+    #[must_use]
+    pub fn disk_cache(&self) -> Option<&Arc<DiskTier>> {
+        self.cache.disk_tier()
     }
 
     fn finish(
@@ -753,6 +832,77 @@ mod tests {
             m.get("cache").unwrap().get("misses").unwrap().as_f64(),
             Some(1.0)
         );
+    }
+
+    /// ISSUE 8: with a cache directory, results survive a full service
+    /// restart — the second service's first submission is served from
+    /// disk (cached = true, no solve) and is bit-identical to the
+    /// original.
+    #[test]
+    fn results_survive_service_restart_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "si-service-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistent = || ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let first = {
+            let svc = SiService::new(persistent());
+            let (out, cached) = svc.submit_blocking(&dc_spec(1.25), None).unwrap();
+            assert!(!cached);
+            assert_eq!(
+                svc.metrics()
+                    .get("cache")
+                    .unwrap()
+                    .get("disk_writes")
+                    .unwrap()
+                    .as_f64(),
+                Some(1.0)
+            );
+            svc.shutdown();
+            out
+        };
+        // "Restart": a fresh process image over the same directory.
+        let svc = SiService::new(persistent());
+        let (again, cached) = svc.submit_blocking(&dc_spec(1.25), None).unwrap();
+        assert!(cached, "restarted service must serve from disk");
+        for (a, b) in first.values.iter().zip(again.values.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "disk round trip must be bit-exact"
+            );
+        }
+        assert_eq!(first.metrics, again.metrics);
+        let m = svc.metrics();
+        let cache = m.get("cache").unwrap();
+        assert_eq!(cache.get("disk_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("misses").unwrap().as_f64(), Some(0.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A cache directory that cannot be created degrades to memory-only
+    /// instead of failing startup.
+    #[test]
+    fn unusable_cache_dir_degrades_to_memory_only() {
+        let dir = std::env::temp_dir().join(format!("si-service-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A *file* where the directory should go makes create_dir_all fail.
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let svc = SiService::new(ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        assert!(svc.disk_cache().is_none());
+        let (_, cached) = svc.submit_blocking(&dc_spec(0.5), None).unwrap();
+        assert!(!cached);
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]
