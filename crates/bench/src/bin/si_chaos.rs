@@ -26,7 +26,19 @@
 //! ```text
 //! si_chaos [--http] [--jobs N] [--clients N] [--seed N] [--min-faults N]
 //!          [--stages N] [--steps N] [--workers N] [--queue N]
+//! si_chaos --replica-kill [--serve-bin PATH] [--replicas N] [--jobs N]
+//!          [--clients N] [--seed N] [--stages N]
 //! ```
+//!
+//! `--replica-kill` (ISSUE 9) is a separate fault class at cluster
+//! scope: it spawns N real `si_serve` child processes (one worker each,
+//! persistent disk tiers), fronts them with an in-process
+//! [`RouterServer`], and SIGKILLs the *busiest* replica — the one with
+//! the most forwards on the ring — a quarter of the way through a
+//! distinct-job storm. The gates: every job completes through client
+//! retries (zero lost), the router reroutes at least once and bumps its
+//! ring generation, the dead replica leaves the ring, and every response
+//! is bit-identical to a fresh in-process solve.
 //!
 //! Exit code 0 only when at least `--min-faults` faults were injected
 //! AND every gate above holds; the [`RunReport`] records the full tally.
@@ -55,6 +67,9 @@ struct Args {
     steps: usize,
     workers: usize,
     queue: usize,
+    replica_kill: bool,
+    serve_bin: Option<String>,
+    replicas: usize,
 }
 
 impl Default for Args {
@@ -69,6 +84,9 @@ impl Default for Args {
             steps: 48,
             workers: 4,
             queue: 64,
+            replica_kill: false,
+            serve_bin: None,
+            replicas: 3,
         }
     }
 }
@@ -93,6 +111,14 @@ fn parse_args() -> Result<Args, String> {
             "--steps" => args.steps = int("--steps")?.max(1),
             "--workers" => args.workers = int("--workers")?.max(1),
             "--queue" => args.queue = int("--queue")?.max(1),
+            "--replica-kill" => args.replica_kill = true,
+            "--serve-bin" => {
+                args.serve_bin = Some(
+                    it.next()
+                        .ok_or_else(|| "--serve-bin requires a value".to_string())?,
+                );
+            }
+            "--replicas" => args.replicas = int("--replicas")?.max(2),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -200,6 +226,359 @@ impl ChaosClient {
     }
 }
 
+// ---- replica-kill fault class (ISSUE 9) -------------------------------
+
+/// One spawned `si_serve` child and where it listens.
+struct SpawnedReplica {
+    child: std::sync::Mutex<Option<std::process::Child>>,
+    addr: std::net::SocketAddr,
+    cache_dir: std::path::PathBuf,
+}
+
+/// Spawns `si_serve --workers 1` on an ephemeral port with its own disk
+/// tier and scrapes the bound address off its first stdout line.
+fn spawn_replica(serve_bin: &std::path::Path, tag: usize) -> SpawnedReplica {
+    use std::io::BufRead;
+    let cache_dir =
+        std::env::temp_dir().join(format!("si-chaos-replica-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut child = std::process::Command::new(serve_bin)
+        .args(["--addr", "127.0.0.1:0", "--workers", "1", "--queue", "32"])
+        .arg("--cache-dir")
+        .arg(&cache_dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", serve_bin.display()));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read replica banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected replica banner {line:?}"))
+        .parse()
+        .expect("replica address");
+    SpawnedReplica {
+        child: std::sync::Mutex::new(Some(child)),
+        addr,
+        cache_dir,
+    }
+}
+
+/// One router-metrics number (`router.metrics()` is in-process Json).
+fn router_counter(metrics: &si_service::json::Json, key: &str) -> f64 {
+    metrics
+        .get("router")
+        .and_then(|r| r.get(key))
+        .and_then(si_service::json::Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Submits one serialized job through the router with seeded-jitter
+/// client retries on transport errors and 5xx shedding.
+fn submit_via_router(
+    addr: std::net::SocketAddr,
+    body: &str,
+    policy: &RetryPolicy,
+) -> Result<String, String> {
+    let mut attempt = 0u32;
+    loop {
+        match http_request(addr, "POST", "/v1/jobs", Some(body)) {
+            Ok((200, payload)) => return Ok(payload),
+            Ok((status, payload)) if !(500..=599).contains(&status) => {
+                return Err(format!("status {status}: {payload}"));
+            }
+            Ok(_) | Err(_) => {}
+        }
+        match policy.delay(attempt) {
+            Some(delay) => std::thread::sleep(delay),
+            None => return Err("retries exhausted".to_string()),
+        }
+        attempt += 1;
+    }
+}
+
+/// The `--replica-kill` run: real `si_serve` children behind an
+/// in-process [`RouterServer`]; the busiest replica is SIGKILLed a
+/// quarter of the way through the storm. Exits nonzero on gate failure.
+fn run_replica_kill(args: &Args) {
+    use si_service::router::{RouterConfig, RouterServer};
+
+    let serve_bin = args.serve_bin.as_ref().map_or_else(
+        || {
+            std::env::current_exe()
+                .expect("current exe")
+                .parent()
+                .expect("bin dir")
+                .join("si_serve")
+        },
+        std::path::PathBuf::from,
+    );
+    assert!(
+        serve_bin.exists(),
+        "si_serve binary not found at {} (build it or pass --serve-bin)",
+        serve_bin.display()
+    );
+
+    let replicas: Vec<SpawnedReplica> = (0..args.replicas)
+        .map(|i| spawn_replica(&serve_bin, i))
+        .collect();
+    let server = RouterServer::bind(
+        "127.0.0.1:0",
+        RouterConfig {
+            replicas: replicas.iter().map(|r| r.addr.to_string()).collect(),
+            probe_interval: Duration::from_millis(50),
+            retry: RetryPolicy {
+                max_retries: 6,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(200),
+                multiplier: 2,
+                jitter_seed: Some(args.seed),
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router");
+    let router = Arc::clone(server.router());
+    let router_addr = server.local_addr();
+
+    // All replicas must join the ring before the storm starts.
+    let ready_deadline = Instant::now() + Duration::from_secs(30);
+    while router_counter(&router.metrics(), "ready_replicas") < args.replicas as f64 {
+        assert!(
+            Instant::now() < ready_deadline,
+            "replicas never all became ready"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let generation_before = router.ring_generation();
+
+    // The storm: distinct DC jobs over a rotating topology set, so every
+    // replica owns live work when the kill lands.
+    const TOPOLOGIES: usize = 12;
+    let specs: Vec<JobSpec> = (0..args.jobs)
+        .map(|k| JobSpec::DelayLineDc {
+            stages: args.stages + (k % TOPOLOGIES),
+            bias_ua: 20.0,
+            input_ua: 0.5 + 0.01 * k as f64,
+        })
+        .collect();
+    let bodies: Vec<String> = specs
+        .iter()
+        .map(|s| s.to_json().to_string_compact())
+        .collect();
+    let policy = RetryPolicy {
+        max_retries: 10,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(500),
+        multiplier: 2,
+        jitter_seed: Some(args.seed.wrapping_add(7)),
+    };
+
+    let completed = AtomicU64::new(0);
+    let lost = AtomicU64::new(0);
+    let killed_name = std::sync::Mutex::new(String::new());
+    let responses: Vec<std::sync::Mutex<Option<String>>> =
+        bodies.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let storm_started = Instant::now();
+    std::thread::scope(|scope| {
+        // The killer: wait for a quarter of the storm, pick the replica
+        // with the most forwards on the ring, SIGKILL it.
+        scope.spawn(|| {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while completed.load(Ordering::Relaxed) < (args.jobs / 4) as u64
+                && Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let metrics = router.metrics();
+            let busiest = match metrics.get("shards") {
+                Some(si_service::json::Json::Array(shards)) => shards
+                    .iter()
+                    .filter_map(|s| {
+                        let name = match s.get("replica") {
+                            Some(si_service::json::Json::String(n)) => n.clone(),
+                            _ => return None,
+                        };
+                        let forwards = s
+                            .get("forwards")
+                            .and_then(si_service::json::Json::as_f64)
+                            .unwrap_or(0.0);
+                        Some((name, forwards))
+                    })
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(name, _)| name),
+                _ => None,
+            };
+            let Some(victim) = busiest else {
+                eprintln!("killer found no shard to target");
+                return;
+            };
+            if let Some(replica) = replicas.iter().find(|r| r.addr.to_string() == victim) {
+                if let Some(child) = replica.child.lock().unwrap().as_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                *killed_name.lock().unwrap() = victim;
+            } else {
+                eprintln!("killer could not map shard {victim:?} to a child");
+            }
+        });
+        for c in 0..args.clients {
+            let bodies = &bodies;
+            let responses = &responses;
+            let completed = &completed;
+            let lost = &lost;
+            let policy = &policy;
+            scope.spawn(move || {
+                for (k, body) in bodies.iter().enumerate().skip(c).step_by(args.clients) {
+                    match submit_via_router(router_addr, body, policy) {
+                        Ok(payload) => {
+                            *responses[k].lock().unwrap() = Some(payload);
+                        }
+                        Err(e) => {
+                            if lost.fetch_add(1, Ordering::Relaxed) < 3 {
+                                eprintln!("storm job {k} lost: {e}");
+                            }
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let storm_wall = storm_started.elapsed();
+    let killed = killed_name.into_inner().unwrap();
+
+    let mut failures: Vec<String> = Vec::new();
+    if killed.is_empty() {
+        failures.push("no replica was killed during the storm".to_string());
+    }
+    if lost.load(Ordering::Relaxed) > 0 {
+        failures.push(format!(
+            "{} jobs lost to the replica kill",
+            lost.load(Ordering::Relaxed)
+        ));
+    }
+
+    // The dead replica must leave the ring (probe flips it unready and
+    // bumps the generation) while the survivors keep serving.
+    let leave_deadline = Instant::now() + Duration::from_secs(10);
+    while !killed.is_empty()
+        && router_counter(&router.metrics(), "ready_replicas") >= args.replicas as f64
+        && Instant::now() < leave_deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let metrics = router.metrics();
+    let ready_after = router_counter(&metrics, "ready_replicas");
+    let reroutes = router_counter(&metrics, "reroutes");
+    let no_backend = router_counter(&metrics, "no_backend");
+    if !killed.is_empty() && ready_after >= args.replicas as f64 {
+        failures.push(format!(
+            "killed replica {killed} never left the ring ({ready_after} still ready)"
+        ));
+    }
+    if reroutes < 1.0 {
+        failures.push("the router never rerouted around the dead replica".to_string());
+    }
+    if router.ring_generation() <= generation_before {
+        failures.push("ring generation did not bump on the membership change".to_string());
+    }
+
+    // Zero drift: every response bit-identical to a fresh solve.
+    let mut fresh_ws = si_analog::engine::EngineWorkspace::new();
+    let mut bit_mismatches = 0u64;
+    for (k, slot) in responses.iter().enumerate() {
+        let Some(payload) = slot.lock().unwrap().clone() else {
+            continue; // already counted as lost
+        };
+        let values = si_service::json::parse(&payload)
+            .ok()
+            .and_then(|v| match v.get("values") {
+                Some(si_service::json::Json::Array(items)) => items
+                    .iter()
+                    .map(si_service::json::Json::as_f64)
+                    .collect::<Option<Vec<f64>>>(),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let fresh = specs[k].run(&mut fresh_ws).expect("fresh solve");
+        let identical = values.len() == fresh.values.len()
+            && values
+                .iter()
+                .zip(fresh.values.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !identical {
+            bit_mismatches += 1;
+        }
+    }
+    if bit_mismatches > 0 {
+        failures.push(format!(
+            "{bit_mismatches} storm responses differ bitwise from a fresh solve"
+        ));
+    }
+
+    let mut report = RunReport::new("si_chaos_replica_kill");
+    report.note(
+        "plan",
+        format!(
+            "{} si_serve replicas (1 worker each), {} jobs over {TOPOLOGIES} topologies, \
+             {} clients, busiest replica SIGKILLed at 25%",
+            args.replicas, args.jobs, args.clients
+        ),
+    );
+    report.note(
+        "killed_replica",
+        if killed.is_empty() { "none" } else { &killed },
+    );
+    report.metric("replicas", args.replicas as f64);
+    report.metric("jobs", args.jobs as f64);
+    report.metric("jobs_lost", lost.load(Ordering::Relaxed) as f64);
+    report.metric("bit_mismatches", bit_mismatches as f64);
+    report.metric("reroutes", reroutes);
+    report.metric("no_backend", no_backend);
+    report.metric("ready_after_kill", ready_after);
+    report.metric("ring_generation", router.ring_generation() as f64);
+    report.metric("router_routed", router_counter(&metrics, "routed"));
+    report.metric("storm_wall_s", storm_wall.as_secs_f64());
+    let dir = experiments_dir();
+    match report.write(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!(
+        "replica kill: {} of {} jobs lost | killed {} | {reroutes} reroutes | \
+         {bit_mismatches} bit mismatches",
+        lost.load(Ordering::Relaxed),
+        args.jobs,
+        if killed.is_empty() {
+            "nothing"
+        } else {
+            &killed
+        },
+    );
+
+    drop(server);
+    for replica in &replicas {
+        if let Some(mut child) = replica.child.lock().unwrap().take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_dir_all(&replica.cache_dir);
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("replica-kill run survived: all gates passed");
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -208,6 +587,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.replica_kill {
+        run_replica_kill(&args);
+        return;
+    }
 
     // Injected worker panics are expected by the hundred; keep their
     // backtraces out of the report while letting real panics print.
@@ -281,6 +665,7 @@ fn main() {
             base_delay: Duration::from_millis(2),
             max_delay: Duration::from_millis(50),
             multiplier: 2,
+            jitter_seed: None,
         },
     };
 

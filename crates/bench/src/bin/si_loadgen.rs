@@ -41,6 +41,36 @@
 //! apply; the acceptance bar is instead *exact coalescing*: every
 //! hot-phase duplicate must be served from cache via its canonical
 //! fingerprints, and no submission may error.
+//!
+//! `--cluster` (ISSUE 9) replaces the whole run: instead of driving one
+//! service, the generator drives an `si_router` front end over external
+//! `si_serve` replicas (`--router` plus repeated `--replica` flags, all
+//! `host:port`). Phases and acceptance gates:
+//!
+//! 1. **warmup** — one transient job per topology (`--cold` topologies,
+//!    stage counts `--stages`, `--stages`+1, …; `--steps` solves per
+//!    job, so replicas are compute-bound) seeds every shard owner.
+//! 2. **affinity** — topology-major blocks of distinct-value jobs; the
+//!    growth in the replicas' `symbolic_cache_misses` counters counts
+//!    how often a solve landed on a workspace whose (single-slot)
+//!    symbolic state held a different topology. Perfect routing costs
+//!    exactly one miss per block, so `affinity = blocks / misses` — the
+//!    gate is ≥ 0.9. Replicas must run `--workers 1` and stage counts
+//!    must clear the sparse-backend cutoff (CI uses `--stages 48`).
+//! 3. **cluster vs single** — the same interleaved distinct-value
+//!    workload through the router versus directly against the first
+//!    replica; the topology sequence cycles shard *owners* round-robin
+//!    (ownership is discovered during warmup from per-shard `forwards`
+//!    deltas) so each replica gets 1/R of the jobs even when the raw
+//!    key draw skews the ring. The gate is cluster throughput ≥ 2x the
+//!    single replica on hosts with a core per replica; on starved
+//!    containers, where process parallelism is physically impossible,
+//!    it degrades to a no-collapse floor.
+//! 4. **kill storm** (`--kill-pid`) — the workload re-runs while the
+//!    given replica is SIGKILLed a quarter of the way in. Clients retry
+//!    through the router; the gates are zero lost jobs, at least one
+//!    rerouted request in the router metrics, and every response
+//!    bit-identical to a fresh in-process solve.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -65,6 +95,10 @@ struct Args {
     scenarios: usize,
     netlist: bool,
     restart: bool,
+    cluster: bool,
+    router: Option<String>,
+    replicas: Vec<String>,
+    kill_pid: Option<u32>,
 }
 
 impl Default for Args {
@@ -82,6 +116,10 @@ impl Default for Args {
             scenarios: 32,
             netlist: false,
             restart: false,
+            cluster: false,
+            router: None,
+            replicas: Vec::new(),
+            kill_pid: None,
         }
     }
 }
@@ -109,6 +147,20 @@ fn parse_args() -> Result<Args, String> {
             "--netlist" => args.netlist = true,
             "--restart" => args.restart = true,
             "--scenarios" => args.scenarios = int("--scenarios")?.max(2),
+            "--cluster" => args.cluster = true,
+            "--router" => {
+                args.router = Some(
+                    it.next()
+                        .ok_or_else(|| "--router requires a value".to_string())?,
+                );
+            }
+            "--replica" => {
+                args.replicas.push(
+                    it.next()
+                        .ok_or_else(|| "--replica requires a value".to_string())?,
+                );
+            }
+            "--kill-pid" => args.kill_pid = Some(int("--kill-pid")? as u32),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -249,6 +301,438 @@ fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e6
 }
 
+// ---- cluster mode (ISSUE 9) -------------------------------------------
+
+/// Resolves a `host:port` (optionally `http://`-prefixed) address.
+fn resolve(addr: &str) -> std::net::SocketAddr {
+    use std::net::ToSocketAddrs;
+    let name = addr
+        .trim()
+        .trim_start_matches("http://")
+        .trim_end_matches('/');
+    name.to_socket_addrs()
+        .unwrap_or_else(|e| panic!("cannot resolve {name:?}: {e}"))
+        .next()
+        .unwrap_or_else(|| panic!("{name:?} resolves to no address"))
+}
+
+/// One counter out of a remote `/metrics` snapshot; 0.0 when the scrape
+/// or the key is missing.
+fn scrape(addr: std::net::SocketAddr, section: &str, key: &str) -> f64 {
+    http_request(addr, "GET", "/metrics", None)
+        .ok()
+        .and_then(|(status, body)| (status == 200).then_some(body))
+        .and_then(|body| si_service::json::parse(&body).ok())
+        .and_then(|m| {
+            m.get(section)
+                .and_then(|s| s.get(key))
+                .and_then(si_service::json::Json::as_f64)
+        })
+        .unwrap_or(0.0)
+}
+
+/// Submits one job with client-side retry through the router: transport
+/// errors and 5xx shedding are retried on a seeded-jitter backoff (each
+/// client gets its own seed so a failover doesn't re-stampede the ring).
+/// Returns the 200 response body.
+fn submit_cluster(addr: std::net::SocketAddr, body: &str, seed: u64) -> Result<String, String> {
+    let policy = si_service::RetryPolicy {
+        max_retries: 10,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(500),
+        multiplier: 2,
+        jitter_seed: Some(seed),
+    };
+    let mut attempt = 0u32;
+    loop {
+        match http_request(addr, "POST", "/v1/jobs", Some(body)) {
+            Ok((200, payload)) => return Ok(payload),
+            Ok((status, payload)) if !(500..=599).contains(&status) && status != 429 => {
+                return Err(format!("status {status}: {payload}"));
+            }
+            Ok(_) | Err(_) => {}
+        }
+        match policy.delay(attempt) {
+            Some(delay) => std::thread::sleep(delay),
+            None => return Err("retries exhausted".to_string()),
+        }
+        attempt += 1;
+    }
+}
+
+struct ClusterPhase {
+    wall: Duration,
+    lost: u64,
+    responses: Vec<Option<String>>,
+}
+
+/// Fans serialized job bodies over `clients` threads round-robin, with
+/// per-submission retry; collects each job's 200 response body.
+fn run_cluster_phase(
+    addr: std::net::SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    completed: Option<&AtomicU64>,
+) -> ClusterPhase {
+    let lost = AtomicU64::new(0);
+    let responses: Vec<std::sync::Mutex<Option<String>>> =
+        bodies.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let lost = &lost;
+            let responses = &responses;
+            scope.spawn(move || {
+                for (k, body) in bodies.iter().enumerate().skip(c).step_by(clients) {
+                    match submit_cluster(addr, body, 0xC1A0 + c as u64) {
+                        Ok(payload) => {
+                            *responses[k].lock().unwrap() = Some(payload);
+                        }
+                        Err(e) => {
+                            if lost.fetch_add(1, Ordering::Relaxed) < 3 {
+                                eprintln!("cluster job {k} lost: {e}");
+                            }
+                        }
+                    }
+                    if let Some(done) = completed {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    ClusterPhase {
+        wall: start.elapsed(),
+        lost: lost.load(Ordering::Relaxed),
+        responses: responses
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+    }
+}
+
+/// Whether a response's `values` are bit-identical to a fresh in-process
+/// solve of `spec` (JSON numbers round-trip bit-exactly).
+fn response_matches_fresh_solve(
+    payload: &str,
+    spec: &JobSpec,
+    ws: &mut si_analog::engine::EngineWorkspace,
+) -> bool {
+    let Some(values) = si_service::json::parse(payload)
+        .ok()
+        .and_then(|v| match v.get("values") {
+            Some(si_service::json::Json::Array(items)) => items
+                .iter()
+                .map(si_service::json::Json::as_f64)
+                .collect::<Option<Vec<f64>>>(),
+            _ => None,
+        })
+    else {
+        return false;
+    };
+    let Ok(fresh) = spec.run(ws) else {
+        return false;
+    };
+    values.len() == fresh.values.len()
+        && values
+            .iter()
+            .zip(fresh.values.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+/// The whole `--cluster` run: warmup, affinity blocks, cluster-vs-single
+/// throughput, optional kill storm. Exits nonzero if a gate fails.
+fn run_cluster(args: &Args) {
+    let router = resolve(
+        args.router
+            .as_deref()
+            .expect("--cluster requires --router HOST:PORT"),
+    );
+    let replicas: Vec<std::net::SocketAddr> = args.replicas.iter().map(|r| resolve(r)).collect();
+    assert!(
+        replicas.len() >= 2,
+        "--cluster requires at least two --replica flags"
+    );
+
+    // The ring must be complete before affinity means anything.
+    let ring_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) =
+            http_request(router, "GET", "/readyz", None).unwrap_or((0, String::new()));
+        let ready = si_service::json::parse(&body)
+            .ok()
+            .and_then(|v| {
+                v.get("ready_replicas")
+                    .and_then(si_service::json::Json::as_f64)
+            })
+            .unwrap_or(0.0);
+        if status == 200 && ready == replicas.len() as f64 {
+            break;
+        }
+        assert!(
+            Instant::now() < ring_deadline,
+            "router ring never completed: {ready} of {} replicas ready",
+            replicas.len()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Transient jobs, not DC: each submission pays `--steps` solves, so a
+    // one-worker replica is compute-bound and the cluster-vs-single gate
+    // measures process parallelism rather than HTTP overhead.
+    let topologies = args.cold;
+    let spec = |t: usize, rep: usize| JobSpec::DelayLineTran {
+        stages: args.stages + t,
+        bias_ua: 20.0,
+        input_ua: 0.5 + 0.01 * rep as f64,
+        steps: args.steps,
+        dt_ns: 50.0,
+        clock_hz: 1e6,
+    };
+    let body = |t: usize, rep: usize| spec(t, rep).to_json().to_string_compact();
+
+    // Warmup: one job per topology seeds each shard owner (and the
+    // router's routed-key memory). The per-shard `forwards` delta around
+    // each submission reveals which replica owns the topology — the
+    // throughput phases need that map, because with a handful of keys on
+    // the ring, raw ownership is badly skewed (a 12-key draw over 3
+    // replicas routinely lands 7/4/1) and an ownership-blind workload
+    // would measure the busiest shard, not the cluster.
+    let shard_forwards = |router: std::net::SocketAddr| -> Vec<f64> {
+        http_request(router, "GET", "/metrics", None)
+            .ok()
+            .and_then(|(status, body)| (status == 200).then_some(body))
+            .and_then(|body| si_service::json::parse(&body).ok())
+            .and_then(|m| match m.get("shards") {
+                Some(si_service::json::Json::Array(shards)) => Some(
+                    shards
+                        .iter()
+                        .map(|s| {
+                            s.get("forwards")
+                                .and_then(si_service::json::Json::as_f64)
+                                .unwrap_or(0.0)
+                        })
+                        .collect(),
+                ),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    let mut owner_of = Vec::with_capacity(topologies);
+    for t in 0..topologies {
+        let before = shard_forwards(router);
+        submit_cluster(router, &body(t, 0), 0)
+            .unwrap_or_else(|e| panic!("warmup of topology {t} failed: {e}"));
+        let after = shard_forwards(router);
+        let owner = after
+            .iter()
+            .zip(before.iter())
+            .position(|(a, b)| a > b)
+            .unwrap_or(0);
+        owner_of.push(owner);
+    }
+    let mut by_owner: Vec<Vec<usize>> = vec![Vec::new(); replicas.len()];
+    for (t, &o) in owner_of.iter().enumerate() {
+        by_owner[o].push(t);
+    }
+    if by_owner.iter().any(Vec::is_empty) {
+        eprintln!(
+            "FAIL: a replica owns no topology (ownership {owner_of:?}); raise --cold so every shard draws keys"
+        );
+        std::process::exit(1);
+    }
+
+    // Affinity: topology-major blocks of distinct-value jobs, with a
+    // barrier between blocks so at most one topology is in flight. Each
+    // replica's sparse workspace holds ONE symbolic factorization (the
+    // last topology it solved), so perfect routing costs exactly one
+    // symbolic miss per block — any misroute forces extra rebuilds.
+    const BLOCK_REPS: usize = 4;
+    let sym_misses = |replicas: &[std::net::SocketAddr]| -> f64 {
+        replicas
+            .iter()
+            .map(|&r| scrape(r, "engine", "symbolic_cache_misses"))
+            .sum()
+    };
+    let misses_before = sym_misses(&replicas);
+    for t in 0..topologies {
+        let bodies: Vec<String> = (1..=BLOCK_REPS).map(|rep| body(t, rep)).collect();
+        let phase = run_cluster_phase(router, &bodies, args.clients.min(BLOCK_REPS), None);
+        assert_eq!(phase.lost, 0, "affinity block {t} lost jobs");
+    }
+    let miss_delta = sym_misses(&replicas) - misses_before;
+    if miss_delta < 1.0 {
+        eprintln!(
+            "FAIL: the workload never engaged the sparse symbolic path (raise --stages; replicas must run --workers 1)"
+        );
+        std::process::exit(1);
+    }
+    let affinity = (topologies as f64 / miss_delta).min(1.0);
+
+    // Throughput, cluster vs. single replica: the same interleaved
+    // distinct-value workload through the router versus directly against
+    // one replica. The topology sequence cycles *owners* round-robin
+    // (then each owner's topologies in turn), so every replica receives
+    // exactly 1/R of the jobs regardless of how the ring skewed the raw
+    // topology draw, and every blocking client's chain spreads over all
+    // replicas instead of convoying on one shard. The bar is 2x with
+    // R >= 2 replicas.
+    let balanced_topology = |k: usize| -> usize {
+        let list = &by_owner[k % replicas.len()];
+        list[(k / replicas.len()) % list.len()]
+    };
+    let hot_bodies: Vec<String> = (0..args.hot)
+        .map(|k| body(balanced_topology(k), 1_000 + k))
+        .collect();
+    let cluster_phase = run_cluster_phase(router, &hot_bodies, args.clients, None);
+    assert_eq!(cluster_phase.lost, 0, "cluster hot phase lost jobs");
+    let single_bodies: Vec<String> = (0..args.hot)
+        .map(|k| body(balanced_topology(k), 100_000 + k))
+        .collect();
+    let single_phase = run_cluster_phase(replicas[0], &single_bodies, args.clients, None);
+    assert_eq!(single_phase.lost, 0, "single-replica phase lost jobs");
+    let throughput = |n: usize, wall: Duration| n as f64 / wall.as_secs_f64().max(1e-9);
+    let throughput_cluster = throughput(args.hot, cluster_phase.wall);
+    let throughput_single = throughput(args.hot, single_phase.wall);
+    let scaling = throughput_cluster / throughput_single.max(1e-9);
+
+    // A single replica saturates one core, so the cluster only shows
+    // process parallelism when each replica gets a core of its own (plus
+    // change for the router and clients). Scale the bar to the hardware:
+    // strict 2x where a core per replica exists (CI's 4-core runners),
+    // a no-collapse floor on starved containers where the replicas time-
+    // share one or two cores and 2x is physically impossible.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let scaling_bar = if cores > replicas.len() {
+        2.0
+    } else if cores >= 2 {
+        1.2
+    } else {
+        0.5
+    };
+
+    // Kill storm: re-run the workload and SIGKILL the given replica a
+    // quarter of the way in. Content-addressed jobs + router failover +
+    // client retries must lose nothing and drift nothing.
+    let kill = args.kill_pid.map(|pid| {
+        let reroutes_before = scrape(router, "router", "reroutes");
+        let kill_bodies: Vec<String> = (0..args.hot)
+            .map(|k| body(balanced_topology(k), 200_000 + k))
+            .collect();
+        let completed = AtomicU64::new(0);
+        let phase = std::thread::scope(|scope| {
+            let completed = &completed;
+            let killer = scope.spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(60);
+                while completed.load(Ordering::Relaxed) < (args.hot / 4) as u64
+                    && Instant::now() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let status = std::process::Command::new("kill")
+                    .args(["-9", &pid.to_string()])
+                    .status();
+                if !status.map(|s| s.success()).unwrap_or(false) {
+                    eprintln!("warning: could not SIGKILL pid {pid}");
+                }
+            });
+            let phase = run_cluster_phase(router, &kill_bodies, args.clients, Some(completed));
+            killer.join().expect("killer thread");
+            phase
+        });
+        // Every response must be bit-identical to a fresh solve.
+        let mut ws = si_analog::engine::EngineWorkspace::new();
+        let mut bit_mismatches = 0u64;
+        for (k, payload) in phase.responses.iter().enumerate() {
+            let ok = payload.as_deref().is_some_and(|p| {
+                response_matches_fresh_solve(p, &spec(balanced_topology(k), 200_000 + k), &mut ws)
+            });
+            if !ok && payload.is_some() {
+                bit_mismatches += 1;
+            }
+        }
+        let reroutes = scrape(router, "router", "reroutes") - reroutes_before;
+        (phase, bit_mismatches, reroutes)
+    });
+
+    let mut report = RunReport::new("si_loadgen_cluster");
+    report.note("mode", "cluster");
+    report.note(
+        "workload",
+        format!(
+            "{topologies} topologies (stages {}..{}), {} jobs/phase, {} clients, {} replicas",
+            args.stages,
+            args.stages + topologies - 1,
+            args.hot,
+            args.clients,
+            replicas.len()
+        ),
+    );
+    report.metric("replicas", replicas.len() as f64);
+    report.metric("topologies", topologies as f64);
+    report.metric("shard_affinity", affinity);
+    report.metric("symbolic_miss_delta", miss_delta);
+    report.metric("throughput_cluster_jps", throughput_cluster);
+    report.metric("throughput_single_jps", throughput_single);
+    report.metric("cluster_scaling", scaling);
+    report.metric("cluster_scaling_bar", scaling_bar);
+    report.metric("cores", cores as f64);
+    report.metric(
+        "ring_generation",
+        scrape(router, "router", "ring_generation"),
+    );
+    report.metric("router_routed", scrape(router, "router", "routed"));
+    if let Some((phase, bit_mismatches, reroutes)) = &kill {
+        report.metric("kill_lost_jobs", phase.lost as f64);
+        report.metric("kill_bit_mismatches", *bit_mismatches as f64);
+        report.metric("kill_reroutes", *reroutes);
+    }
+    let dir = experiments_dir();
+    match report.write(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!(
+        "cluster {throughput_cluster:.1} jobs/s | single {throughput_single:.1} jobs/s | \
+         scaling {scaling:.2}x (bar {scaling_bar}x, {cores} cores) | affinity {affinity:.3}"
+    );
+
+    let mut failed = false;
+    if affinity < 0.9 {
+        eprintln!("FAIL: shard affinity {affinity:.3} below the 0.9 bar ({miss_delta} symbolic misses over {topologies} blocks)");
+        failed = true;
+    }
+    if scaling < scaling_bar {
+        eprintln!(
+            "FAIL: cluster throughput is only {scaling:.2}x a single replica (bar: {scaling_bar}x on {cores} cores)"
+        );
+        failed = true;
+    }
+    if let Some((phase, bit_mismatches, reroutes)) = &kill {
+        if phase.lost > 0 {
+            eprintln!("FAIL: {} jobs lost during the replica kill", phase.lost);
+            failed = true;
+        }
+        if *bit_mismatches > 0 {
+            eprintln!(
+                "FAIL: {bit_mismatches} kill-storm responses differ bitwise from a fresh solve"
+            );
+            failed = true;
+        }
+        if *reroutes < 1.0 {
+            eprintln!("FAIL: the router never rerouted around the killed replica");
+            failed = true;
+        }
+        println!(
+            "kill storm: 0 lost of {} | {reroutes} reroutes | {bit_mismatches} bit mismatches",
+            args.hot
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -257,6 +741,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.cluster {
+        run_cluster(&args);
+        return;
+    }
 
     // The restart phase needs results to outlive the first service
     // instance, so it runs with the persistent disk tier enabled.

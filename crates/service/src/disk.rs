@@ -253,6 +253,74 @@ impl DiskTier {
         }
     }
 
+    /// Reads the raw serialized bytes for `key` — magic, checksum and
+    /// all — but only after validating them, so a peer warming its cache
+    /// over `GET /v1/cache/:key` can never receive a torn or corrupt
+    /// entry. A file that fails validation is quarantined exactly as a
+    /// [`CacheTier::load`] would (`corrupt_evicted` increments, the next
+    /// read is a clean miss).
+    ///
+    /// This is the transfer format of the replica-warming protocol: the
+    /// bytes round-trip unchanged into a peer's [`DiskTier::ingest`].
+    #[must_use]
+    pub fn read_validated(&self, key: u64) -> Option<Vec<u8>> {
+        let bytes = match fs::read(self.path_for(key)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.quarantine(key);
+                return None;
+            }
+        };
+        if decode(key, &bytes).is_none() {
+            self.quarantine(key);
+            return None;
+        }
+        lock_recover(&self.index).touch(key);
+        Some(bytes)
+    }
+
+    /// Validates and persists an entry serialized by a *peer* tier (the
+    /// receiving half of the warming protocol). The bytes must be a
+    /// complete, checksummed format-v1 entry for exactly this `key`;
+    /// anything else is dropped without touching the directory. Returns
+    /// whether the entry landed.
+    pub fn ingest(&self, key: u64, bytes: &[u8]) -> bool {
+        if decode(key, bytes).is_none() {
+            return false;
+        }
+        self.write_atomic(key, bytes)
+    }
+
+    /// write → fsync → rename: a kill at any instant leaves either no
+    /// entry (tmp swept at next startup) or the complete entry.
+    fn write_atomic(&self, key: u64, buf: &[u8]) -> bool {
+        let seq = self.write_seq.fetch_add(1, Ordering::Relaxed);
+        let pid = std::process::id();
+        let tmp = self.dir.join(format!(".tmp-{key:016x}-{pid}-{seq}"));
+        let final_path = self.path_for(key);
+        let written = (|| -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(buf)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &final_path)?;
+            Ok(())
+        })();
+        match written {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                lock_recover(&self.index).insert(key, buf.len() as u64);
+                self.evict_to_budget();
+                true
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
     /// Test/chaos hook: plants a *torn* entry at `key`'s final path — a
     /// valid prefix cut off mid-payload, as a non-atomic writer killed
     /// mid-write would leave. The tier must refuse to serve it: the next
@@ -314,30 +382,7 @@ impl CacheTier for DiskTier {
 
     fn store(&self, key: u64, out: &Arc<JobOutput>) {
         let buf = encode(key, out);
-        let seq = self.write_seq.fetch_add(1, Ordering::Relaxed);
-        let pid = std::process::id();
-        let tmp = self.dir.join(format!(".tmp-{key:016x}-{pid}-{seq}"));
-        let final_path = self.path_for(key);
-        // write → fsync → rename: a kill at any instant leaves either no
-        // entry (tmp swept at next startup) or the complete entry.
-        let written = (|| -> std::io::Result<()> {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&buf)?;
-            f.sync_all()?;
-            fs::rename(&tmp, &final_path)?;
-            Ok(())
-        })();
-        match written {
-            Ok(()) => {
-                self.writes.fetch_add(1, Ordering::Relaxed);
-                lock_recover(&self.index).insert(key, buf.len() as u64);
-                self.evict_to_budget();
-            }
-            Err(_) => {
-                let _ = fs::remove_file(&tmp);
-                self.write_errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.write_atomic(key, &buf);
     }
 
     fn stats(&self) -> TierStats {
@@ -606,6 +651,110 @@ mod tests {
             "tmp leftover must be deleted"
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 9 satellite: eviction strictly follows the access clock —
+    /// with four resident entries and a budget squeeze to one, victims
+    /// fall in exact least-recently-*accessed* order, not insertion
+    /// order.
+    #[test]
+    fn byte_budget_eviction_follows_access_order_exactly() {
+        let dir = tmpdir("evict-order");
+        let one_entry = encode(0, &output(16, 0.0)).len() as u64;
+        let tier = DiskTier::open(DiskTierConfig {
+            dir: dir.clone(),
+            budget_bytes: one_entry * 4,
+        })
+        .unwrap();
+        for k in 1..=4 {
+            tier.store(k, &output(16, k as f64));
+        }
+        // Access order now: 1 < 2 < 3 < 4. Touch 2 then 1, making the
+        // LRU order 3 < 4 < 2 < 1.
+        assert!(tier.load(2).is_some());
+        assert!(tier.load(1).is_some());
+        // Each new store displaces exactly the current LRU victim.
+        tier.store(5, &output(16, 5.0)); // evicts 3
+        assert!(!tier.path_for(3).exists(), "3 is the LRU, evicted first");
+        assert!(tier.path_for(4).exists());
+        tier.store(6, &output(16, 6.0)); // evicts 4
+        assert!(!tier.path_for(4).exists(), "4 evicted second");
+        assert!(tier.path_for(2).exists());
+        tier.store(7, &output(16, 7.0)); // evicts 2
+        assert!(!tier.path_for(2).exists(), "2 evicted third");
+        assert!(tier.path_for(1).exists(), "most-recently-touched survives");
+        assert_eq!(tier.stats().evictions, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 9 satellite: `read_validated` (the `GET /v1/cache/:key`
+    /// source) serves only checksummed-valid bytes. A corrupt entry is
+    /// quarantined — `corrupt_evicted` increments, the file is deleted —
+    /// and never leaves the process.
+    #[test]
+    fn read_validated_never_serves_corrupt_bytes() {
+        let dir = tmpdir("read-validated");
+        let tier = DiskTier::open(DiskTierConfig::at(&dir)).unwrap();
+        let out = output(8, 3.0);
+        tier.store(11, &out);
+
+        // The happy path returns the exact on-disk serialization.
+        let bytes = tier.read_validated(11).expect("valid entry is served");
+        assert_eq!(bytes, encode(11, &out));
+        // Absent keys are a plain miss, not a quarantine.
+        assert!(tier.read_validated(12).is_none());
+        assert_eq!(tier.stats().corrupt_evicted, 0);
+
+        // Flip a payload bit: the read must refuse and quarantine.
+        let path = tier.path_for(11);
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        fs::write(&path, &raw).unwrap();
+        assert!(tier.read_validated(11).is_none());
+        assert_eq!(tier.stats().corrupt_evicted, 1);
+        assert!(!path.exists(), "corrupt file must be quarantined");
+        // A torn prefix is likewise refused.
+        tier.plant_torn_entry_for_test(13, &out);
+        assert!(tier.read_validated(13).is_none());
+        assert_eq!(tier.stats().corrupt_evicted, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 9: `ingest` round-trips `read_validated` bytes between two
+    /// tiers bit-exactly, and drops anything that fails validation
+    /// (corrupt payloads, key mismatches) without touching the directory.
+    #[test]
+    fn ingest_validates_peer_bytes_before_persisting() {
+        let src_dir = tmpdir("ingest-src");
+        let dst_dir = tmpdir("ingest-dst");
+        let src = DiskTier::open(DiskTierConfig::at(&src_dir)).unwrap();
+        let dst = DiskTier::open(DiskTierConfig::at(&dst_dir)).unwrap();
+        let out = output(8, 6.0);
+        src.store(21, &out);
+
+        // Peer transfer: read from src, ingest into dst, serve bit-exact.
+        let bytes = src.read_validated(21).unwrap();
+        assert!(dst.ingest(21, &bytes));
+        let back = dst.load(21).expect("ingested entry is servable");
+        for (a, b) in back.values.iter().zip(out.values.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(dst.stats().writes, 1);
+
+        // A corrupt transfer is refused before any write.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(!dst.ingest(22, &bad));
+        // Valid bytes under the wrong key are refused too: the key in the
+        // header must match the slot being filled.
+        assert!(!dst.ingest(23, &bytes));
+        assert!(!dst.path_for(22).exists());
+        assert!(!dst.path_for(23).exists());
+        assert_eq!(dst.stats().writes, 1, "no write for refused ingests");
+        let _ = fs::remove_dir_all(&src_dir);
+        let _ = fs::remove_dir_all(&dst_dir);
     }
 
     /// Reopening with a smaller budget evicts down to it immediately,

@@ -38,16 +38,29 @@
 //!
 //! Routes:
 //!
-//! | Method | Path           | Behavior                                    |
-//! |--------|----------------|---------------------------------------------|
-//! | POST   | `/v1/jobs`     | Run (or fetch) a job; blocks until done     |
-//! | GET    | `/v1/jobs/:id` | Non-blocking lookup of a finished job       |
-//! | GET    | `/metrics`     | Service / cache / pool / engine / http      |
-//! | GET    | `/healthz`     | Liveness probe                              |
+//! | Method | Path             | Behavior                                  |
+//! |--------|------------------|-------------------------------------------|
+//! | POST   | `/v1/jobs`       | Run (or fetch) a job; blocks until done   |
+//! | GET    | `/v1/jobs/:id`   | Non-blocking lookup of a finished job     |
+//! | GET    | `/v1/cache/:key` | Raw checksummed `.sic` entry (warming)    |
+//! | POST   | `/v1/warm`       | Pull listed keys from a peer's cache      |
+//! | GET    | `/metrics`       | Service / cache / pool / engine / http    |
+//! | GET    | `/healthz`       | Liveness probe (is the process up)        |
+//! | GET    | `/readyz`        | Readiness probe (should a router send here)|
 //!
 //! `POST /v1/jobs` accepts an optional `"timeout_ms"` field beside the
 //! spec; admission-control rejections surface as `503` with `Retry-After`
 //! and a JSON error body, deadline misses as `504`.
+//!
+//! `/healthz` and `/readyz` split liveness from readiness (ISSUE 9): the
+//! former answers `200` for as long as the event loop runs, the latter
+//! consults [`SiService::readiness`] — a drained pool or a degraded cache
+//! directory turns it into a `503` so the `si-router` ring (and CI) can
+//! tell "up" from "serving". `GET /v1/cache/:key` serves the disk tier's
+//! validated `.sic` bytes as `application/octet-stream` — the transfer
+//! format of replica cache warming — and `POST /v1/warm`
+//! (`{"peer":"host:port","keys":["16-hex",…]}`) makes this replica pull
+//! those entries from a peer.
 
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -698,6 +711,25 @@ fn drive(conn: &mut Conn, token: usize, ctx: &LoopCtx) -> Disposition {
                     }
                     Parse::Request { request, consumed } => {
                         conn.buf.drain(..consumed);
+                        if request.method == "POST" && request.path == "/v1/warm" {
+                            // Warming pulls entries over the network from
+                            // a peer replica — blocking by nature, so it
+                            // runs on a handler thread like a solve.
+                            conn.state = ConnState::Waiting;
+                            let body = request.body;
+                            spawn_blocking(token, request.keep_alive, ctx, move |service| {
+                                warm_job(&body, service)
+                            });
+                            return Disposition::Keep;
+                        }
+                        if request.method == "GET" && request.path.starts_with("/v1/cache/") {
+                            // Binary route: the validated `.sic` bytes go
+                            // out as octet-stream, straight from the loop
+                            // (one local file read).
+                            let out = cache_entry_response(&request, ctx);
+                            conn.start_write(out, request.keep_alive, ctx.config.write_timeout);
+                            continue;
+                        }
                         if request.method == "POST" && request.path == "/v1/jobs" {
                             // Hits already resident in the memory tier are
                             // answered right here on the loop — no handler
@@ -917,13 +949,28 @@ fn try_parse(buf: &[u8], max_body_bytes: usize) -> Parse {
 /// Runs the blocking `POST /v1/jobs` route on its own thread and hands
 /// the response back through the completion queue.
 fn spawn_post(token: usize, request: Request, ctx: &LoopCtx) {
+    let body = request.body;
+    spawn_blocking(token, request.keep_alive, ctx, move |service| {
+        post_job(&body, service)
+    });
+}
+
+/// Runs `handler` on its own thread against the service and hands the
+/// response back through the completion queue — the dispatch shared by
+/// every route too blocking for the event loop (`POST /v1/jobs`,
+/// `POST /v1/warm`).
+fn spawn_blocking(
+    token: usize,
+    keep_alive: bool,
+    ctx: &LoopCtx,
+    handler: impl FnOnce(&SiService) -> (u16, String) + Send + 'static,
+) {
     let service = Arc::clone(&ctx.service);
     let completions = Arc::clone(&ctx.completions);
-    let keep_alive = request.keep_alive;
     let spawned = thread::Builder::new()
         .name("si-http-post".to_string())
         .spawn(move || {
-            let (status, body) = post_job(&request.body, &service);
+            let (status, body) = handler(&service);
             completions.push(Completion {
                 token,
                 status,
@@ -948,6 +995,25 @@ fn response_bytes(
     keep_alive: bool,
     retry_after_secs: Option<u64>,
 ) -> Vec<u8> {
+    response_bytes_typed(
+        status,
+        body.as_bytes(),
+        "application/json",
+        keep_alive,
+        retry_after_secs,
+    )
+}
+
+/// [`response_bytes`] generalized over the body encoding: the
+/// `GET /v1/cache/:key` route ships raw `.sic` entries as
+/// `application/octet-stream`, everything else stays JSON.
+fn response_bytes_typed(
+    status: u16,
+    body: &[u8],
+    content_type: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -967,14 +1033,16 @@ fn response_bytes(
     let retry_after = retry_after_secs
         .map(|s| format!("Retry-After: {s}\r\n"))
         .unwrap_or_default();
-    format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{body}",
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n",
         body.len()
     )
-    .into_bytes()
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
 }
 
-fn error_body(err: &ServiceError) -> String {
+pub(crate) fn error_body(err: &ServiceError) -> String {
     Json::Object(vec![
         ("error".to_string(), Json::String(err.code().to_string())),
         ("message".to_string(), Json::String(err.to_string())),
@@ -989,6 +1057,14 @@ fn route_inline(request: &Request, ctx: &LoopCtx) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => (200, metrics_with_http(ctx)),
         ("GET", "/healthz") => (200, r#"{"status":"ok"}"#.to_string()),
+        ("GET", "/readyz") => {
+            // Liveness ≠ readiness: the loop answering at all proves the
+            // process is up; this verdict says whether a router should
+            // *send jobs* here. 503 lets probes distinguish the two with
+            // the status code alone.
+            let status = if service.is_ready() { 200 } else { 503 };
+            (status, service.readiness().to_string_compact())
+        }
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             get_job(&path["/v1/jobs/".len()..], service)
         }
@@ -1057,6 +1133,68 @@ fn post_job(body: &str, service: &SiService) -> (u16, String) {
     }
 }
 
+/// `GET /v1/cache/:key`: the sending half of the warming protocol. Only
+/// checksummed-valid entries leave the process — `read_validated`
+/// quarantines anything torn or corrupt (counted in `corrupt_evicted`)
+/// and the response degrades to a 404, so a peer can trust every byte it
+/// ingests. Returns complete response bytes (the one binary route).
+fn cache_entry_response(request: &Request, ctx: &LoopCtx) -> Vec<u8> {
+    let id = &request.path["/v1/cache/".len()..];
+    let Some(key) = SiService::parse_job_id(id) else {
+        let err = ServiceError::InvalidSpec("cache keys are 16 hex digits".to_string());
+        return response_bytes(400, &error_body(&err), request.keep_alive, None);
+    };
+    match ctx.service.disk_cache().and_then(|d| d.read_validated(key)) {
+        Some(bytes) => response_bytes_typed(
+            200,
+            &bytes,
+            "application/octet-stream",
+            request.keep_alive,
+            None,
+        ),
+        None => response_bytes(
+            404,
+            r#"{"error":"not_found","message":"no valid cache entry for key"}"#,
+            request.keep_alive,
+            None,
+        ),
+    }
+}
+
+/// `POST /v1/warm`: `{"peer":"host:port","keys":["16-hex",…]}` makes
+/// this replica pull the listed entries from `peer`'s cache endpoint
+/// into its own disk tier. Warming is best-effort — the response reports
+/// `pulled`/`failed` and a failed key just re-solves locally later.
+fn warm_job(body: &str, service: &SiService) -> (u16, String) {
+    let invalid = |msg: &str| {
+        let err = ServiceError::InvalidSpec(msg.to_string());
+        (err.http_status(), error_body(&err))
+    };
+    let Ok(parsed) = json::parse(body) else {
+        return invalid("body is not JSON");
+    };
+    let Some(peer) = parsed.get("peer").and_then(Json::as_str) else {
+        return invalid("missing \"peer\" (host:port)");
+    };
+    let Some(Json::Array(items)) = parsed.get("keys") else {
+        return invalid("missing \"keys\" array");
+    };
+    let mut keys = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(key) = item.as_str().and_then(SiService::parse_job_id) else {
+            return invalid("keys must be 16-hex-digit job keys");
+        };
+        keys.push(key);
+    }
+    let (pulled, failed) = service.warm_from_peer(peer, &keys);
+    let body = Json::Object(vec![
+        ("pulled".to_string(), Json::Number(pulled as f64)),
+        ("failed".to_string(), Json::Number(failed as f64)),
+    ])
+    .to_string_compact();
+    (200, body)
+}
+
 fn get_job(id: &str, service: &SiService) -> (u16, String) {
     let Some(key) = SiService::parse_job_id(id) else {
         let err = ServiceError::InvalidSpec("job ids are 16 hex digits".to_string());
@@ -1095,6 +1233,27 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, payload) = http_request_bytes(addr, method, path, body)?;
+    let payload = String::from_utf8(payload).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response body")
+    })?;
+    Ok((status, payload))
+}
+
+/// [`http_request`] without the UTF-8 assumption on the response body:
+/// the warming path fetches raw `.sic` entries (`GET /v1/cache/:key`),
+/// whose bytes are a checksummed binary format, not text.
+///
+/// # Errors
+///
+/// Propagates socket errors; malformed response framing yields
+/// `io::ErrorKind::InvalidData`.
+pub fn http_request_bytes(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     let body = body.unwrap_or("");
@@ -1104,16 +1263,20 @@ pub fn http_request(
         body.len()
     )?;
     stream.flush()?;
-    let mut response = String::new();
-    BufReader::new(stream).read_to_string(&mut response)?;
+    let mut response = Vec::new();
+    BufReader::new(stream).read_to_end(&mut response)?;
     let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
-    let (head, payload) = response.split_once("\r\n\r\n").ok_or_else(bad)?;
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(bad)?;
+    let head = std::str::from_utf8(&response[..split]).map_err(|_| bad())?;
     let status: u16 = head
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(bad)?;
-    Ok((status, payload.to_string()))
+    Ok((status, response[split + 4..].to_vec()))
 }
 
 /// Chaos-harness client fault: sends a request that *promises*
@@ -1568,6 +1731,180 @@ mod tests {
         assert!(server.http_stats().shed_connections.load(Ordering::Relaxed) >= 1);
         drop(held);
         server.shutdown();
+    }
+
+    /// ISSUE 9 satellite: `/healthz` is liveness, `/readyz` is readiness.
+    /// Draining the pool flips `/readyz` to 503 while `/healthz` (and the
+    /// event loop) stay up — exactly the split the router probes on.
+    #[test]
+    fn readyz_splits_from_healthz() {
+        let service = Arc::new(SiService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        }));
+        let mut server =
+            HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
+        let addr = server.local_addr();
+        let (status, body) = http_request(addr, "GET", "/readyz", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("ready"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("pool_admitting"), Some(&Json::Bool(true)));
+
+        // Drain the pool only: the process (and loop) are still alive.
+        service.shutdown();
+        let (status, _) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "liveness must survive a drained pool");
+        let (status, body) = http_request(addr, "GET", "/readyz", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("ready"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("pool_admitting"), Some(&Json::Bool(false)));
+        server.shutdown();
+    }
+
+    fn serve_with_disk(tag: &str) -> (HttpServer, Arc<SiService>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "si-http-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(SiService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        }));
+        let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
+        (server, service, dir)
+    }
+
+    /// Waits until the write-through to the disk tier has landed (workers
+    /// persist after replying, so a probe can race the write).
+    fn wait_disk_writes(service: &SiService, want: f64) {
+        for _ in 0..400 {
+            let m = service.metrics();
+            let writes = m
+                .get("cache")
+                .unwrap()
+                .get("disk_writes")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            if writes >= want {
+                return;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        panic!("disk write never landed");
+    }
+
+    /// ISSUE 9 satellite: `GET /v1/cache/:key` serves only
+    /// checksummed-valid entries. Valid → 200 octet-stream with the raw
+    /// `.sic` bytes; corrupt → 404 with `corrupt_evicted` counted and the
+    /// file quarantined; bogus key → 400; absent → 404.
+    #[test]
+    fn cache_endpoint_serves_only_checksummed_valid_entries() {
+        let (mut server, service, dir) = serve_with_disk("valid");
+        let addr = server.local_addr();
+        let spec = r#"{"kind":"delay_line_dc","stages":3,"bias_ua":20,"input_ua":1}"#;
+        let (status, body) = http_request(addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let id = json::parse(&body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        wait_disk_writes(&service, 1.0);
+
+        // Valid entry: raw bytes, identical to the on-disk file.
+        let (status, bytes) =
+            http_request_bytes(addr, "GET", &format!("/v1/cache/{id}"), None).unwrap();
+        assert_eq!(status, 200);
+        let on_disk = std::fs::read(dir.join(format!("{id}.sic"))).unwrap();
+        assert_eq!(bytes, on_disk, "endpoint must ship the exact .sic bytes");
+
+        // Bogus key shape → 400; absent key → 404.
+        let (status, _) = http_request(addr, "GET", "/v1/cache/nope", None).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = http_request(addr, "GET", "/v1/cache/00000000000000ff", None).unwrap();
+        assert_eq!(status, 404);
+
+        // Corrupt the entry: the endpoint must refuse and quarantine.
+        let path = dir.join(format!("{id}.sic"));
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x20;
+        std::fs::write(&path, &raw).unwrap();
+        let (status, _) = http_request(addr, "GET", &format!("/v1/cache/{id}"), None).unwrap();
+        assert_eq!(status, 404, "corrupt entries must never be served");
+        assert!(!path.exists(), "corrupt entry must be quarantined");
+        let m = service.metrics();
+        assert_eq!(
+            m.get("cache")
+                .unwrap()
+                .get("corrupt_evicted")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 9: `POST /v1/warm` pulls entries from a peer replica's cache
+    /// endpoint into this replica's disk tier, after which the warmed
+    /// replica serves them as cache hits bit-identical to the peer's.
+    #[test]
+    fn warm_endpoint_pulls_entries_from_peer() {
+        let (mut peer_srv, peer_svc, peer_dir) = serve_with_disk("warm-peer");
+        let (mut repl_srv, repl_svc, repl_dir) = serve_with_disk("warm-repl");
+        let peer_addr = peer_srv.local_addr();
+        let repl_addr = repl_srv.local_addr();
+
+        let spec = r#"{"kind":"delay_line_dc","stages":4,"bias_ua":20,"input_ua":1.5}"#;
+        let (status, body) = http_request(peer_addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let peer_resp = json::parse(&body).unwrap();
+        let id = peer_resp.get("id").unwrap().as_str().unwrap().to_string();
+        wait_disk_writes(&peer_svc, 1.0);
+
+        // Warm the replica: one real key plus one the peer doesn't have.
+        let warm = format!(r#"{{"peer":"{peer_addr}","keys":["{id}","00000000000000aa"]}}"#);
+        let (status, body) = http_request(repl_addr, "POST", "/v1/warm", Some(&warm)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("pulled").unwrap().as_f64(), Some(1.0));
+        assert_eq!(parsed.get("failed").unwrap().as_f64(), Some(1.0));
+
+        // The replica now answers the job from its own disk tier — no
+        // solve, values bit-identical to the peer's response.
+        let (status, body) = http_request(repl_addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let repl_resp = json::parse(&body).unwrap();
+        assert_eq!(repl_resp.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(repl_resp.get("values"), peer_resp.get("values"));
+        let m = repl_svc.metrics();
+        assert_eq!(
+            m.get("service")
+                .unwrap()
+                .get("warm_pulled")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            m.get("cache").unwrap().get("disk_hits").unwrap().as_f64(),
+            Some(1.0)
+        );
+        repl_srv.shutdown();
+        peer_srv.shutdown();
+        let _ = std::fs::remove_dir_all(&peer_dir);
+        let _ = std::fs::remove_dir_all(&repl_dir);
     }
 
     /// Regression (ISSUE 5): `shutdown()` returns promptly — the wake

@@ -431,6 +431,106 @@ impl JobSpec {
         h.finish()
     }
 
+    /// The job's *topology* address: specs that share a circuit structure
+    /// — and only those — share this fingerprint, regardless of element
+    /// values or analysis parameters.
+    ///
+    /// This is the sharding key for the `si-router` ring: every job over
+    /// the same topology lands on the same replica, so that replica's
+    /// symbolic-factorization cache (one factorization per structure)
+    /// specializes for its slice of the circuit families. Netlist jobs
+    /// hash the canonical-parse structure fingerprint, so a netlist twin
+    /// of a generator-built delay line keys to the same structure as any
+    /// other netlist with that topology, independent of the text
+    /// representation.
+    ///
+    /// Invalid specs (unbuildable lines, unparsable netlists) still get a
+    /// stable fingerprint from their raw parameters so the router can
+    /// place them deterministically; they never reach a solver cache.
+    #[must_use]
+    pub fn structure_fingerprint(&self) -> u64 {
+        // Generator-built circuits are fingerprinted through the same
+        // canonical netlist round trip as user submissions: emit the
+        // circuit, re-parse it canonically, fingerprint that. Without
+        // the round trip the generator's element order would hash
+        // differently from the canonical card order, and a netlist twin
+        // would land on a different shard than its generator job.
+        let canonical = |circuit: &si_analog::netlist::Circuit| {
+            si_analog::parse::to_netlist(circuit)
+                .ok()
+                .and_then(|text| parse_netlist_canonical(&text).ok())
+                .map_or_else(
+                    || circuit.structure_fingerprint(),
+                    |canon| canon.structure_fingerprint(),
+                )
+        };
+        let mut h = Fnv1a::new();
+        match self {
+            JobSpec::DelayLineDc {
+                stages,
+                bias_ua,
+                input_ua,
+            } => {
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(canonical(&line.circuit));
+                } else {
+                    h.mix_u64(1);
+                    h.mix_u64(*stages as u64);
+                }
+            }
+            JobSpec::DelayLineTran {
+                stages,
+                bias_ua,
+                input_ua,
+                ..
+            } => {
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(canonical(&line.circuit));
+                } else {
+                    h.mix_u64(2);
+                    h.mix_u64(*stages as u64);
+                }
+            }
+            JobSpec::DelayLineAc {
+                stages,
+                bias_ua,
+                input_ua,
+                ..
+            } => {
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(canonical(&line.circuit));
+                } else {
+                    h.mix_u64(3);
+                    h.mix_u64(*stages as u64);
+                }
+            }
+            JobSpec::SndrSweep { .. } => {
+                // No circuit behind it; all sweeps share one "structure".
+                h.mix_u64(4);
+            }
+            JobSpec::DelayLineDcBatch {
+                stages, bias_ua, ..
+            } => {
+                if let Ok(line) = build_line(*stages, *bias_ua, 0.0) {
+                    h.mix_u64(canonical(&line.circuit));
+                } else {
+                    h.mix_u64(5);
+                    h.mix_u64(*stages as u64);
+                }
+            }
+            JobSpec::Netlist { netlist } => {
+                if let Ok(circuit) = parse_netlist_canonical(netlist) {
+                    h.mix_u64(circuit.structure_fingerprint());
+                } else {
+                    h.mix_u64(6);
+                    h.mix_u64(netlist.len() as u64);
+                    h.mix_bytes(netlist.as_bytes());
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// The kind tag used on the wire.
     #[must_use]
     pub fn kind(&self) -> &'static str {

@@ -25,6 +25,10 @@
 //!   failures back off deterministically ([`retry::RetryPolicy`]), and a
 //!   seedable chaos hook ([`fault::FaultInjector`]) proves it all under
 //!   injected failure.
+//! - **Scale-out** — [`router`] shards jobs across replica processes by
+//!   consistent hash on the circuit's structure fingerprint, keeping
+//!   each topology's symbolic factorization hot on exactly one replica,
+//!   with readiness-driven failover and peer cache warming.
 //!
 //! ```
 //! use si_service::jobspec::JobSpec;
@@ -52,6 +56,7 @@ pub mod jobspec;
 pub mod json;
 pub mod pool;
 pub mod retry;
+pub mod router;
 pub mod service;
 
 pub use budget::{price_circuit, AdmissionBudget, CircuitCost};
@@ -61,4 +66,5 @@ pub use error::ServiceError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use jobspec::{JobOutput, JobSpec};
 pub use retry::RetryPolicy;
+pub use router::{Router, RouterConfig, RouterServer};
 pub use service::{ServiceConfig, SiService};

@@ -172,6 +172,14 @@ impl WorkerPool {
         self.queue_capacity
     }
 
+    /// Whether the pool still admits work: `false` once
+    /// [`WorkerPool::shutdown`] has taken the sender. The `/readyz`
+    /// readiness probe reports this without burning a queue slot.
+    #[must_use]
+    pub fn is_admitting(&self) -> bool {
+        lock_recover(&self.sender).is_some()
+    }
+
     /// Number of worker threads.
     #[must_use]
     pub fn workers(&self) -> usize {

@@ -105,6 +105,12 @@ struct ServiceCounters {
     /// Netlists rejected by the admission budget (HTTP 413) — always
     /// *before* any factorization or Newton iteration ran.
     netlist_rejected_budget: AtomicU64,
+    /// Cache entries pulled from a peer replica's disk tier during ring
+    /// warming (`POST /v1/warm`).
+    warm_pulled: AtomicU64,
+    /// Warm pulls that did not land: peer miss, transport error, or
+    /// bytes that failed validation on ingest.
+    warm_failed: AtomicU64,
 }
 
 type CancelFlags = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
@@ -123,6 +129,9 @@ pub struct SiService {
     cancel_flags: CancelFlags,
     /// Test-only chaos hook; `None` in production.
     fault: Mutex<Option<Arc<FaultInjector>>>,
+    /// `cache_dir` was configured but the disk tier failed to open: the
+    /// service runs memory-only and `/readyz` reports it.
+    cache_degraded: bool,
 }
 
 /// Locks `m`, recovering from poisoning: every map guarded here (seen
@@ -156,6 +165,7 @@ impl SiService {
         // A broken cache directory must not keep the service from
         // starting: persistence degrades to memory-only with a warning,
         // exactly what an operator would want at 3am.
+        let mut cache_degraded = false;
         let cache = match &config.cache_dir {
             Some(dir) => match DiskTier::open(DiskTierConfig {
                 dir: dir.clone(),
@@ -167,6 +177,7 @@ impl SiService {
                         "si-service: disk cache at {} unavailable ({err}); running memory-only",
                         dir.display()
                     );
+                    cache_degraded = true;
                     ResultCache::new()
                 }
             },
@@ -185,7 +196,88 @@ impl SiService {
             seen: Mutex::new(HashMap::new()),
             cancel_flags: Arc::new(Mutex::new(HashMap::new())),
             fault: Mutex::new(None),
+            cache_degraded,
         }
+    }
+
+    /// Whether this instance is *serving*, not merely up: the pool still
+    /// admits work and the configured persistence is actually usable.
+    /// `/healthz` answers "is the process alive", this answers "should a
+    /// router send jobs here" — a drained pool or a degraded cache dir
+    /// flips it to `false` without killing the process.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.pool.is_admitting() && !self.cache_degraded
+    }
+
+    /// The `/readyz` body: the overall verdict plus the per-condition
+    /// breakdown an operator (or the router's probe log) needs to see
+    /// *why* a replica went unready.
+    #[must_use]
+    pub fn readiness(&self) -> Json {
+        let cache_state = if self.cache_degraded {
+            "degraded"
+        } else if self.disk_cache().is_some() {
+            "disk"
+        } else {
+            "memory"
+        };
+        Json::Object(vec![
+            ("ready".to_string(), Json::Bool(self.is_ready())),
+            (
+                "pool_admitting".to_string(),
+                Json::Bool(self.pool.is_admitting()),
+            ),
+            ("cache".to_string(), Json::String(cache_state.to_string())),
+        ])
+    }
+
+    /// The receiving half of the replica-warming protocol: pulls each
+    /// `key` from `peer`'s `GET /v1/cache/:key` endpoint and ingests the
+    /// validated `.sic` bytes into this instance's disk tier. Returns
+    /// `(pulled, failed)`; a peer miss, a transport error, or bytes that
+    /// fail checksum validation all count as failed — warming is
+    /// best-effort and a failed pull just means the job re-solves here.
+    pub fn warm_from_peer(&self, peer: &str, keys: &[u64]) -> (u64, u64) {
+        let Some(disk) = self.disk_cache().cloned() else {
+            // Memory-only replicas have nowhere durable to put entries.
+            self.counters
+                .warm_failed
+                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            return (0, keys.len() as u64);
+        };
+        let Ok(addrs) = std::net::ToSocketAddrs::to_socket_addrs(&peer) else {
+            self.counters
+                .warm_failed
+                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            return (0, keys.len() as u64);
+        };
+        let Some(addr) = addrs.into_iter().next() else {
+            self.counters
+                .warm_failed
+                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            return (0, keys.len() as u64);
+        };
+        let (mut pulled, mut failed) = (0u64, 0u64);
+        for &key in keys {
+            let path = format!("/v1/cache/{key:016x}");
+            let landed = crate::http::http_request_bytes(addr, "GET", &path, None)
+                .ok()
+                .filter(|(status, _)| *status == 200)
+                .is_some_and(|(_, bytes)| disk.ingest(key, &bytes));
+            if landed {
+                pulled += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        self.counters
+            .warm_pulled
+            .fetch_add(pulled, Ordering::Relaxed);
+        self.counters
+            .warm_failed
+            .fetch_add(failed, Ordering::Relaxed);
+        (pulled, failed)
     }
 
     /// Installs a chaos-testing fault injector. **Test-only hook**: jobs
@@ -609,6 +701,14 @@ impl SiService {
                             .netlist_rejected_budget
                             .load(Ordering::Relaxed)),
                     ),
+                    (
+                        "warm_pulled".to_string(),
+                        num(self.counters.warm_pulled.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "warm_failed".to_string(),
+                        num(self.counters.warm_failed.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             (
@@ -985,6 +1085,7 @@ mod tests {
                 base_delay: Duration::from_millis(1),
                 max_delay: Duration::from_millis(2),
                 multiplier: 2,
+                jitter_seed: None,
             },
             ..ServiceConfig::default()
         });
@@ -1025,6 +1126,7 @@ mod tests {
                 base_delay: Duration::from_millis(1),
                 max_delay: Duration::from_millis(2),
                 multiplier: 2,
+                jitter_seed: None,
             },
             ..ServiceConfig::default()
         });
@@ -1086,6 +1188,7 @@ mod tests {
                 base_delay: Duration::from_millis(1),
                 max_delay: Duration::from_millis(1),
                 multiplier: 1,
+                jitter_seed: None,
             },
             ..ServiceConfig::default()
         });
@@ -1357,6 +1460,7 @@ mod tests {
                 base_delay: Duration::from_millis(1),
                 max_delay: Duration::from_millis(2),
                 multiplier: 2,
+                jitter_seed: None,
             },
             ..ServiceConfig::default()
         });

@@ -80,6 +80,7 @@ fn chaos_storm_recovers_with_bit_identical_cache() {
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(10),
             multiplier: 2,
+            jitter_seed: None,
         },
         ..ServiceConfig::default()
     }));
@@ -195,6 +196,7 @@ fn followers_of_a_panicking_leader_are_released() {
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(5),
             multiplier: 2,
+            jitter_seed: None,
         },
         ..ServiceConfig::default()
     }));
