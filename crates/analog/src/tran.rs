@@ -230,7 +230,23 @@ pub fn run_with(
     params: &TranParams,
     ws: &mut EngineWorkspace,
 ) -> Result<TranResult, AnalogError> {
-    // Initial DC with switches in their t = 0 state.
+    let op = initial_condition(circuit, params, ws)?;
+    run_from_with(circuit, params, op, ws)
+}
+
+/// The DC operating point a transient run starts from, with the switches
+/// in their `t = 0` clock state. This is the `initial` solution
+/// [`run_with`] feeds to [`run_from_with`] — exposed so a chunked runner
+/// can compute it once and then advance via [`run_chunk_with`].
+///
+/// # Errors
+///
+/// Propagates DC-solve errors.
+pub fn initial_condition(
+    circuit: &Circuit,
+    params: &TranParams,
+    ws: &mut EngineWorkspace,
+) -> Result<Solution, AnalogError> {
     let (phi1_0, phi2_0) = match &params.clock {
         Some(clk) => (
             clk.is_high(crate::device::ClockPhase::Phi1, Seconds(0.0)),
@@ -238,10 +254,9 @@ pub fn run_with(
         ),
         None => (true, false),
     };
-    let op = crate::dc::DcSolver::new()
+    crate::dc::DcSolver::new()
         .with_phases(phi1_0, phi2_0)
-        .solve_with(circuit, ws)?;
-    run_from_with(circuit, params, op, ws)
+        .solve_with(circuit, ws)
 }
 
 /// Runs a transient analysis from a supplied initial solution (e.g. the
@@ -322,6 +337,98 @@ pub fn run_from_with(
         branch_currents,
         clock: params.clock,
     })
+}
+
+/// Runs one chunk of a transient analysis: the `chunk_steps` steps after
+/// absolute step `start_step`, starting from `initial` (the state at
+/// `start_step`). Returns the chunk's waveforms plus the end-of-chunk
+/// state to feed into the next chunk.
+///
+/// Each step's time is computed from its absolute index
+/// (`t = step · dt`, never accumulated chunk offsets), and the Newton
+/// warm start is exactly the previous step's voltages, so a run split
+/// into chunks — including one resumed from a checkpointed `initial` —
+/// is bit-identical to an uninterrupted [`run_from_with`] over the same
+/// steps. The `t = 0` initial point is recorded only when
+/// `start_step == 0`, mirroring [`run_from_with`]'s output layout.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::InvalidParameter`] for `chunk_steps == 0` and
+/// propagates Newton failures at any step.
+pub fn run_chunk_with(
+    circuit: &Circuit,
+    params: &TranParams,
+    start_step: usize,
+    chunk_steps: usize,
+    initial: &Solution,
+    ws: &mut EngineWorkspace,
+) -> Result<(TranResult, Solution), AnalogError> {
+    if chunk_steps == 0 {
+        return Err(AnalogError::InvalidParameter {
+            name: "chunk_steps",
+            constraint: "a chunk must advance at least one step",
+        });
+    }
+    let n_nodes = circuit.node_count();
+    let n_branches = circuit.branch_count();
+    let record_initial = start_step == 0;
+    let points = chunk_steps + usize::from(record_initial);
+
+    let mut times = Vec::with_capacity(points);
+    let mut node_voltages = Vec::with_capacity(points * n_nodes);
+    let mut branch_currents = Vec::with_capacity(points * n_branches);
+
+    let mut prev = initial.node_voltages();
+    if record_initial {
+        times.push(0.0);
+        node_voltages.extend_from_slice(&prev);
+        branch_currents.extend((0..n_branches).map(|k| initial.branch_current(k).0));
+    }
+
+    let settings = NewtonSettings {
+        max_iterations: params.max_iterations,
+        vtol: params.vtol,
+        max_step: 0.5,
+    };
+
+    for step in start_step + 1..=start_step + chunk_steps {
+        let t = step as f64 * params.dt.0;
+        let spec = StampSpec {
+            time: Some(Seconds(t)),
+            clock: params.clock.as_ref(),
+            phi1_high: false,
+            phi2_high: false,
+            cap_step: Some(CapStep {
+                h: params.dt.0,
+                prev_voltages: &prev,
+            }),
+        };
+        ws.newton(circuit, &spec, &settings, params.gmin, &prev)?;
+        times.push(t);
+        node_voltages.extend_from_slice(ws.node_voltages());
+        branch_currents.extend_from_slice(ws.branch_currents());
+        prev.clear();
+        prev.extend_from_slice(ws.node_voltages());
+    }
+
+    // Reassemble the raw MNA vector (non-ground voltages, then branch
+    // currents) so the caller can checkpoint it or chain the next chunk.
+    let mut x = ws.node_voltages()[1..].to_vec();
+    x.extend_from_slice(ws.branch_currents());
+    let final_state = Solution::new(x, n_nodes);
+
+    Ok((
+        TranResult {
+            times,
+            n_nodes,
+            n_branches,
+            node_voltages,
+            branch_currents,
+            clock: params.clock,
+        },
+        final_state,
+    ))
 }
 
 impl Analysis for TranParams {
@@ -465,6 +572,68 @@ mod tests {
         let params = TranParams::new(Seconds(1e-6), Seconds(1e-8)).unwrap();
         let result = run(&c, &params).unwrap();
         assert!(result.sample_phi2_currents(0).is_err());
+    }
+
+    #[test]
+    fn chunked_run_is_bit_identical_to_uninterrupted() {
+        // Same switched sample-and-hold as above: clocked, nonlinear-free
+        // but switch-discontinuous — a good stand-in for streaming work.
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        let cap = c.node("cap");
+        c.voltage_source("Vs", src, Circuit::GROUND, Volts(2.0))
+            .unwrap();
+        c.switch(
+            "S1",
+            src,
+            cap,
+            Switch {
+                ron: Ohms(100.0),
+                roff: Ohms(1e12),
+                phase: ClockPhase::Phi1,
+            },
+        )
+        .unwrap();
+        c.capacitor("Ch", cap, Circuit::GROUND, Farads(1e-12))
+            .unwrap();
+        let clock = TwoPhaseClock::new(Seconds(1e-6), 0.05).unwrap();
+        let params = TranParams::new(Seconds(3e-6), Seconds(2e-9))
+            .unwrap()
+            .with_clock(clock);
+        let whole = run(&c, &params).unwrap();
+        let steps = whole.len() - 1;
+
+        // Re-run in uneven chunks, threading the end-of-chunk state.
+        let mut ws = EngineWorkspace::for_circuit(&c);
+        let mut state = initial_condition(&c, &params, &mut ws).unwrap();
+        let mut times = Vec::new();
+        let mut waveform = Vec::new();
+        let mut done = 0;
+        for chunk in [7usize, 100, 1, 392, steps] {
+            let chunk = chunk.min(steps - done);
+            if chunk == 0 {
+                break;
+            }
+            let (part, next) = run_chunk_with(&c, &params, done, chunk, &state, &mut ws).unwrap();
+            times.extend_from_slice(part.times());
+            waveform.extend(part.voltage_iter(cap));
+            state = next;
+            done += chunk;
+        }
+        assert_eq!(done, steps);
+        assert_eq!(times, whole.times());
+        assert_eq!(waveform, whole.voltage_waveform(cap));
+
+        // And resuming from a mid-run checkpointed state (raw vector
+        // round-trip) continues bit-for-bit.
+        let mut ws2 = EngineWorkspace::for_circuit(&c);
+        let start = initial_condition(&c, &params, &mut ws2).unwrap();
+        let (_, mid) = run_chunk_with(&c, &params, 0, 500, &start, &mut ws2).unwrap();
+        let restored = Solution::new(mid.raw().to_vec(), c.node_count());
+        let mut ws3 = EngineWorkspace::for_circuit(&c);
+        let (rest, _) = run_chunk_with(&c, &params, 500, steps - 500, &restored, &mut ws3).unwrap();
+        let resumed_tail = rest.voltage_waveform(cap);
+        assert_eq!(resumed_tail.as_slice(), &waveform[501..]);
     }
 
     #[test]

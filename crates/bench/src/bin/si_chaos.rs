@@ -28,7 +28,17 @@
 //!          [--stages N] [--steps N] [--workers N] [--queue N]
 //! si_chaos --replica-kill [--serve-bin PATH] [--replicas N] [--jobs N]
 //!          [--clients N] [--seed N] [--stages N]
+//! si_chaos --stream-kill [--serve-bin PATH]
 //! ```
+//!
+//! `--stream-kill` (ISSUE 10) attacks the streaming checkpoint/resume
+//! path with the harshest fault available: a real `si_serve` child is
+//! SIGKILLed mid-chunk through a 64K-sample streaming job, restarted on
+//! the same cache directory, and the resubmitted job must *resume* from
+//! the last persisted checkpoint — `stream_resumed ≥ 1`, fewer chunk
+//! solves than two full runs — and produce a spectrum bit-identical to
+//! an uninterrupted in-process run. Per-chunk progress must have been
+//! observable over `GET /v1/jobs/:id` before the kill.
 //!
 //! `--replica-kill` (ISSUE 9) is a separate fault class at cluster
 //! scope: it spawns N real `si_serve` child processes (one worker each,
@@ -70,6 +80,7 @@ struct Args {
     replica_kill: bool,
     serve_bin: Option<String>,
     replicas: usize,
+    stream_kill: bool,
 }
 
 impl Default for Args {
@@ -87,6 +98,7 @@ impl Default for Args {
             replica_kill: false,
             serve_bin: None,
             replicas: 3,
+            stream_kill: false,
         }
     }
 }
@@ -119,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--replicas" => args.replicas = int("--replicas")?.max(2),
+            "--stream-kill" => args.stream_kill = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -238,10 +251,17 @@ struct SpawnedReplica {
 /// Spawns `si_serve --workers 1` on an ephemeral port with its own disk
 /// tier and scrapes the bound address off its first stdout line.
 fn spawn_replica(serve_bin: &std::path::Path, tag: usize) -> SpawnedReplica {
-    use std::io::BufRead;
     let cache_dir =
         std::env::temp_dir().join(format!("si-chaos-replica-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
+    spawn_replica_at(serve_bin, cache_dir)
+}
+
+/// Like [`spawn_replica`] but over a caller-owned cache directory, which
+/// is NOT wiped first — the stream-kill run uses this to restart a
+/// killed replica on its surviving disk tier.
+fn spawn_replica_at(serve_bin: &std::path::Path, cache_dir: std::path::PathBuf) -> SpawnedReplica {
+    use std::io::BufRead;
     let mut child = std::process::Command::new(serve_bin)
         .args(["--addr", "127.0.0.1:0", "--workers", "1", "--queue", "32"])
         .arg("--cache-dir")
@@ -300,12 +320,8 @@ fn submit_via_router(
     }
 }
 
-/// The `--replica-kill` run: real `si_serve` children behind an
-/// in-process [`RouterServer`]; the busiest replica is SIGKILLed a
-/// quarter of the way through the storm. Exits nonzero on gate failure.
-fn run_replica_kill(args: &Args) {
-    use si_service::router::{RouterConfig, RouterServer};
-
+/// Resolves the `si_serve` binary next to this one (or `--serve-bin`).
+fn serve_bin_path(args: &Args) -> std::path::PathBuf {
     let serve_bin = args.serve_bin.as_ref().map_or_else(
         || {
             std::env::current_exe()
@@ -321,6 +337,30 @@ fn run_replica_kill(args: &Args) {
         "si_serve binary not found at {} (build it or pass --serve-bin)",
         serve_bin.display()
     );
+    serve_bin
+}
+
+/// Extracts the `values` array of a `/v1/jobs` response payload.
+fn payload_values(payload: &str) -> Vec<f64> {
+    si_service::json::parse(payload)
+        .ok()
+        .and_then(|v| match v.get("values") {
+            Some(si_service::json::Json::Array(items)) => items
+                .iter()
+                .map(si_service::json::Json::as_f64)
+                .collect::<Option<Vec<f64>>>(),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// The `--replica-kill` run: real `si_serve` children behind an
+/// in-process [`RouterServer`]; the busiest replica is SIGKILLed a
+/// quarter of the way through the storm. Exits nonzero on gate failure.
+fn run_replica_kill(args: &Args) {
+    use si_service::router::{RouterConfig, RouterServer};
+
+    let serve_bin = serve_bin_path(args);
 
     let replicas: Vec<SpawnedReplica> = (0..args.replicas)
         .map(|i| spawn_replica(&serve_bin, i))
@@ -495,16 +535,7 @@ fn run_replica_kill(args: &Args) {
         let Some(payload) = slot.lock().unwrap().clone() else {
             continue; // already counted as lost
         };
-        let values = si_service::json::parse(&payload)
-            .ok()
-            .and_then(|v| match v.get("values") {
-                Some(si_service::json::Json::Array(items)) => items
-                    .iter()
-                    .map(si_service::json::Json::as_f64)
-                    .collect::<Option<Vec<f64>>>(),
-                _ => None,
-            })
-            .unwrap_or_default();
+        let values = payload_values(&payload);
         let fresh = specs[k].run(&mut fresh_ws).expect("fresh solve");
         let identical = values.len() == fresh.values.len()
             && values
@@ -579,6 +610,173 @@ fn run_replica_kill(args: &Args) {
     println!("replica-kill run survived: all gates passed");
 }
 
+// ---- stream-kill fault class (ISSUE 10) -------------------------------
+
+/// The `--stream-kill` run: SIGKILL a real `si_serve` child mid-chunk
+/// through a 64K-sample streaming job, restart it on the same cache
+/// directory, and gate that the resubmission *resumes* from the last
+/// checkpoint and finishes bit-identical to an uninterrupted run.
+fn run_stream_kill(args: &Args) {
+    let serve_bin = serve_bin_path(args);
+    let spec = JobSpec::TranStream {
+        stages: 3,
+        bias_ua: 20.0,
+        input_ua: 2.0,
+        steps: 1 << 16, // the 64K-sample acceptance workload
+        dt_ns: 50.0,
+        clock_hz: 2.0e6,
+        chunk_steps: 4096, // 16 chunks
+        seg_len: 4096,
+    };
+    let chunks_total = spec.stream_chunk_count().expect("streaming spec") as f64;
+    let id = SiService::job_id(&spec);
+    let body = spec.to_json().to_string_compact();
+    let path = format!("/v1/jobs/{id}");
+
+    // The uninterrupted reference runs the exact same chunked executor
+    // in-process; killed-and-resumed must match it bit for bit.
+    let reference = spec
+        .run(&mut si_analog::engine::EngineWorkspace::new())
+        .expect("uninterrupted reference solve");
+
+    let cache_dir = std::env::temp_dir().join(format!("si-chaos-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let replica = spawn_replica_at(&serve_bin, cache_dir.clone());
+    let addr = replica.addr;
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // The poster blocks inside the long POST; the kill cuts it off with a
+    // transport error, which is the expected outcome of this phase.
+    let poster = std::thread::spawn(move || http_request(addr, "POST", "/v1/jobs", Some(&body)));
+
+    // Poll progress until at least two chunks completed — so at least two
+    // checkpoints exist — then SIGKILL the worker process mid-run.
+    let mut observed_done = 0.0_f64;
+    let poll_deadline = Instant::now() + Duration::from_secs(120);
+    while observed_done < 2.0 && Instant::now() < poll_deadline {
+        if let Ok((202, payload)) = http_request(addr, "GET", &path, None) {
+            if let Some(v) = si_service::json::parse(&payload).ok().and_then(|v| {
+                v.get("chunks_done")
+                    .and_then(si_service::json::Json::as_f64)
+            }) {
+                observed_done = v;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if observed_done < 2.0 {
+        failures.push(format!(
+            "progress polling never observed 2 completed chunks (saw {observed_done})"
+        ));
+    }
+    if let Some(child) = replica.child.lock().unwrap().as_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = poster.join(); // transport error expected; nothing to assert
+
+    // Restart on the SAME cache directory: the checkpoints survived the
+    // SIGKILL (atomic rename), so the resubmission resumes.
+    let restarted = spawn_replica_at(&serve_bin, cache_dir.clone());
+    let resume_started = Instant::now();
+    let resumed_payload = match http_request(
+        restarted.addr,
+        "POST",
+        "/v1/jobs",
+        Some(&spec.to_json().to_string_compact()),
+    ) {
+        Ok((200, payload)) => payload,
+        Ok((status, payload)) => {
+            failures.push(format!("resubmission answered {status}: {payload}"));
+            String::new()
+        }
+        Err(e) => {
+            failures.push(format!("resubmission transport error: {e}"));
+            String::new()
+        }
+    };
+    let resume_wall = resume_started.elapsed();
+
+    let values = payload_values(&resumed_payload);
+    let bit_identical = values.len() == reference.values.len()
+        && values
+            .iter()
+            .zip(reference.values.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !resumed_payload.is_empty() && !bit_identical {
+        failures.push(format!(
+            "resumed spectrum differs from the uninterrupted run ({} vs {} values)",
+            values.len(),
+            reference.values.len()
+        ));
+    }
+
+    // The restarted replica must report an actual resume, and fewer chunk
+    // solves than a full second run (it picked up past work, not redid it).
+    let (mut stream_resumed, mut stream_chunks) = (0.0, f64::NAN);
+    if let Ok((200, metrics)) = http_request(restarted.addr, "GET", "/metrics", None) {
+        if let Ok(m) = si_service::json::parse(&metrics) {
+            let get = |key: &str| {
+                m.get("service")
+                    .and_then(|s| s.get(key))
+                    .and_then(si_service::json::Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            stream_resumed = get("stream_resumed");
+            stream_chunks = get("stream_chunks");
+        }
+    }
+    if stream_resumed < 1.0 {
+        failures.push("restarted replica never resumed from a checkpoint".to_string());
+    }
+    // NaN (failed metrics scrape) also lands here via the resume gate.
+    if stream_chunks.is_nan() || stream_chunks >= chunks_total {
+        failures.push(format!(
+            "resumed run re-solved {stream_chunks} chunks (a full run is {chunks_total}; \
+             resume saved nothing)"
+        ));
+    }
+
+    let mut report = RunReport::new("si_chaos_stream_kill");
+    report.note(
+        "plan",
+        format!(
+            "64K-sample streaming job ({chunks_total} chunks), si_serve SIGKILLed after \
+             >= 2 observed chunks, restarted on the same cache dir"
+        ),
+    );
+    report.metric("chunks_total", chunks_total);
+    report.metric("observed_chunks_before_kill", observed_done);
+    report.metric("resumed_chunk_solves", stream_chunks);
+    report.metric("stream_resumed", stream_resumed);
+    report.metric("bit_identical", f64::from(u8::from(bit_identical)));
+    report.metric("resume_wall_s", resume_wall.as_secs_f64());
+    let dir = experiments_dir();
+    match report.write(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!(
+        "stream kill: killed after {observed_done} chunks | resumed {stream_resumed} time(s), \
+         {stream_chunks} chunk solves of {chunks_total} | bit-identical: {bit_identical}"
+    );
+
+    if let Some(mut child) = restarted.child.lock().unwrap().take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("stream-kill run survived: all gates passed");
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -590,6 +788,10 @@ fn main() {
 
     if args.replica_kill {
         run_replica_kill(&args);
+        return;
+    }
+    if args.stream_kill {
+        run_stream_kill(&args);
         return;
     }
 
@@ -634,6 +836,7 @@ fn main() {
             stall_pm: 0,
             transient_pm: 0,
             drop_pm: 160,
+            panic_mid_chunk_pm: 0,
             stall: Duration::ZERO,
             max_faults: u64::MAX,
         }))
@@ -801,6 +1004,7 @@ fn main() {
         stall_pm: 0,
         transient_pm: 0,
         drop_pm: 0,
+        panic_mid_chunk_pm: 0,
         stall: Duration::ZERO,
         max_faults: 1,
     }));

@@ -13,7 +13,7 @@
 //! ```text
 //! si_loadgen [--http] [--clients N] [--cold N] [--hot N]
 //!            [--stages N] [--steps N] [--workers N] [--queue N]
-//!            [--batch] [--scenarios N] [--restart]
+//!            [--batch] [--scenarios N] [--restart] [--stream]
 //! ```
 //!
 //! By default the service is driven in-process (deterministic, no
@@ -71,6 +71,15 @@
 //!    through the router; the gates are zero lost jobs, at least one
 //!    rerouted request in the router metrics, and every response
 //!    bit-identical to a fresh in-process solve.
+//!
+//! `--stream` (ISSUE 10) also replaces the whole run: the same 64K-sample
+//! `tran_stream` job is driven twice against two fresh services with their
+//! own disk tiers — once uninterrupted, once with a single injected
+//! mid-chunk worker panic. The retry resumes from the last checkpoint, so
+//! the gates are: both spectra bit-identical to an in-process reference,
+//! at least one checkpoint resume in the faulted service's metrics, and
+//! resumed wall time under 1.5x the uninterrupted run (resume must not
+//! degenerate into a full rerun).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -99,6 +108,7 @@ struct Args {
     router: Option<String>,
     replicas: Vec<String>,
     kill_pid: Option<u32>,
+    stream: bool,
 }
 
 impl Default for Args {
@@ -120,6 +130,7 @@ impl Default for Args {
             router: None,
             replicas: Vec::new(),
             kill_pid: None,
+            stream: false,
         }
     }
 }
@@ -161,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--kill-pid" => args.kill_pid = Some(int("--kill-pid")? as u32),
+            "--stream" => args.stream = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -733,6 +745,162 @@ fn run_cluster(args: &Args) {
     }
 }
 
+/// The `--stream` run: resumed-vs-uninterrupted A/B over the same 64K
+/// streaming job. Exits nonzero on gate failure.
+fn run_stream(args: &Args) {
+    use si_service::{FaultInjector, FaultPlan};
+
+    // A single injected mid-chunk panic is expected; keep its backtrace
+    // out of the report while letting real panics print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected fault"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let spec = JobSpec::TranStream {
+        stages: 3,
+        bias_ua: 20.0,
+        input_ua: 2.0,
+        steps: 1 << 16,
+        dt_ns: 50.0,
+        clock_hz: 2.0e6,
+        chunk_steps: 4096, // 16 chunks, one checkpoint each
+        seg_len: 4096,
+    };
+    let chunks_total = spec.stream_chunk_count().expect("streaming spec") as f64;
+    let reference = spec
+        .run(&mut si_analog::engine::EngineWorkspace::new())
+        .expect("in-process reference solve");
+    let bit_identical = |values: &[f64]| {
+        values.len() == reference.values.len()
+            && values
+                .iter()
+                .zip(reference.values.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    };
+
+    let tmpdir = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("si-loadgen-stream-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let config = |dir: std::path::PathBuf| ServiceConfig {
+        workers: 1,
+        queue_capacity: args.queue,
+        default_deadline: None,
+        cache_dir: Some(dir),
+        ..ServiceConfig::default()
+    };
+
+    // A: uninterrupted. Checkpoints are written every chunk here too, so
+    // the wall-time baseline already pays the write-through cost.
+    let dir_plain = tmpdir("plain");
+    let plain = Arc::new(SiService::new(config(dir_plain.clone())));
+    let start = Instant::now();
+    let (out_plain, _) = plain
+        .submit_blocking(&spec, None)
+        .expect("uninterrupted streaming run");
+    let wall_plain = start.elapsed();
+    plain.shutdown();
+
+    // B: one mid-chunk worker panic; the retry must resume from the last
+    // checkpoint instead of rerunning the chunks already solved.
+    let dir_faulted = tmpdir("faulted");
+    let faulted = Arc::new(SiService::new(config(dir_faulted.clone())));
+    faulted.install_fault_injector(Arc::new(FaultInjector::new(FaultPlan::mid_chunk(7, 1))));
+    let start = Instant::now();
+    let (out_faulted, _) = faulted
+        .submit_blocking(&spec, None)
+        .expect("resumed streaming run");
+    let wall_resumed = start.elapsed();
+
+    let faults = faulted.fault_stats();
+    let metrics = faulted.metrics();
+    let service_counter = |key: &str| {
+        metrics
+            .get("service")
+            .and_then(|s| s.get(key))
+            .and_then(si_service::json::Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let stream_resumed = service_counter("stream_resumed");
+    let stream_chunks = service_counter("stream_chunks");
+    let overhead = wall_resumed.as_secs_f64() / wall_plain.as_secs_f64().max(1e-9);
+
+    let mut failures: Vec<String> = Vec::new();
+    if !bit_identical(&out_plain.values) {
+        failures.push("uninterrupted spectrum differs from the in-process reference".to_string());
+    }
+    if !bit_identical(&out_faulted.values) {
+        failures.push("resumed spectrum differs from the in-process reference".to_string());
+    }
+    if faults.panic_mid_chunks < 1 {
+        failures.push("no mid-chunk panic was injected (gate exercised nothing)".to_string());
+    }
+    if stream_resumed < 1.0 {
+        failures.push("faulted service never resumed from a checkpoint".to_string());
+    }
+    if overhead >= 1.5 {
+        failures.push(format!(
+            "resumed run took {overhead:.2}x the uninterrupted run (bar: < 1.5x)"
+        ));
+    }
+
+    let mut report = RunReport::new("si_loadgen_stream");
+    report.note(
+        "plan",
+        format!(
+            "64K-sample tran_stream ({chunks_total} chunks), uninterrupted vs one \
+             injected mid-chunk panic + checkpoint resume"
+        ),
+    );
+    report.metric("chunks_total", chunks_total);
+    report.metric("wall_plain_s", wall_plain.as_secs_f64());
+    report.metric("wall_resumed_s", wall_resumed.as_secs_f64());
+    report.metric("resume_overhead_ratio", overhead);
+    report.metric("stream_resumed", stream_resumed);
+    report.metric("stream_chunks_faulted_run", stream_chunks);
+    report.metric("panic_mid_chunks", faults.panic_mid_chunks as f64);
+    report.metric(
+        "bit_identical",
+        f64::from(u8::from(bit_identical(&out_faulted.values))),
+    );
+    let dir = experiments_dir();
+    match report.write(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!(
+        "stream: plain {:.2}s | resumed {:.2}s ({overhead:.2}x) | {stream_chunks} chunk \
+         solves after 1 panic | resumed {stream_resumed} time(s)",
+        wall_plain.as_secs_f64(),
+        wall_resumed.as_secs_f64(),
+    );
+
+    faulted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_plain);
+    let _ = std::fs::remove_dir_all(&dir_faulted);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("stream run survived: all gates passed");
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -744,6 +912,10 @@ fn main() {
 
     if args.cluster {
         run_cluster(&args);
+        return;
+    }
+    if args.stream {
+        run_stream(&args);
         return;
     }
 

@@ -106,6 +106,17 @@ impl Spectrum {
         })
     }
 
+    /// Assembles a spectrum from already-averaged bin powers — the seam
+    /// the streaming Welch accumulator uses to finish without retaining
+    /// every per-segment periodogram.
+    pub(crate) fn from_averaged_parts(power: Vec<f64>, fft_len: usize, window: Window) -> Self {
+        Spectrum {
+            power,
+            fft_len,
+            window,
+        }
+    }
+
     /// Number of one-sided bins (`N/2 + 1`).
     #[must_use]
     pub fn len(&self) -> usize {

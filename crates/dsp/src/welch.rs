@@ -13,20 +13,55 @@ use crate::DspError;
 /// Welch's method: split `signal` into `segments` half-overlapping pieces
 /// (each a power of two), window each, and average the periodograms.
 ///
+/// # Dropped tail
+///
+/// The segmentation covers exactly `(segments + 1) · seg_len / 2` samples,
+/// where `seg_len` is the power of two reported by [`welch_segment_len`];
+/// any trailing samples beyond that are **dropped, never zero-padded**.
+/// Because `seg_len` halves just below a power-of-two boundary, a signal
+/// one sample short of such a boundary can lose up to half a window of
+/// data — callers streaming chunks should size records with
+/// [`welch_segment_len`] (or use [`WelchAccumulator`], which carries the
+/// tail across pushes instead of dropping it per call).
+///
 /// # Errors
 ///
-/// Returns [`DspError::InvalidParameter`] if fewer than one segment fits or
-/// `segments` is zero, plus periodogram errors.
+/// Returns [`DspError::InvalidParameter`] if `segments` is zero or no
+/// segment of at least two samples fits, plus periodogram errors.
 pub fn welch(signal: &[f64], segments: usize, window: Window) -> Result<Spectrum, DspError> {
-    if segments == 0 {
-        return Err(DspError::InvalidParameter {
-            name: "segments",
-            constraint: "segment count must be positive",
-        });
+    let seg_len = welch_segment_len(signal.len(), segments).ok_or(DspError::InvalidParameter {
+        name: "segments",
+        constraint: "too many segments for the signal length",
+    })?;
+    let hop = seg_len / 2;
+    let mut spectra = Vec::with_capacity(segments);
+    // By construction (segments + 1)·seg_len/2 ≤ signal.len(), so every
+    // requested segment fits; the tail past the last one is dropped.
+    for k in 0..segments {
+        let start = k * hop;
+        spectra.push(Spectrum::periodogram(
+            &signal[start..start + seg_len],
+            window,
+        )?);
     }
-    // With 50 % overlap, `segments` pieces of length L cover
-    // (segments + 1)·L/2 samples; choose the largest power-of-two L.
-    let max_len = 2 * signal.len() / (segments + 1);
+    Spectrum::average(&spectra)
+}
+
+/// The power-of-two segment length [`welch`] uses to split `len` samples
+/// into `segments` half-overlapping pieces, or `None` when `segments` is
+/// zero or no segment of at least two samples fits.
+///
+/// With 50 % overlap, `segments` pieces of length `L` cover
+/// `(segments + 1) · L / 2` samples; this picks the largest power-of-two
+/// `L` that fits. Samples past the covered prefix are dropped by
+/// [`welch`] — the drop is worst just below a power-of-two boundary,
+/// where `L` halves.
+#[must_use]
+pub fn welch_segment_len(len: usize, segments: usize) -> Option<usize> {
+    if segments == 0 {
+        return None;
+    }
+    let max_len = 2 * len / (segments + 1);
     let seg_len = max_len.next_power_of_two() / 2;
     // `next_power_of_two` of an exact power returns it unchanged; halve
     // only when it overshot.
@@ -37,29 +72,177 @@ pub fn welch(signal: &[f64], segments: usize, window: Window) -> Result<Spectrum
     } else {
         seg_len
     };
-    if seg_len < 2 {
-        return Err(DspError::InvalidParameter {
-            name: "segments",
-            constraint: "too many segments for the signal length",
-        });
-    }
-    let hop = seg_len / 2;
-    let mut spectra = Vec::with_capacity(segments);
-    for k in 0..segments {
-        let start = k * hop;
-        let end = start + seg_len;
-        if end > signal.len() {
-            break;
+    (seg_len >= 2).then_some(seg_len)
+}
+
+/// Streaming Welch estimator: feed samples in arbitrarily-sized chunks
+/// and average half-overlapping windowed periodograms incrementally.
+///
+/// Unlike [`welch`], the segment length is fixed up front, so chunk
+/// boundaries never change the segmentation: pushing a signal in any
+/// split yields a [`finish`](Self::finish) spectrum bit-identical to
+/// pushing it whole. The running state (carried tail, power sums,
+/// segment count) is exposed for checkpointing via
+/// [`tail`](Self::tail) / [`power_sum`](Self::power_sum) /
+/// [`segments`](Self::segments) and restored with
+/// [`resume`](Self::resume) — a resumed accumulator continues bit-for-bit.
+///
+/// # Dropped tail
+///
+/// Samples still buffered when [`finish`](Self::finish) is called (always
+/// fewer than `seg_len`) are dropped, mirroring the explicit tail drop of
+/// [`welch`]; [`pending`](Self::pending) reports how many.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WelchAccumulator {
+    seg_len: usize,
+    window: Window,
+    /// Unconsumed samples: the last `seg_len - hop` of every completed
+    /// segment (the overlap) plus whatever has not yet filled a segment.
+    tail: Vec<f64>,
+    /// Per-bin running sums of the segment periodograms.
+    sum: Vec<f64>,
+    segments: usize,
+}
+
+impl WelchAccumulator {
+    /// Creates an accumulator with a fixed segment length (a power of two,
+    /// at least 2) and window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for a segment length that is
+    /// not a power of two or is below 2.
+    pub fn new(seg_len: usize, window: Window) -> Result<Self, DspError> {
+        if seg_len < 2 || !seg_len.is_power_of_two() {
+            return Err(DspError::InvalidParameter {
+                name: "seg_len",
+                constraint: "segment length must be a power of two, at least 2",
+            });
         }
-        spectra.push(Spectrum::periodogram(&signal[start..end], window)?);
+        Ok(WelchAccumulator {
+            seg_len,
+            window,
+            tail: Vec::new(),
+            sum: vec![0.0; seg_len / 2 + 1],
+            segments: 0,
+        })
     }
-    if spectra.is_empty() {
-        return Err(DspError::InvalidParameter {
-            name: "segments",
-            constraint: "no complete segment fits the signal",
-        });
+
+    /// Rebuilds an accumulator from checkpointed state, continuing exactly
+    /// where [`tail`](Self::tail) / [`power_sum`](Self::power_sum) /
+    /// [`segments`](Self::segments) left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for an invalid `seg_len`, a
+    /// tail long enough to already contain a segment, or a power-sum
+    /// vector of the wrong length.
+    pub fn resume(
+        seg_len: usize,
+        window: Window,
+        tail: Vec<f64>,
+        sum: Vec<f64>,
+        segments: usize,
+    ) -> Result<Self, DspError> {
+        let fresh = Self::new(seg_len, window)?;
+        if tail.len() >= seg_len {
+            return Err(DspError::InvalidParameter {
+                name: "tail",
+                constraint: "checkpointed tail must be shorter than one segment",
+            });
+        }
+        if sum.len() != fresh.sum.len() {
+            return Err(DspError::InvalidParameter {
+                name: "sum",
+                constraint: "power sum must have seg_len/2 + 1 bins",
+            });
+        }
+        Ok(WelchAccumulator {
+            seg_len,
+            window,
+            tail,
+            sum,
+            segments,
+        })
     }
-    Spectrum::average(&spectra)
+
+    /// Appends samples, consuming every complete half-overlapping segment
+    /// they unlock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates periodogram errors.
+    pub fn push(&mut self, samples: &[f64]) -> Result<(), DspError> {
+        self.tail.extend_from_slice(samples);
+        let hop = self.seg_len / 2;
+        while self.tail.len() >= self.seg_len {
+            let spec = Spectrum::periodogram(&self.tail[..self.seg_len], self.window)?;
+            for (a, p) in self.sum.iter_mut().zip(spec.powers()) {
+                *a += p;
+            }
+            self.segments += 1;
+            self.tail.drain(..hop);
+        }
+        Ok(())
+    }
+
+    /// The fixed segment length.
+    #[must_use]
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// The window applied to every segment.
+    #[must_use]
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// Number of complete segments consumed so far.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Buffered samples not yet part of a complete segment — dropped if
+    /// [`finish`](Self::finish) is called now.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// The carried tail buffer, for checkpointing.
+    #[must_use]
+    pub fn tail(&self) -> &[f64] {
+        &self.tail
+    }
+
+    /// The per-bin running power sums, for checkpointing.
+    #[must_use]
+    pub fn power_sum(&self) -> &[f64] {
+        &self.sum
+    }
+
+    /// The Bartlett-averaged spectrum of every complete segment so far,
+    /// bit-identical to [`welch`] over the same segment sequence. Any
+    /// [`pending`](Self::pending) tail is dropped (documented above).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if no complete segment has been
+    /// consumed yet.
+    pub fn finish(&self) -> Result<Spectrum, DspError> {
+        if self.segments == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        let k = self.segments as f64;
+        let power: Vec<f64> = self.sum.iter().map(|a| a / k).collect();
+        Ok(Spectrum::from_averaged_parts(
+            power,
+            self.seg_len,
+            self.window,
+        ))
+    }
 }
 
 /// Goertzel algorithm: the power of DFT bin `k` of an `n`-point transform
@@ -114,6 +297,124 @@ mod tests {
         assert!(welch(&s, 0, Window::Hann).is_err());
         assert!(welch(&s, 1000, Window::Hann).is_err());
         assert!(welch(&s, 2, Window::Hann).is_ok());
+    }
+
+    #[test]
+    fn segment_length_boundaries_are_explicit() {
+        // Crossing a power-of-two boundary: one sample short halves the
+        // segment, one sample past changes nothing.
+        assert_eq!(welch_segment_len(255, 3), Some(64));
+        assert_eq!(welch_segment_len(256, 3), Some(128));
+        assert_eq!(welch_segment_len(257, 3), Some(128));
+        // Shortest viable signal for two segments: (2+1)·2/2 = 3 samples.
+        assert_eq!(welch_segment_len(3, 2), Some(2));
+        assert_eq!(welch_segment_len(2, 2), None);
+        // Degenerate inputs.
+        assert_eq!(welch_segment_len(0, 1), None);
+        assert_eq!(welch_segment_len(64, 0), None);
+    }
+
+    #[test]
+    fn welch_off_by_one_lengths_use_documented_segment_length() {
+        let noise: Vec<f64> = GaussianNoise::new(1.0, 11).take(257).collect();
+        for (len, want_fft) in [(255usize, 64usize), (256, 128), (257, 128)] {
+            let spec = welch(&noise[..len], 3, Window::Hann).unwrap();
+            assert_eq!(spec.fft_len(), want_fft, "len {len}");
+        }
+    }
+
+    #[test]
+    fn welch_drops_exactly_the_tail_past_the_covered_prefix() {
+        // 257 samples, 3 segments: seg_len 128, hop 64 — segments start at
+        // 0, 64, 128 and cover samples 0..256; sample 256 is dropped.
+        let noise: Vec<f64> = GaussianNoise::new(1.0, 13).take(257).collect();
+        let spec = welch(&noise, 3, Window::Hann).unwrap();
+        let manual = Spectrum::average(&[
+            Spectrum::periodogram(&noise[0..128], Window::Hann).unwrap(),
+            Spectrum::periodogram(&noise[64..192], Window::Hann).unwrap(),
+            Spectrum::periodogram(&noise[128..256], Window::Hann).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(spec, manual);
+    }
+
+    #[test]
+    fn accumulator_validates() {
+        assert!(WelchAccumulator::new(0, Window::Hann).is_err());
+        assert!(WelchAccumulator::new(1, Window::Hann).is_err());
+        assert!(WelchAccumulator::new(96, Window::Hann).is_err());
+        let acc = WelchAccumulator::new(64, Window::Hann).unwrap();
+        assert!(acc.finish().is_err(), "no segments yet");
+        assert!(
+            WelchAccumulator::resume(64, Window::Hann, vec![0.0; 64], vec![0.0; 33], 1).is_err()
+        );
+        assert!(
+            WelchAccumulator::resume(64, Window::Hann, vec![0.0; 10], vec![0.0; 7], 1).is_err()
+        );
+        assert!(
+            WelchAccumulator::resume(64, Window::Hann, vec![0.0; 10], vec![0.0; 33], 1).is_ok()
+        );
+    }
+
+    #[test]
+    fn accumulator_matches_batch_welch_bit_for_bit() {
+        let n = 1 << 12;
+        let noise: Vec<f64> = GaussianNoise::new(1.0, 21).take(n).collect();
+        let segments = 7;
+        let seg_len = welch_segment_len(n, segments).unwrap();
+        let batch = welch(&noise, segments, Window::Hann).unwrap();
+        // Feed only the covered prefix so both sides see the same segment
+        // sequence, in uneven chunks to exercise the tail carry.
+        let covered = (segments + 1) * seg_len / 2;
+        let mut acc = WelchAccumulator::new(seg_len, Window::Hann).unwrap();
+        for chunk in noise[..covered].chunks(97) {
+            acc.push(chunk).unwrap();
+        }
+        assert_eq!(acc.segments(), segments);
+        assert_eq!(acc.finish().unwrap(), batch);
+    }
+
+    #[test]
+    fn accumulator_resume_is_bit_identical() {
+        let n = 1 << 11;
+        let noise: Vec<f64> = GaussianNoise::new(1.0, 33).take(n).collect();
+        let mut whole = WelchAccumulator::new(256, Window::Blackman).unwrap();
+        whole.push(&noise).unwrap();
+
+        let mut first = WelchAccumulator::new(256, Window::Blackman).unwrap();
+        first.push(&noise[..777]).unwrap();
+        // Checkpoint, discard, restore, continue.
+        let mut resumed = WelchAccumulator::resume(
+            first.seg_len(),
+            first.window(),
+            first.tail().to_vec(),
+            first.power_sum().to_vec(),
+            first.segments(),
+        )
+        .unwrap();
+        drop(first);
+        resumed.push(&noise[777..]).unwrap();
+
+        assert_eq!(resumed.segments(), whole.segments());
+        assert_eq!(resumed.finish().unwrap(), whole.finish().unwrap());
+    }
+
+    #[test]
+    fn accumulator_pending_tail_is_reported_and_dropped() {
+        let mut acc = WelchAccumulator::new(64, Window::Hann).unwrap();
+        let noise: Vec<f64> = GaussianNoise::new(1.0, 5).take(100).collect();
+        acc.push(&noise).unwrap();
+        // Two half-overlapping segments (0..64, 32..96) consumed; the
+        // buffered tail is samples 64..100, dropped by finish.
+        assert_eq!(acc.segments(), 2);
+        assert_eq!(acc.pending(), 36);
+        let got = acc.finish().unwrap();
+        let manual = Spectrum::average(&[
+            Spectrum::periodogram(&noise[0..64], Window::Hann).unwrap(),
+            Spectrum::periodogram(&noise[32..96], Window::Hann).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(got, manual);
     }
 
     #[test]

@@ -482,6 +482,16 @@ impl ResultCache {
         None
     }
 
+    /// Whether a leader is currently computing `key`. A pure probe: it
+    /// never joins the flight, blocks on its result, or counts anything.
+    /// `GET /v1/jobs/:id` uses it to distinguish "still running" (202)
+    /// from "submitted but nothing in flight and nothing cached" (404).
+    #[must_use]
+    pub fn in_flight(&self, key: u64) -> bool {
+        let inner = &self.inner;
+        inner.lock(inner.flight_shard(key)).contains_key(&key)
+    }
+
     /// Current counter snapshot across all tiers.
     pub fn stats(&self) -> CacheStats {
         let inner = &self.inner;

@@ -580,6 +580,42 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// ISSUE 10 satellite: every read path refreshes LRU recency — a
+    /// `load` hit and a `read_validated` hit (the warming/transfer path)
+    /// both move the entry to the back of the eviction order, so an
+    /// entry kept hot by *either* path survives a budget squeeze.
+    #[test]
+    fn read_paths_refresh_lru_recency() {
+        let dir = tmpdir("recency");
+        let one_entry = encode(0, &output(16, 0.0)).len() as u64;
+        let tier = DiskTier::open(DiskTierConfig {
+            dir: dir.clone(),
+            budget_bytes: one_entry * 3,
+        })
+        .unwrap();
+        tier.store(1, &output(16, 1.0));
+        tier.store(2, &output(16, 2.0));
+        tier.store(3, &output(16, 3.0));
+        // Access order is 1, 2, 3. Touch 1 via `load` and 2 via
+        // `read_validated`; the untouched 3 becomes the LRU victim.
+        assert!(tier.load(1).is_some());
+        assert!(tier.read_validated(2).is_some());
+        tier.store(4, &output(16, 4.0));
+        let stats = tier.stats();
+        assert_eq!(stats.evictions, 1, "exactly one eviction: {stats:?}");
+        assert!(
+            tier.load(3).is_none(),
+            "untouched entry 3 must be the victim"
+        );
+        assert!(tier.load(1).is_some(), "`load` must refresh recency");
+        assert!(
+            tier.load(2).is_some(),
+            "`read_validated` must refresh recency"
+        );
+        assert!(tier.load(4).is_some(), "newest entry survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
     /// ISSUE 8 satellite: a pre-seeded corrupt file is quarantined —
     /// `corrupt_evicted` increments, the file is gone, and the key reads
     /// as a miss (so the job transparently re-solves).

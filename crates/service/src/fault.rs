@@ -37,6 +37,12 @@ pub enum FaultKind {
     /// The client drops its connection mid-request-body (HTTP harness
     /// only; the service side just observes a truncated read).
     DropConnection,
+    /// The worker panics between two chunks of a streaming job — after at
+    /// least one checkpoint exists — so the retry must *resume* from the
+    /// checkpoint rather than rerun from scratch. Drawn per chunk (not
+    /// per job) by the streaming executor; non-streaming jobs never see
+    /// this kind.
+    PanicMidChunk,
 }
 
 impl FaultKind {
@@ -48,6 +54,7 @@ impl FaultKind {
             FaultKind::Stall => "stall",
             FaultKind::Transient => "transient",
             FaultKind::DropConnection => "drop_connection",
+            FaultKind::PanicMidChunk => "panic_mid_chunk",
         }
     }
 }
@@ -81,6 +88,10 @@ pub struct FaultPlan {
     pub transient_pm: u64,
     /// Dropped-connection rate, per 1000 events (client-side kind).
     pub drop_pm: u64,
+    /// Mid-chunk panic rate, per 1000 events. Only the streaming
+    /// executor's per-chunk draws can land in this bucket; job-level
+    /// draws treat it like any other scheduled fault.
+    pub panic_mid_chunk_pm: u64,
     /// How long a [`FaultKind::Stall`] sleeps.
     pub stall: Duration,
     /// Hard cap on total injected faults (`u64::MAX` for unlimited).
@@ -98,6 +109,24 @@ impl FaultPlan {
             stall_pm: 80,
             transient_pm: 80,
             drop_pm: 0,
+            panic_mid_chunk_pm: 0,
+            stall: Duration::from_millis(80),
+            max_faults,
+        }
+    }
+
+    /// A streaming-chaos plan: every drawn event is a mid-chunk panic,
+    /// capped at `max_faults` so the run has a clean recovery tail. Used
+    /// by the chaos/loadgen harnesses to force resume-from-checkpoint.
+    #[must_use]
+    pub fn mid_chunk(seed: u64, max_faults: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_pm: 0,
+            stall_pm: 0,
+            transient_pm: 0,
+            drop_pm: 0,
+            panic_mid_chunk_pm: 1000,
             stall: Duration::from_millis(80),
             max_faults,
         }
@@ -124,6 +153,10 @@ impl FaultPlan {
         if roll < edge {
             return Some(FaultKind::DropConnection);
         }
+        edge += self.panic_mid_chunk_pm;
+        if roll < edge {
+            return Some(FaultKind::PanicMidChunk);
+        }
         None
     }
 }
@@ -141,6 +174,8 @@ pub struct FaultStats {
     pub transients: u64,
     /// Connection drops scheduled (executed by the HTTP client harness).
     pub dropped_connections: u64,
+    /// Mid-chunk panics injected by the streaming executor.
+    pub panic_mid_chunks: u64,
     /// Faults whose request later completed successfully (recorded by the
     /// chaos harness once a faulted key is re-verified).
     pub survived: u64,
@@ -163,6 +198,7 @@ pub struct FaultInjector {
     stalls: AtomicU64,
     transients: AtomicU64,
     dropped_connections: AtomicU64,
+    panic_mid_chunks: AtomicU64,
     survived: AtomicU64,
 }
 
@@ -179,6 +215,7 @@ impl FaultInjector {
             stalls: AtomicU64::new(0),
             transients: AtomicU64::new(0),
             dropped_connections: AtomicU64::new(0),
+            panic_mid_chunks: AtomicU64::new(0),
             survived: AtomicU64::new(0),
         }
     }
@@ -220,6 +257,7 @@ impl FaultInjector {
             FaultKind::Stall => self.stalls.fetch_add(1, Ordering::SeqCst),
             FaultKind::Transient => self.transients.fetch_add(1, Ordering::SeqCst),
             FaultKind::DropConnection => self.dropped_connections.fetch_add(1, Ordering::SeqCst),
+            FaultKind::PanicMidChunk => self.panic_mid_chunks.fetch_add(1, Ordering::SeqCst),
         };
         Some(kind)
     }
@@ -238,6 +276,7 @@ impl FaultInjector {
             stalls: self.stalls.load(Ordering::SeqCst),
             transients: self.transients.load(Ordering::SeqCst),
             dropped_connections: self.dropped_connections.load(Ordering::SeqCst),
+            panic_mid_chunks: self.panic_mid_chunks.load(Ordering::SeqCst),
             survived: self.survived.load(Ordering::SeqCst),
         }
     }
@@ -301,10 +340,11 @@ mod tests {
     fn stats_track_each_kind() {
         let plan = FaultPlan {
             seed: 99,
-            panic_pm: 250,
-            stall_pm: 250,
-            transient_pm: 250,
-            drop_pm: 250,
+            panic_pm: 200,
+            stall_pm: 200,
+            transient_pm: 200,
+            drop_pm: 200,
+            panic_mid_chunk_pm: 200,
             stall: Duration::from_millis(1),
             max_faults: u64::MAX,
         };
@@ -315,7 +355,7 @@ mod tests {
         let s = injector.stats();
         assert_eq!(
             s.injected,
-            s.panics + s.stalls + s.transients + s.dropped_connections
+            s.panics + s.stalls + s.transients + s.dropped_connections + s.panic_mid_chunks
         );
         assert_eq!(
             s.injected, 1000,
@@ -326,8 +366,19 @@ mod tests {
             ("stalls", s.stalls),
             ("transients", s.transients),
             ("drops", s.dropped_connections),
+            ("mid-chunk panics", s.panic_mid_chunks),
         ] {
-            assert!(count > 150, "{kind} implausibly rare: {count}/1000");
+            assert!(count > 120, "{kind} implausibly rare: {count}/1000");
         }
+    }
+
+    #[test]
+    fn mid_chunk_plan_only_draws_mid_chunk_panics() {
+        let plan = FaultPlan::mid_chunk(5, u64::MAX);
+        assert!((0..256).all(|n| plan.decide(n) == Some(FaultKind::PanicMidChunk)));
+        let capped = FaultInjector::new(FaultPlan::mid_chunk(5, 1));
+        let fired: Vec<_> = (0..10).filter_map(|_| capped.next_fault()).collect();
+        assert_eq!(fired, vec![FaultKind::PanicMidChunk]);
+        assert_eq!(capped.stats().panic_mid_chunks, 1);
     }
 }

@@ -1016,6 +1016,7 @@ fn response_bytes_typed(
 ) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -1204,6 +1205,22 @@ fn get_job(id: &str, service: &SiService) -> (u16, String) {
         Some((kind, Some(out))) => {
             let body = job_response_body(id, kind, true, &out).to_string_compact();
             (200, body)
+        }
+        // A key with a live single-flight leader is *running*, not
+        // missing: answer 202 with a typed pending body so pollers can
+        // tell "come back later" from "you never submitted this".
+        // Streaming jobs enrich the body with per-chunk progress.
+        Some((kind, None)) if service.in_flight(key) => {
+            let mut pairs = vec![
+                ("id".to_string(), Json::String(id.to_string())),
+                ("kind".to_string(), Json::String(kind.to_string())),
+                ("status".to_string(), Json::String("running".to_string())),
+            ];
+            if let Some((done, total)) = service.progress(key) {
+                pairs.push(("chunks_done".to_string(), Json::Number(done as f64)));
+                pairs.push(("chunks_total".to_string(), Json::Number(total as f64)));
+            }
+            (202, Json::Object(pairs).to_string_compact())
         }
         Some((kind, None)) => (
             404,
@@ -1397,6 +1414,84 @@ mod tests {
         let service = m.get("service").unwrap();
         assert_eq!(service.get("batch_submitted").unwrap().as_f64(), Some(1.0));
         assert_eq!(service.get("batch_scenarios").unwrap().as_f64(), Some(3.0));
+        server.shutdown();
+    }
+
+    /// ISSUE 10 satellite: polling a job whose single-flight leader is
+    /// still computing answers `202 Accepted` with a typed pending body
+    /// (with per-chunk progress for streams), not the `404` it used to
+    /// share with never-submitted ids. Unknown ids still get `404`.
+    #[test]
+    fn polling_in_flight_job_gets_202_with_progress() {
+        let service = Arc::new(SiService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        }));
+        // Stall every per-chunk fault draw 20 ms so the job is observably
+        // in flight while we poll.
+        service.install_fault_injector(Arc::new(crate::fault::FaultInjector::new(
+            crate::fault::FaultPlan {
+                seed: 0,
+                panic_pm: 0,
+                stall_pm: 1000,
+                transient_pm: 0,
+                drop_pm: 0,
+                panic_mid_chunk_pm: 0,
+                stall: Duration::from_millis(20),
+                max_faults: u64::MAX,
+            },
+        )));
+        let mut server =
+            HttpServer::bind_with("127.0.0.1:0", Arc::clone(&service), HttpConfig::default())
+                .expect("bind loopback");
+        let addr = server.local_addr();
+        let spec = JobSpec::TranStream {
+            stages: 3,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+            steps: 900,
+            dt_ns: 50.0,
+            clock_hz: 2.0e6,
+            chunk_steps: 128,
+            seg_len: 256,
+        };
+        let id = SiService::job_id(&spec);
+        let body = spec.to_json().to_string_compact();
+
+        // Truly unknown key: 404 with the not_found body.
+        let (status, missing) = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 404);
+        assert!(missing.contains("not_found"), "{missing}");
+
+        let poster = std::thread::spawn(move || {
+            http_request(addr, "POST", "/v1/jobs", Some(&body)).unwrap()
+        });
+        let mut pending_with_progress = None;
+        for _ in 0..2000 {
+            let (status, got) = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+            if status == 202 {
+                let parsed = json::parse(&got).unwrap();
+                assert_eq!(parsed.get("status").unwrap().as_str(), Some("running"));
+                assert_eq!(parsed.get("kind").unwrap().as_str(), Some("tran_stream"));
+                if parsed.get("chunks_total").is_some() {
+                    pending_with_progress = Some(parsed);
+                    break;
+                }
+            } else if status == 200 {
+                break; // raced past completion without seeing progress
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let pending = pending_with_progress.expect("never observed a 202 with chunk progress");
+        assert_eq!(pending.get("chunks_total").unwrap().as_f64(), Some(8.0));
+        assert!(pending.get("chunks_done").unwrap().as_f64().unwrap() < 8.0);
+
+        let (status, _) = poster.join().unwrap();
+        assert_eq!(status, 200);
+        // Done: polling now serves the finished job.
+        let (status, done) = http_request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 200, "{done}");
         server.shutdown();
     }
 

@@ -15,9 +15,12 @@ use si_analog::cells::DelayLineDesign;
 use si_analog::dc::{set_current_source, DcSolver};
 use si_analog::device::switch::TwoPhaseClock;
 use si_analog::engine::{BatchRun, EngineWorkspace};
+use si_analog::mna::Solution;
 use si_analog::parse::parse_netlist_canonical;
 use si_analog::tran::{self, TranParams};
 use si_analog::units::{Amps, Farads, Seconds, Volts};
+use si_dsp::welch::WelchAccumulator;
+use si_dsp::window::Window;
 use si_modulator::arch::SecondOrderTopology;
 use si_modulator::ideal::IdealModulator;
 use si_modulator::measure::MeasurementConfig;
@@ -161,6 +164,32 @@ pub enum JobSpec {
         /// Netlist dialect-v1 source text.
         netlist: String,
     },
+    /// Streaming clocked transient of the delay line: executed in
+    /// fixed-size chunks whose output-stage samples feed an incremental
+    /// Welch estimator ([`si_dsp::welch::WelchAccumulator`], Hann
+    /// window). The job's value vector is the final averaged spectrum
+    /// (bin powers), not the waveform, and the service checkpoints the
+    /// end-of-chunk state so a mid-run crash resumes from the last
+    /// chunk boundary instead of rerunning — bit-identical either way.
+    TranStream {
+        /// Number of memory stages.
+        stages: usize,
+        /// Per-stage bias current, µA.
+        bias_ua: f64,
+        /// Input current, µA.
+        input_ua: f64,
+        /// Number of fixed time steps (the waveform has `steps + 1`
+        /// samples including `t = 0`).
+        steps: usize,
+        /// Step size, ns.
+        dt_ns: f64,
+        /// Switch clock frequency, Hz.
+        clock_hz: f64,
+        /// Steps per chunk; checkpoints land at chunk boundaries.
+        chunk_steps: usize,
+        /// Welch segment length (a power of two).
+        seg_len: usize,
+    },
 }
 
 /// The computed result of a job: a value vector (what was solved) and a
@@ -284,6 +313,45 @@ impl JobSpec {
                     return Err(ServiceError::NetlistRejected(
                         "netlist defines no elements".to_string(),
                     ));
+                }
+            }
+            JobSpec::TranStream {
+                stages,
+                bias_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+                chunk_steps,
+                seg_len,
+                ..
+            } => {
+                if *stages == 0 || *stages > 4096 {
+                    return bad("stages must be in 1..=4096");
+                }
+                if !(*bias_ua > 0.0) {
+                    return bad("bias_ua must be positive");
+                }
+                // Streaming exists for runs too long for one deadline, so
+                // the step cap is far above DelayLineTran's.
+                if *steps == 0 || *steps > 1_048_576 {
+                    return bad("steps must be in 1..=1048576");
+                }
+                if !(*dt_ns > 0.0) {
+                    return bad("dt_ns must be positive");
+                }
+                if !(*clock_hz > 0.0) {
+                    return bad("clock_hz must be positive");
+                }
+                if *chunk_steps == 0 || *chunk_steps > *steps {
+                    return bad("chunk_steps must be in 1..=steps");
+                }
+                if *seg_len < 2 || *seg_len > 65_536 || !seg_len.is_power_of_two() {
+                    return bad("seg_len must be a power of two in 2..=65536");
+                }
+                if *seg_len > *steps + 1 {
+                    return bad(
+                        "seg_len must not exceed steps + 1 (no complete segment would fit)",
+                    );
                 }
             }
         }
@@ -427,7 +495,44 @@ impl JobSpec {
                     h.mix_bytes(netlist.as_bytes());
                 }
             }
+            JobSpec::TranStream {
+                stages,
+                bias_ua,
+                input_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+                chunk_steps,
+                seg_len,
+            } => {
+                h.mix_u64(7);
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(line.circuit.structure_fingerprint());
+                    h.mix_u64(line.circuit.value_fingerprint());
+                } else {
+                    h.mix_u64(*stages as u64);
+                    h.mix_f64(*bias_ua);
+                    h.mix_f64(*input_ua);
+                }
+                h.mix_u64(*steps as u64);
+                h.mix_f64(*dt_ns);
+                h.mix_f64(*clock_hz);
+                h.mix_u64(*chunk_steps as u64);
+                h.mix_u64(*seg_len as u64);
+            }
         }
+        h.finish()
+    }
+
+    /// The disk-tier key a streaming job's checkpoint lives under:
+    /// derived from the job key through a tagged FNV-1a, so it can never
+    /// collide with any result key (those hash spec contents, this
+    /// hashes a tag plus the finished result key).
+    #[must_use]
+    pub fn checkpoint_key(job_key: u64) -> u64 {
+        let mut h = Fnv1a::new();
+        h.mix_bytes(b"tran-stream-checkpoint");
+        h.mix_u64(job_key);
         h.finish()
     }
 
@@ -527,6 +632,19 @@ impl JobSpec {
                     h.mix_bytes(netlist.as_bytes());
                 }
             }
+            JobSpec::TranStream {
+                stages,
+                bias_ua,
+                input_ua,
+                ..
+            } => {
+                if let Ok(line) = build_line(*stages, *bias_ua, *input_ua) {
+                    h.mix_u64(canonical(&line.circuit));
+                } else {
+                    h.mix_u64(7);
+                    h.mix_u64(*stages as u64);
+                }
+            }
         }
         h.finish()
     }
@@ -541,6 +659,26 @@ impl JobSpec {
             JobSpec::SndrSweep { .. } => "sndr_sweep",
             JobSpec::DelayLineDcBatch { .. } => "delay_line_dc_batch",
             JobSpec::Netlist { .. } => "netlist",
+            JobSpec::TranStream { .. } => "tran_stream",
+        }
+    }
+
+    /// Whether this spec runs as a streaming job: chunked execution,
+    /// per-chunk checkpoints, resumable after a crash.
+    #[must_use]
+    pub fn is_stream(&self) -> bool {
+        matches!(self, JobSpec::TranStream { .. })
+    }
+
+    /// Total chunk count of a streaming spec (`None` for every other
+    /// kind): `ceil(steps / chunk_steps)`.
+    #[must_use]
+    pub fn stream_chunk_count(&self) -> Option<usize> {
+        match self {
+            JobSpec::TranStream {
+                steps, chunk_steps, ..
+            } => Some(steps.div_ceil(*chunk_steps)),
+            _ => None,
         }
     }
 
@@ -645,6 +783,16 @@ impl JobSpec {
                     netlist: text.to_string(),
                 }
             }
+            "tran_stream" => JobSpec::TranStream {
+                stages: int("stages")?,
+                bias_ua: num("bias_ua")?,
+                input_ua: num("input_ua")?,
+                steps: int("steps")?,
+                dt_ns: num("dt_ns")?,
+                clock_hz: num("clock_hz")?,
+                chunk_steps: int("chunk_steps")?,
+                seg_len: int("seg_len")?,
+            },
             other => return Err(invalid(format!("unknown kind {other:?}"))),
         };
         // Canned kinds are validated eagerly so a bad wire document is a
@@ -727,6 +875,25 @@ impl JobSpec {
             JobSpec::Netlist { netlist } => {
                 pairs.push(("netlist".to_string(), Json::String(netlist.clone())));
             }
+            JobSpec::TranStream {
+                stages,
+                bias_ua,
+                input_ua,
+                steps,
+                dt_ns,
+                clock_hz,
+                chunk_steps,
+                seg_len,
+            } => {
+                pairs.push(("stages".to_string(), Json::Number(*stages as f64)));
+                pairs.push(("bias_ua".to_string(), Json::Number(*bias_ua)));
+                pairs.push(("input_ua".to_string(), Json::Number(*input_ua)));
+                pairs.push(("steps".to_string(), Json::Number(*steps as f64)));
+                pairs.push(("dt_ns".to_string(), Json::Number(*dt_ns)));
+                pairs.push(("clock_hz".to_string(), Json::Number(*clock_hz)));
+                pairs.push(("chunk_steps".to_string(), Json::Number(*chunk_steps as f64)));
+                pairs.push(("seg_len".to_string(), Json::Number(*seg_len as f64)));
+            }
         }
         Json::Object(pairs)
     }
@@ -745,11 +912,12 @@ impl JobSpec {
     }
 
     /// [`JobSpec::run`] with an optional per-scenario hook, invoked with
-    /// the scenario index just before each scenario of a batch job solves
-    /// (single-shot jobs never call it). The worker pool threads its fault
-    /// injector through here so chaos tests can kill a worker *mid-batch*
-    /// and prove partial batch results are never cached. The hook observes
-    /// or panics; it cannot alter results.
+    /// the scenario index just before each scenario of a batch job solves,
+    /// or the chunk index just before each chunk of a streaming job
+    /// (other single-shot jobs never call it). The worker pool threads its
+    /// fault injector through here so chaos tests can kill a worker
+    /// *mid-batch* or *mid-chunk* and prove partial results are never
+    /// cached. The hook observes or panics; it cannot alter results.
     ///
     /// # Errors
     ///
@@ -954,6 +1122,291 @@ impl JobSpec {
                     ],
                 })
             }
+            JobSpec::TranStream { .. } => {
+                // The uninterrupted path runs the exact same chunked
+                // executor the service uses, minus persistence — which is
+                // what makes a resumed run bit-identical to this one.
+                let mut state = self.stream_start(ws)?;
+                while state.chunks_done() < state.chunks_total() {
+                    if let Some(hook) = scenario_hook.as_deref_mut() {
+                        hook(state.chunks_done());
+                    }
+                    self.stream_advance(&mut state, ws)?;
+                }
+                self.stream_finish(&state)
+            }
+        }
+    }
+
+    /// Sets up a streaming run: builds the circuit, solves the DC initial
+    /// condition, and arms a fresh Welch accumulator. Chunk 0 has not run
+    /// yet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Internal`] for non-streaming specs, plus
+    /// validation and DC-solve errors.
+    pub(crate) fn stream_start(
+        &self,
+        ws: &mut EngineWorkspace,
+    ) -> Result<StreamState, ServiceError> {
+        let JobSpec::TranStream {
+            stages,
+            bias_ua,
+            input_ua,
+            steps,
+            dt_ns,
+            clock_hz,
+            chunk_steps,
+            seg_len,
+        } = self
+        else {
+            return Err(ServiceError::Internal(
+                "stream_start on a non-streaming spec".to_string(),
+            ));
+        };
+        self.validate()?;
+        let line = build_line(*stages, *bias_ua, *input_ua).map_err(analysis_error)?;
+        let dt = Seconds(dt_ns * 1e-9);
+        let t_stop = Seconds(dt.0 * (*steps as f64));
+        let clock = TwoPhaseClock::new(Seconds(1.0 / clock_hz), 0.0).map_err(analysis_error)?;
+        let params = TranParams::new(t_stop, dt)
+            .map_err(analysis_error)?
+            .with_clock(clock);
+        let solution =
+            tran::initial_condition(&line.circuit, &params, ws).map_err(analysis_error)?;
+        let acc = WelchAccumulator::new(*seg_len, STREAM_WINDOW)
+            .map_err(|e| ServiceError::InvalidSpec(e.to_string()))?;
+        Ok(StreamState {
+            line,
+            params,
+            steps: *steps,
+            chunk_steps: *chunk_steps,
+            solution,
+            acc,
+            chunks_done: 0,
+        })
+    }
+
+    /// Rebuilds a streaming run's state from a persisted checkpoint.
+    /// Returns `None` — *rerun from scratch*, never a wrong answer — when
+    /// the checkpoint does not match this spec: wrong version, wrong job
+    /// key, wrong chunking or Welch geometry, or inconsistent lengths.
+    pub(crate) fn stream_resume(&self, checkpoint: &JobOutput) -> Option<StreamState> {
+        let JobSpec::TranStream {
+            stages,
+            bias_ua,
+            input_ua,
+            steps,
+            dt_ns,
+            clock_hz,
+            chunk_steps,
+            seg_len,
+        } = self
+        else {
+            return None;
+        };
+        let metric = |name: &str| {
+            checkpoint
+                .metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+        };
+        let int = |name: &str| {
+            metric(name)
+                .filter(|v| v.fract() == 0.0 && *v >= 0.0 && *v < 9e15)
+                .map(|v| v as u64)
+        };
+        if int("ckpt_version")? != CHECKPOINT_VERSION {
+            return None;
+        }
+        let key = self.job_key();
+        if int("key_hi")? != key >> 32 || int("key_lo")? != key & 0xffff_ffff {
+            return None;
+        }
+        let chunks_total = steps.div_ceil(*chunk_steps) as u64;
+        if int("chunks_total")? != chunks_total {
+            return None;
+        }
+        let chunks_done = int("chunks_done")? as usize;
+        if chunks_done == 0 || chunks_done as u64 > chunks_total {
+            return None;
+        }
+        if int("seg_len")? != *seg_len as u64 {
+            return None;
+        }
+        let state_len = int("state_len")? as usize;
+        let segments = int("welch_segments")? as usize;
+        let tail_len = int("welch_tail_len")? as usize;
+        let sum_len = seg_len / 2 + 1;
+        if checkpoint.values.len() != state_len + sum_len + tail_len {
+            return None;
+        }
+
+        let line = build_line(*stages, *bias_ua, *input_ua).ok()?;
+        if state_len != line.circuit.mna_dimension() {
+            return None;
+        }
+        let dt = Seconds(dt_ns * 1e-9);
+        let t_stop = Seconds(dt.0 * (*steps as f64));
+        let clock = TwoPhaseClock::new(Seconds(1.0 / clock_hz), 0.0).ok()?;
+        let params = TranParams::new(t_stop, dt).ok()?.with_clock(clock);
+
+        let solution = Solution::new(
+            checkpoint.values[..state_len].to_vec(),
+            line.circuit.node_count(),
+        );
+        let sum = checkpoint.values[state_len..state_len + sum_len].to_vec();
+        let tail = checkpoint.values[state_len + sum_len..].to_vec();
+        let acc = WelchAccumulator::resume(*seg_len, STREAM_WINDOW, tail, sum, segments).ok()?;
+        Some(StreamState {
+            line,
+            params,
+            steps: *steps,
+            chunk_steps: *chunk_steps,
+            solution,
+            acc,
+            chunks_done,
+        })
+    }
+
+    /// Advances a streaming run by one chunk: solves the next
+    /// `chunk_steps` steps (fewer for the final chunk), feeds the
+    /// output-stage samples to the Welch accumulator, and stores the
+    /// end-of-chunk solution for the next chunk or checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Internal`] when the run is already complete, plus
+    /// solver errors (Newton budget exhaustion maps to the retryable
+    /// [`ServiceError::Transient`]).
+    pub(crate) fn stream_advance(
+        &self,
+        state: &mut StreamState,
+        ws: &mut EngineWorkspace,
+    ) -> Result<(), ServiceError> {
+        let start_step = state.chunks_done * state.chunk_steps;
+        if start_step >= state.steps {
+            return Err(ServiceError::Internal(
+                "stream_advance past the final chunk".to_string(),
+            ));
+        }
+        let this_chunk = state.chunk_steps.min(state.steps - start_step);
+        let (part, next) = tran::run_chunk_with(
+            &state.line.circuit,
+            &state.params,
+            start_step,
+            this_chunk,
+            &state.solution,
+            ws,
+        )
+        .map_err(analysis_error)?;
+        let out_node = *state.line.stage_nodes.last().expect("stages >= 1");
+        state
+            .acc
+            .push(&part.voltage_waveform(out_node))
+            .map_err(|e| ServiceError::Analysis(e.to_string()))?;
+        state.solution = next;
+        state.chunks_done += 1;
+        Ok(())
+    }
+
+    /// Finishes a streaming run: averages the accumulated periodograms
+    /// into the job's output spectrum.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Analysis`] if no complete Welch segment was
+    /// consumed (ruled out for valid specs by `seg_len ≤ steps + 1`).
+    pub(crate) fn stream_finish(&self, state: &StreamState) -> Result<JobOutput, ServiceError> {
+        let spectrum = state
+            .acc
+            .finish()
+            .map_err(|e| ServiceError::Analysis(e.to_string()))?;
+        let out_node = *state.line.stage_nodes.last().expect("stages >= 1");
+        let final_v = state.solution.voltage(out_node).0;
+        Ok(JobOutput {
+            values: spectrum.powers().to_vec(),
+            metrics: vec![
+                ("steps".to_string(), state.steps as f64),
+                ("chunks".to_string(), state.chunks_total() as f64),
+                ("seg_len".to_string(), state.acc.seg_len() as f64),
+                ("segments".to_string(), state.acc.segments() as f64),
+                ("final_v_out".to_string(), final_v),
+            ],
+        })
+    }
+}
+
+/// Version tag written into every streaming checkpoint; bump when the
+/// layout changes so stale checkpoints are rerun, not misread.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// The window every streaming spectrum uses.
+const STREAM_WINDOW: Window = Window::Hann;
+
+/// Newton budget exhaustion is the one analog failure a retry can
+/// plausibly clear (warmer workspace, different gmin path), so it gets
+/// the retryable variant; everything else is permanent.
+fn analysis_error(e: si_analog::AnalogError) -> ServiceError {
+    match &e {
+        si_analog::AnalogError::NoConvergence { .. } => ServiceError::Transient(e.to_string()),
+        _ => ServiceError::Analysis(e.to_string()),
+    }
+}
+
+/// In-progress state of a [`JobSpec::TranStream`] execution: the built
+/// circuit plus everything a checkpoint must capture to resume at the
+/// next chunk boundary — the end-of-chunk MNA solution and the Welch
+/// accumulator's running state.
+#[derive(Debug)]
+pub struct StreamState {
+    line: si_analog::cells::DelayLine,
+    params: TranParams,
+    steps: usize,
+    chunk_steps: usize,
+    solution: Solution,
+    acc: WelchAccumulator,
+    chunks_done: usize,
+}
+
+impl StreamState {
+    /// Chunks completed so far.
+    #[must_use]
+    pub fn chunks_done(&self) -> usize {
+        self.chunks_done
+    }
+
+    /// Total chunks the run needs.
+    #[must_use]
+    pub fn chunks_total(&self) -> usize {
+        self.steps.div_ceil(self.chunk_steps)
+    }
+
+    /// Serializes the resumable state as a [`JobOutput`] so checkpoints
+    /// ride the same checksummed, atomic-rename, quarantine-on-corruption
+    /// disk format as `.sic` result entries. `job_key` is folded in so a
+    /// checkpoint can never resume a different job.
+    #[must_use]
+    pub fn to_checkpoint(&self, job_key: u64) -> JobOutput {
+        let mut values = self.solution.raw().to_vec();
+        let state_len = values.len();
+        values.extend_from_slice(self.acc.power_sum());
+        values.extend_from_slice(self.acc.tail());
+        JobOutput {
+            values,
+            metrics: vec![
+                ("ckpt_version".to_string(), CHECKPOINT_VERSION as f64),
+                ("key_hi".to_string(), (job_key >> 32) as f64),
+                ("key_lo".to_string(), (job_key & 0xffff_ffff) as f64),
+                ("chunks_done".to_string(), self.chunks_done as f64),
+                ("chunks_total".to_string(), self.chunks_total() as f64),
+                ("state_len".to_string(), state_len as f64),
+                ("seg_len".to_string(), self.acc.seg_len() as f64),
+                ("welch_segments".to_string(), self.acc.segments() as f64),
+                ("welch_tail_len".to_string(), self.acc.tail().len() as f64),
+            ],
         }
     }
 }
@@ -1268,5 +1721,143 @@ V1 in 0 3.3
             .unwrap()
             .1;
         assert!(dr > 20.0, "dynamic range {dr} dB implausibly low");
+    }
+
+    fn stream_spec_with(steps: usize, chunk_steps: usize, seg_len: usize) -> JobSpec {
+        JobSpec::TranStream {
+            stages: 3,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+            steps,
+            dt_ns: 50.0,
+            clock_hz: 2.0e6,
+            chunk_steps,
+            seg_len,
+        }
+    }
+
+    fn stream_spec() -> JobSpec {
+        stream_spec_with(900, 128, 256)
+    }
+
+    #[test]
+    fn stream_spec_round_trips_and_keys_on_every_knob() {
+        let spec = stream_spec();
+        spec.validate().unwrap();
+        assert_eq!(spec.kind(), "tran_stream");
+        assert!(spec.is_stream());
+        assert_eq!(spec.scenario_count(), 1);
+        assert_eq!(spec.stream_chunk_count(), Some(8), "ceil(900 / 128)");
+        let wire = spec.to_json().to_string_compact();
+        let parsed = JobSpec::from_json(&crate::json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.job_key(), spec.job_key());
+        // Chunking and Welch geometry are part of the identity: a job
+        // resumed under different chunking must not alias the original.
+        assert_ne!(spec.job_key(), stream_spec_with(900, 64, 256).job_key());
+        assert_ne!(spec.job_key(), stream_spec_with(900, 128, 128).job_key());
+        // The checkpoint key never collides with the job key itself.
+        assert_ne!(JobSpec::checkpoint_key(spec.job_key()), spec.job_key());
+    }
+
+    #[test]
+    fn stream_spec_validates_chunking_and_segment_length() {
+        assert!(stream_spec_with(900, 0, 256).validate().is_err());
+        assert!(stream_spec_with(900, 901, 256).validate().is_err());
+        // Not a power of two.
+        assert!(stream_spec_with(900, 128, 255).validate().is_err());
+        // Longer than the waveform (steps + 1 samples).
+        assert!(stream_spec_with(900, 128, 1024).validate().is_err());
+        assert!(stream_spec_with(0, 1, 2).validate().is_err());
+        // One-chunk streams are legal.
+        assert!(stream_spec_with(900, 900, 256).validate().is_ok());
+    }
+
+    #[test]
+    fn stream_run_is_deterministic_and_reports_chunks() {
+        let spec = stream_spec();
+        let mut ws1 = EngineWorkspace::new();
+        let mut ws2 = EngineWorkspace::new();
+        let a = spec.run(&mut ws1).unwrap();
+        let b = spec.run(&mut ws2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.values.len(), 256 / 2 + 1, "one-sided spectrum bins");
+        let metric = |name: &str| a.metrics.iter().find(|(k, _)| k == name).unwrap().1;
+        assert_eq!(metric("chunks"), 8.0);
+        assert_eq!(metric("seg_len"), 256.0);
+        assert!(metric("segments") >= 1.0);
+        // The hook fires once per chunk, in order.
+        let mut seen = Vec::new();
+        let mut hook = |i: usize| seen.push(i);
+        let mut ws3 = EngineWorkspace::new();
+        let c = spec.run_with_hook(&mut ws3, Some(&mut hook)).unwrap();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert_eq!(c, a);
+    }
+
+    /// The tentpole invariant at the spec level: checkpoint after any
+    /// chunk, serialize, resume from the serialized form on a *fresh*
+    /// workspace, and the final spectrum is bit-identical to the
+    /// uninterrupted run.
+    #[test]
+    fn stream_checkpoint_resume_is_bit_identical() {
+        let spec = stream_spec();
+        let key = spec.job_key();
+        let mut ws = EngineWorkspace::new();
+        let uninterrupted = spec.run(&mut ws).unwrap();
+
+        for stop_after in [1usize, 3, 7] {
+            let mut ws1 = EngineWorkspace::new();
+            let mut state = spec.stream_start(&mut ws1).unwrap();
+            for _ in 0..stop_after {
+                spec.stream_advance(&mut state, &mut ws1).unwrap();
+            }
+            let checkpoint = state.to_checkpoint(key);
+            // "Crash": drop the live state, keep only the checkpoint.
+            drop(state);
+            drop(ws1);
+            let mut resumed = spec.stream_resume(&checkpoint).unwrap();
+            assert_eq!(resumed.chunks_done(), stop_after);
+            let mut ws2 = EngineWorkspace::new();
+            while resumed.chunks_done() < resumed.chunks_total() {
+                spec.stream_advance(&mut resumed, &mut ws2).unwrap();
+            }
+            let out = spec.stream_finish(&resumed).unwrap();
+            assert_eq!(out.values.len(), uninterrupted.values.len());
+            for (a, b) in out.values.iter().zip(uninterrupted.values.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "resume after chunk {stop_after}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_resume_rejects_mismatched_checkpoints() {
+        let spec = stream_spec();
+        let key = spec.job_key();
+        let mut ws = EngineWorkspace::new();
+        let mut state = spec.stream_start(&mut ws).unwrap();
+        spec.stream_advance(&mut state, &mut ws).unwrap();
+        let good = state.to_checkpoint(key);
+        assert!(spec.stream_resume(&good).is_some());
+
+        // A checkpoint for a different job never resumes this one.
+        let foreign = state.to_checkpoint(key ^ 1);
+        assert!(spec.stream_resume(&foreign).is_none());
+        // A different chunking rejects the same checkpoint (its own key
+        // differs, so the embedded key check fires).
+        assert!(stream_spec_with(900, 64, 256)
+            .stream_resume(&good)
+            .is_none());
+        // Corrupt metrics and truncated payloads are rejected, not
+        // misread.
+        let mut wrong_version = good.clone();
+        wrong_version.metrics[0].1 = (CHECKPOINT_VERSION + 1) as f64;
+        assert!(spec.stream_resume(&wrong_version).is_none());
+        let mut truncated = good.clone();
+        truncated.values.pop();
+        assert!(spec.stream_resume(&truncated).is_none());
+        let mut zero_done = good;
+        zero_done.metrics[3].1 = 0.0;
+        assert!(spec.stream_resume(&zero_done).is_none());
     }
 }

@@ -113,6 +113,35 @@ struct ServiceCounters {
     warm_failed: AtomicU64,
 }
 
+/// Streaming-job state shared between the service front and the worker
+/// closure: per-job chunk progress for `GET /v1/jobs/:id` polling plus
+/// the stream counters `/metrics` reports. Arc'd because the worker task
+/// closure is `'static` and cannot borrow the service.
+#[derive(Debug, Default)]
+struct StreamShared {
+    /// `job_key → (chunks_done, chunks_total)` of in-flight streams.
+    progress: Mutex<HashMap<u64, (u64, u64)>>,
+    /// Chunks solved across all streaming jobs (resumed runs only count
+    /// the chunks they actually re-solve).
+    chunks: AtomicU64,
+    /// Checkpoints persisted to the disk tier (one per chunk when a
+    /// cache directory is configured, zero otherwise).
+    checkpoints: AtomicU64,
+    /// Streaming executions that started from a valid checkpoint instead
+    /// of from scratch.
+    resumed: AtomicU64,
+}
+
+/// Everything the streaming executor needs beyond the worker's
+/// workspace: the checkpoint tier, the shared progress/counter state,
+/// and the leader's cancellation and deadline handles.
+struct StreamCtx {
+    disk: Option<Arc<DiskTier>>,
+    shared: Arc<StreamShared>,
+    cancel: Arc<AtomicBool>,
+    deadline_at: Option<Instant>,
+}
+
 type CancelFlags = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
 
 /// The in-process simulation job service.
@@ -127,6 +156,9 @@ pub struct SiService {
     seen: Mutex<HashMap<u64, &'static str>>,
     /// Cancellation flags of currently in-flight leaders.
     cancel_flags: CancelFlags,
+    /// Progress and counters of streaming jobs, shared with the worker
+    /// closures that execute them.
+    stream: Arc<StreamShared>,
     /// Test-only chaos hook; `None` in production.
     fault: Mutex<Option<Arc<FaultInjector>>>,
     /// `cache_dir` was configured but the disk tier failed to open: the
@@ -195,6 +227,7 @@ impl SiService {
             counters: ServiceCounters::default(),
             seen: Mutex::new(HashMap::new()),
             cancel_flags: Arc::new(Mutex::new(HashMap::new())),
+            stream: Arc::new(StreamShared::default()),
             fault: Mutex::new(None),
             cache_degraded,
         }
@@ -327,8 +360,10 @@ impl SiService {
     ///
     /// Transient failures ([`ServiceError::is_retryable`]: Newton budget
     /// exhaustion, a worker crash) are retried with the configured
-    /// deterministic capped backoff before being surfaced; the deadline
-    /// applies per attempt.
+    /// deterministic capped backoff before being surfaced. The deadline
+    /// is an end-to-end budget for this call: it is anchored once, before
+    /// the first attempt, and every retry (and its backoff sleep) spends
+    /// from the same clock.
     ///
     /// Returns the output plus `true` when it was served without running
     /// the solve for this call (cache hit or coalesced onto another
@@ -343,9 +378,15 @@ impl SiService {
         spec: &JobSpec,
         deadline: Option<Duration>,
     ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
+        // Anchor the deadline ONCE, not per attempt: re-arming it inside
+        // each retry let a transiently failing job hold the caller for
+        // (retries + 1) × deadline of wall clock instead of one deadline.
+        let deadline_at = deadline
+            .or(self.default_deadline)
+            .map(|d| Instant::now() + d);
         let mut attempt = 0u32;
         loop {
-            match self.submit_once(spec, deadline) {
+            match self.submit_once(spec, deadline_at) {
                 Err(err) if err.is_retryable() => match self.retry.delay(attempt) {
                     Some(delay) => {
                         self.counters.retries.fetch_add(1, Ordering::Relaxed);
@@ -357,6 +398,11 @@ impl SiService {
                             self.counters
                                 .retries_exhausted
                                 .fetch_add(1, Ordering::Relaxed);
+                        }
+                        if spec.is_stream() {
+                            // A stream that dies for good must not leave
+                            // its last progress entry behind.
+                            lock_recover(&self.stream.progress).remove(&spec.job_key());
                         }
                         return Err(err);
                     }
@@ -401,10 +447,12 @@ impl SiService {
     }
 
     /// One submission attempt: cache lookup, then the leader path.
+    /// `deadline_at` is the absolute end-to-end deadline anchored by
+    /// [`SiService::submit_blocking`].
     fn submit_once(
         &self,
         spec: &JobSpec,
-        deadline: Option<Duration>,
+        deadline_at: Option<Instant>,
     ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
         // User netlists run an admission gauntlet before anything else:
         // byte cap (before the text is even parsed), strict parse (inside
@@ -464,7 +512,7 @@ impl SiService {
             }
             CacheOutcome::Lead(guard) => guard,
         };
-        self.lead(spec, key, guard, deadline.or(self.default_deadline))
+        self.lead(spec, key, guard, deadline_at)
     }
 
     /// Leader path: enqueue the solve, wait for the reply, enforce the
@@ -474,9 +522,8 @@ impl SiService {
         spec: &JobSpec,
         key: u64,
         guard: LeadGuard,
-        deadline: Option<Duration>,
+        deadline_at: Option<Instant>,
     ) -> Result<(Arc<JobOutput>, bool), ServiceError> {
-        let deadline_at = deadline.map(|d| Instant::now() + d);
         let cancel = Arc::new(AtomicBool::new(false));
         lock_recover(&self.cancel_flags).insert(key, Arc::clone(&cancel));
         // Owned by the task closure from here on: the entry is removed
@@ -498,6 +545,8 @@ impl SiService {
             let cancel = Arc::clone(&cancel);
             let cache = Arc::clone(&self.cache);
             let guard_slot = Arc::clone(&guard_slot);
+            let disk = self.cache.disk_tier().cloned();
+            let stream = Arc::clone(&self.stream);
             Box::new(move |ws: &mut si_analog::engine::EngineWorkspace| {
                 // Dropped on every exit from this body, including unwind.
                 let _cleanup = cleanup;
@@ -513,17 +562,24 @@ impl SiService {
                 } else {
                     // Chaos hook: sabotage this execution if the plan says
                     // so. A panic here exercises the pool's unwind
-                    // containment and the guard's drop backstop. Batch jobs
-                    // skip the job-level draw: their injector is consulted
-                    // per scenario inside `run_spec`, so a fault lands
-                    // *mid-batch* — after some scenarios already solved.
-                    let fault = if spec.scenario_count() > 1 {
+                    // containment and the guard's drop backstop. Batch and
+                    // streaming jobs skip the job-level draw: their
+                    // injector is consulted per scenario / per chunk inside
+                    // the executor, so a fault lands *mid-batch* or
+                    // *mid-chunk* — after real partial state exists.
+                    let ctx = StreamCtx {
+                        disk,
+                        shared: stream,
+                        cancel: Arc::clone(&cancel),
+                        deadline_at,
+                    };
+                    let fault = if spec.scenario_count() > 1 || spec.is_stream() {
                         None
                     } else {
                         injector.as_ref().and_then(|i| i.next_fault())
                     };
                     match fault {
-                        Some(FaultKind::PanicWorker) => {
+                        Some(FaultKind::PanicWorker | FaultKind::PanicMidChunk) => {
                             panic!("injected fault: worker panic mid-job")
                         }
                         Some(FaultKind::Transient) => Err(ServiceError::Transient(
@@ -533,12 +589,12 @@ impl SiService {
                             let stall =
                                 injector.as_ref().map_or(Duration::ZERO, |i| i.plan().stall);
                             std::thread::sleep(stall);
-                            run_spec(&spec, ws, injector.as_deref()).map(Arc::new)
+                            run_job(&spec, key, ws, injector.as_deref(), &ctx).map(Arc::new)
                         }
                         // Connection drops are a client-side fault; the
                         // worker just solves normally.
                         Some(FaultKind::DropConnection) | None => {
-                            run_spec(&spec, ws, injector.as_deref()).map(Arc::new)
+                            run_job(&spec, key, ws, injector.as_deref(), &ctx).map(Arc::new)
                         }
                     }
                 };
@@ -613,6 +669,22 @@ impl SiService {
     pub fn lookup(&self, key: u64) -> Option<(&'static str, Option<Arc<JobOutput>>)> {
         let kind = *lock_recover(&self.seen).get(&key)?;
         Some((kind, self.cache.peek(key)))
+    }
+
+    /// Whether a leader is currently computing `key`. `GET /v1/jobs/:id`
+    /// uses this to answer `202 Accepted` ("still running, poll again")
+    /// instead of `404` for jobs that are in flight right now.
+    #[must_use]
+    pub fn in_flight(&self, key: u64) -> bool {
+        self.cache.in_flight(key)
+    }
+
+    /// Chunk progress `(done, total)` of an in-flight streaming job, for
+    /// `GET /v1/jobs/:id` polling. `None` for non-streaming jobs and for
+    /// streams that are not currently executing.
+    #[must_use]
+    pub fn progress(&self, key: u64) -> Option<(u64, u64)> {
+        lock_recover(&self.stream.progress).get(&key).copied()
     }
 
     /// Stops admitting jobs and drains the workers. Safe to call twice.
@@ -709,6 +781,18 @@ impl SiService {
                         "warm_failed".to_string(),
                         num(self.counters.warm_failed.load(Ordering::Relaxed)),
                     ),
+                    (
+                        "stream_chunks".to_string(),
+                        num(self.stream.chunks.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "stream_checkpoints".to_string(),
+                        num(self.stream.checkpoints.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "stream_resumed".to_string(),
+                        num(self.stream.resumed.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             (
@@ -758,6 +842,7 @@ impl SiService {
                     ("panics".to_string(), num(faults.panics)),
                     ("stalls".to_string(), num(faults.stalls)),
                     ("transients".to_string(), num(faults.transients)),
+                    ("panic_mid_chunk".to_string(), num(faults.panic_mid_chunks)),
                     (
                         "dropped_connections".to_string(),
                         num(faults.dropped_connections),
@@ -839,14 +924,132 @@ fn run_spec(
                     }
                     Some(FaultKind::Stall) => std::thread::sleep(inj.plan().stall),
                     // Transient and connection faults are job-level
-                    // concepts; mid-batch they are drawn but harmless.
-                    Some(FaultKind::Transient | FaultKind::DropConnection) | None => {}
+                    // concepts, and mid-chunk panics target streaming
+                    // jobs; mid-batch they are drawn but harmless.
+                    Some(
+                        FaultKind::Transient | FaultKind::DropConnection | FaultKind::PanicMidChunk,
+                    )
+                    | None => {}
                 }
             };
             spec.run_with_hook(ws, Some(&mut hook))
         }
         _ => spec.run(ws),
     }
+}
+
+/// Dispatches a leader's solve on the worker thread: streaming specs run
+/// the chunked checkpoint/resume executor, everything else runs
+/// [`run_spec`].
+fn run_job(
+    spec: &JobSpec,
+    key: u64,
+    ws: &mut si_analog::engine::EngineWorkspace,
+    injector: Option<&FaultInjector>,
+    ctx: &StreamCtx,
+) -> Result<JobOutput, ServiceError> {
+    if spec.is_stream() {
+        run_stream(spec, key, ws, injector, ctx)
+    } else {
+        run_spec(spec, ws, injector)
+    }
+}
+
+/// The streaming executor: resume from the newest valid checkpoint (or
+/// start fresh), then solve chunk by chunk, persisting a checkpoint and
+/// publishing progress after every chunk.
+///
+/// Chunked execution is *bit-identical* to an uninterrupted run by
+/// construction — chunk boundaries reuse the exact end-of-chunk Newton
+/// state the next step would have seen, the time axis is derived from
+/// absolute integer step indices, and the Welch accumulator sums
+/// periodograms in the batch order — so a job killed mid-run and resumed
+/// here produces the same spectrum, bit for bit.
+///
+/// The per-chunk fault draw skips chunk 0 on a fresh run, so a drawn
+/// panic always lands *after* at least one checkpoint exists; that is
+/// what makes the `panic_mid_chunk` fault class prove resume rather than
+/// prove rerun-from-scratch.
+fn run_stream(
+    spec: &JobSpec,
+    key: u64,
+    ws: &mut si_analog::engine::EngineWorkspace,
+    injector: Option<&FaultInjector>,
+    ctx: &StreamCtx,
+) -> Result<JobOutput, ServiceError> {
+    let ckpt_key = JobSpec::checkpoint_key(key);
+    let resumed = ctx
+        .disk
+        .as_ref()
+        .and_then(|d| crate::cache::CacheTier::load(d.as_ref(), ckpt_key))
+        .and_then(|out| spec.stream_resume(&out));
+    let mut state = match resumed {
+        Some(state) => {
+            ctx.shared.resumed.fetch_add(1, Ordering::Relaxed);
+            state
+        }
+        None => spec.stream_start(ws)?,
+    };
+    let total = state.chunks_total() as u64;
+    let publish = |done: usize| {
+        lock_recover(&ctx.shared.progress).insert(key, (done as u64, total));
+    };
+    let unpublish = || {
+        lock_recover(&ctx.shared.progress).remove(&key);
+    };
+    publish(state.chunks_done());
+    while state.chunks_done() < state.chunks_total() {
+        if ctx.cancel.load(Ordering::Relaxed) {
+            unpublish();
+            return Err(ServiceError::Canceled);
+        }
+        if ctx.deadline_at.is_some_and(|at| Instant::now() >= at) {
+            unpublish();
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        if state.chunks_done() > 0 {
+            match injector.and_then(|i| i.next_fault()) {
+                Some(FaultKind::PanicMidChunk | FaultKind::PanicWorker) => {
+                    // The unwind leaves the progress entry in place on
+                    // purpose: a poller sees the last completed chunk
+                    // while the retry warms up.
+                    panic!(
+                        "injected fault: worker panic mid-chunk (chunk {})",
+                        state.chunks_done()
+                    )
+                }
+                Some(FaultKind::Transient) => {
+                    unpublish();
+                    return Err(ServiceError::Transient(
+                        "injected fault: transient non-convergence mid-chunk".to_string(),
+                    ));
+                }
+                Some(FaultKind::Stall) => {
+                    std::thread::sleep(injector.map_or(Duration::ZERO, |i| i.plan().stall));
+                }
+                Some(FaultKind::DropConnection) | None => {}
+            }
+        }
+        if let Err(err) = spec.stream_advance(&mut state, ws) {
+            unpublish();
+            return Err(err);
+        }
+        ctx.shared.chunks.fetch_add(1, Ordering::Relaxed);
+        if let Some(disk) = &ctx.disk {
+            // Checkpoints ride the disk tier's `.sic` discipline:
+            // checksummed, written via atomic rename, quarantined on
+            // corruption — a SIGKILL mid-write costs one chunk, never a
+            // wrong resume. A completed run's checkpoint is left to LRU
+            // eviction; resuming from it is a no-op finish.
+            let ckpt = Arc::new(state.to_checkpoint(key));
+            crate::cache::CacheTier::store(disk.as_ref(), ckpt_key, &ckpt);
+            ctx.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        publish(state.chunks_done());
+    }
+    let result = spec.stream_finish(&state);
+    unpublish();
+    result
 }
 
 /// Builds the wire body shared by `POST /v1/jobs` and `GET /v1/jobs/:id`.
@@ -1096,6 +1299,7 @@ mod tests {
             stall_pm: 0,
             transient_pm: 1000,
             drop_pm: 0,
+            panic_mid_chunk_pm: 0,
             stall: Duration::ZERO,
             max_faults: 1,
         }));
@@ -1136,6 +1340,7 @@ mod tests {
             stall_pm: 0,
             transient_pm: 0,
             drop_pm: 0,
+            panic_mid_chunk_pm: 0,
             stall: Duration::ZERO,
             max_faults: 1,
         }));
@@ -1198,6 +1403,7 @@ mod tests {
             stall_pm: 0,
             transient_pm: 1000,
             drop_pm: 0,
+            panic_mid_chunk_pm: 0,
             stall: Duration::ZERO,
             max_faults: u64::MAX,
         }));
@@ -1242,6 +1448,7 @@ mod tests {
                     stall_pm: 1000,
                     transient_pm: 0,
                     drop_pm: 0,
+                    panic_mid_chunk_pm: 0,
                     stall: Duration::from_millis(200),
                     max_faults: 1,
                 }));
@@ -1470,6 +1677,7 @@ mod tests {
             stall_pm: 0,
             transient_pm: 0,
             drop_pm: 0,
+            panic_mid_chunk_pm: 0,
             stall: Duration::ZERO,
             max_faults: 1,
         }));
@@ -1502,5 +1710,253 @@ mod tests {
         // Two attempts ran: the panicked one (which got past scenario 0)
         // and the clean retry.
         assert_eq!(wait_engine_counter(&svc, "batch_runs", 2.0), 2.0);
+    }
+
+    /// Regression (ISSUE 10): the deadline is anchored once for the whole
+    /// `submit_blocking` call. Before the fix each retry attempt re-armed
+    /// a fresh deadline, so a job that kept failing transiently burned
+    /// backoff time until retries exhausted and surfaced `Transient` —
+    /// the deadline never fired. Now the attempt that starts past the
+    /// anchor reports `DeadlineExceeded`.
+    #[test]
+    fn deadline_spans_all_retry_attempts() {
+        let svc = SiService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline: None,
+            retry: RetryPolicy {
+                max_retries: 10,
+                base_delay: Duration::from_millis(40),
+                max_delay: Duration::from_millis(40),
+                multiplier: 1,
+                jitter_seed: None,
+            },
+            ..ServiceConfig::default()
+        });
+        // Every attempt fails transiently, instantly.
+        let injector = Arc::new(FaultInjector::new(crate::fault::FaultPlan {
+            seed: 0,
+            panic_pm: 0,
+            stall_pm: 0,
+            transient_pm: 1000,
+            drop_pm: 0,
+            panic_mid_chunk_pm: 0,
+            stall: Duration::ZERO,
+            max_faults: u64::MAX,
+        }));
+        svc.install_fault_injector(injector);
+        let started = Instant::now();
+        let err = svc
+            .submit_blocking(&dc_spec(7.0), Some(Duration::from_millis(60)))
+            .unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(err, ServiceError::DeadlineExceeded),
+            "per-retry re-arming keeps the deadline from ever firing; got {err:?}"
+        );
+        // 60 ms budget + one 40 ms backoff of slack, far below the
+        // ~400 ms the 10-retry schedule would burn with re-arming.
+        assert!(
+            elapsed < Duration::from_millis(350),
+            "deadline took {elapsed:?} to fire"
+        );
+        // The timed-out attempt's task may still be queued; its drop
+        // guard removes the flag once the worker reaches it. Poll briefly.
+        for _ in 0..200 {
+            if svc.cancel_flags_len() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.cancel_flags_len(), 0, "cancel flags leaked");
+    }
+
+    fn stream_spec() -> JobSpec {
+        JobSpec::TranStream {
+            stages: 3,
+            bias_ua: 20.0,
+            input_ua: 2.0,
+            steps: 900,
+            dt_ns: 50.0,
+            clock_hz: 2.0e6,
+            chunk_steps: 128,
+            seg_len: 256,
+        }
+    }
+
+    fn stream_tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "si-service-stream-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// ISSUE 10 tentpole, happy path: a streaming job completes through
+    /// the service, its spectrum is bit-identical to running the spec
+    /// directly, per-chunk counters and checkpoints are recorded, and the
+    /// progress entry is cleaned up.
+    #[test]
+    fn streaming_job_completes_with_checkpoints_and_counters() {
+        let dir = stream_tmpdir("happy");
+        let svc = SiService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        let spec = stream_spec();
+        let key = spec.job_key();
+        let reference = spec
+            .run(&mut si_analog::engine::EngineWorkspace::new())
+            .unwrap();
+        let (out, cached) = svc.submit_blocking(&spec, None).unwrap();
+        assert!(!cached);
+        for (a, b) in out.values.iter().zip(reference.values.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "service run must match direct run"
+            );
+        }
+        let m = svc.metrics();
+        let svc_counter = |name: &str| m.get("service").unwrap().get(name).unwrap().as_f64();
+        assert_eq!(svc_counter("stream_chunks"), Some(8.0));
+        assert_eq!(svc_counter("stream_checkpoints"), Some(8.0));
+        assert_eq!(svc_counter("stream_resumed"), Some(0.0));
+        assert_eq!(svc.progress(key), None, "progress entry leaked");
+        // Second submission is a plain cache hit — no chunks re-solved.
+        let (again, cached2) = svc.submit_blocking(&spec, None).unwrap();
+        assert!(cached2);
+        assert_eq!(again, out);
+        let m2 = svc.metrics();
+        assert_eq!(
+            m2.get("service")
+                .unwrap()
+                .get("stream_chunks")
+                .unwrap()
+                .as_f64(),
+            Some(8.0)
+        );
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 10 tentpole, crash path: a `panic_mid_chunk` fault kills the
+    /// worker after some chunks completed; the retry resumes from the
+    /// last checkpoint (observable via `stream_resumed` and the chunk
+    /// count) and the final spectrum is bit-identical to an uninterrupted
+    /// run.
+    #[test]
+    fn stream_panic_mid_chunk_resumes_from_checkpoint_bit_identically() {
+        let dir = stream_tmpdir("panic");
+        let svc = SiService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+                multiplier: 2,
+                jitter_seed: None,
+            },
+            ..ServiceConfig::default()
+        });
+        svc.install_fault_injector(Arc::new(FaultInjector::new(
+            crate::fault::FaultPlan::mid_chunk(7, 1),
+        )));
+        let spec = stream_spec();
+        let reference = spec
+            .run(&mut si_analog::engine::EngineWorkspace::new())
+            .unwrap();
+        let (out, cached) = svc
+            .submit_blocking(&spec, None)
+            .expect("retry after mid-chunk panic should resume and succeed");
+        assert!(!cached, "a partial stream must never be served from cache");
+        for (a, b) in out.values.iter().zip(reference.values.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "resumed spectrum must be bit-identical"
+            );
+        }
+        assert_eq!(svc.fault_stats().panic_mid_chunks, 1);
+        let m = svc.metrics();
+        let svc_counter = |name: &str| m.get("service").unwrap().get(name).unwrap().as_f64();
+        assert_eq!(svc_counter("stream_resumed"), Some(1.0));
+        // The resumed attempt re-solves only the chunks past the last
+        // checkpoint: total chunk executions stay below two full runs.
+        let chunks = svc_counter("stream_chunks").unwrap();
+        assert!(
+            (8.0..16.0).contains(&chunks),
+            "expected a partial first run plus a resumed tail, got {chunks} chunk solves"
+        );
+        assert_eq!(
+            m.get("faults")
+                .unwrap()
+                .get("panic_mid_chunk")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Progress of an in-flight stream is observable from another thread
+    /// while chunks solve, and `in_flight` flips off once it completes.
+    #[test]
+    fn stream_progress_is_observable_while_running() {
+        let dir = stream_tmpdir("progress");
+        let svc = Arc::new(SiService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        }));
+        // Stall every chunk draw 20 ms so the poller has a real window.
+        svc.install_fault_injector(Arc::new(FaultInjector::new(crate::fault::FaultPlan {
+            seed: 0,
+            panic_pm: 0,
+            stall_pm: 1000,
+            transient_pm: 0,
+            drop_pm: 0,
+            panic_mid_chunk_pm: 0,
+            stall: Duration::from_millis(20),
+            max_faults: u64::MAX,
+        })));
+        let spec = stream_spec();
+        let key = spec.job_key();
+        let poller = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let mut best: Option<(u64, u64)> = None;
+                for _ in 0..2000 {
+                    if let Some(p) = svc.progress(key) {
+                        best = Some(p);
+                        if p.0 > 0 {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                best
+            })
+        };
+        let (_, cached) = svc.submit_blocking(&spec, None).unwrap();
+        assert!(!cached);
+        let seen = poller
+            .join()
+            .unwrap()
+            .expect("poller never observed stream progress");
+        assert_eq!(seen.1, 8, "total chunks");
+        assert!(seen.0 >= 1, "poller should catch a mid-run chunk count");
+        assert!(!svc.in_flight(key), "flight must be gone after completion");
+        assert_eq!(svc.progress(key), None);
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -90,6 +90,7 @@ fn chaos_storm_recovers_with_bit_identical_cache() {
         stall_pm: 80,
         transient_pm: 120,
         drop_pm: 0,
+        panic_mid_chunk_pm: 0,
         stall: Duration::from_millis(10),
         max_faults: u64::MAX,
     }));
@@ -207,6 +208,7 @@ fn followers_of_a_panicking_leader_are_released() {
         stall_pm: 0,
         transient_pm: 0,
         drop_pm: 0,
+        panic_mid_chunk_pm: 0,
         stall: Duration::ZERO,
         max_faults: 1,
     }));
